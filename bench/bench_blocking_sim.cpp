@@ -1,0 +1,96 @@
+// Empirical validation of the nonblocking theorems: blocking probability vs
+// middle-stage size m, for both constructions, with random dynamic load plus
+// the structured saturation adversary. The paper proves sufficiency
+// analytically; this bench shows (a) zero observed blocking at m >= bound
+// and (b) blocking appearing once m drops below it.
+#include <iostream>
+
+#include "sim/sweep.h"
+#include "util/table.h"
+
+using namespace wdm;
+
+namespace {
+
+bool run_sweep(const char* title, SweepConfig config) {
+  print_banner(std::cout, title);
+  const NonblockingBound bound =
+      config.construction == Construction::kMswDominant
+          ? theorem1_min_m(config.n, config.r)
+          : theorem2_min_m(config.n, config.r, config.k);
+  std::cout << "geometry n=" << config.n << " r=" << config.r << " k=" << config.k
+            << "; theorem bound m=" << bound.m << " (x=" << bound.x << ")\n\n";
+
+  const auto points = sweep_middle_count(config);
+  Table table({"m", "attempts", "blocked", "P(block)", "adversary blocks",
+               "at/above bound"});
+  bool zero_at_bound = true;
+  bool blocking_below = false;
+  for (const SweepPoint& point : points) {
+    const bool at_bound = point.m >= point.theorem_bound_m;
+    table.add(point.m, point.stats.attempts, point.stats.blocked,
+              point.stats.blocking_probability(), point.attack_blocked, at_bound);
+    if (at_bound && (point.stats.blocked > 0 || point.attack_blocked > 0)) {
+      zero_at_bound = false;
+    }
+    if (!at_bound && (point.stats.blocked > 0 || point.attack_blocked > 0)) {
+      blocking_below = true;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "zero blocking at/above bound: " << (zero_at_bound ? "yes" : "NO")
+            << "; blocking observed below bound: "
+            << (blocking_below ? "yes" : "no") << "\n";
+  // Zero-at-bound is the falsifiable claim; blocking-below is expected for
+  // these small geometries but not guaranteed for every seed.
+  return zero_at_bound;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+
+  {
+    SweepConfig config;
+    config.n = 2;
+    config.r = 2;
+    config.k = 2;
+    config.construction = Construction::kMswDominant;
+    config.network_model = MulticastModel::kMSW;
+    config.trials = 4;
+    config.sim.steps = 1500;
+    config.sim.arrival_fraction = 0.75;
+    ok = run_sweep("Blocking vs m: MSW-dominant, MSW model (Theorem 1)", config) && ok;
+  }
+  {
+    SweepConfig config;
+    config.n = 3;
+    config.r = 3;
+    config.k = 2;
+    config.construction = Construction::kMswDominant;
+    config.network_model = MulticastModel::kMAW;
+    config.trials = 3;
+    config.sim.steps = 1200;
+    config.sim.arrival_fraction = 0.75;
+    config.sim.fanout = {1, 3};
+    ok = run_sweep("Blocking vs m: MSW-dominant, MAW model (Theorem 1)", config) && ok;
+  }
+  {
+    SweepConfig config;
+    config.n = 2;
+    config.r = 2;
+    config.k = 2;
+    config.construction = Construction::kMawDominant;
+    config.network_model = MulticastModel::kMSW;
+    config.trials = 4;
+    config.sim.steps = 1500;
+    config.sim.arrival_fraction = 0.75;
+    ok = run_sweep("Blocking vs m: MAW-dominant, MSW model (Theorem 2)", config) && ok;
+  }
+
+  std::cout << "\nTheorem validation by simulation "
+            << (ok ? "REPRODUCED" : "FAILED")
+            << " (no block ever observed at the proven bound).\n";
+  return ok ? 0 : 1;
+}

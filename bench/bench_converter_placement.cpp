@@ -1,0 +1,48 @@
+// §3.4's converter-placement remark, quantified: the naive MSDW placement
+// (one converter per output-module input, Fig. 3a applied per module) costs
+// r*m*k converters; moving the converters inside the module (between gates
+// and combiners) cuts that to r*n*k = kN -- exactly the MAW count, proving
+// the paper's point that MSDW cannot beat MAW on converters even when
+// placed optimally.
+#include <iostream>
+
+#include "multistage/nonblocking.h"
+#include "util/table.h"
+
+using namespace wdm;
+
+int main() {
+  print_banner(std::cout, "Ablation: MSDW converter placement in multistage networks");
+
+  bool ok = true;
+  Table table({"N", "k", "m", "MSDW naive (r*m*k)", "MSDW internal (kN)",
+               "MAW (kN)", "internal == MAW"});
+  for (const std::size_t root : {4u, 8u, 16u, 32u}) {
+    const std::size_t N = root * root;
+    for (const std::size_t k : {2u, 4u}) {
+      const NonblockingBound bound = theorem1_min_m(root, root);
+      const ClosParams params{root, root, bound.m, k};
+      const auto naive =
+          multistage_cost(params, Construction::kMswDominant,
+                          MulticastModel::kMSDW, ConverterPlacement::kModuleInputs);
+      const auto internal = multistage_cost(params, Construction::kMswDominant,
+                                            MulticastModel::kMSDW,
+                                            ConverterPlacement::kModuleInternal);
+      const auto maw =
+          multistage_cost(params, Construction::kMswDominant, MulticastModel::kMAW);
+      const bool equal = internal.converters == maw.converters &&
+                         internal.converters == k * N;
+      ok = ok && equal && naive.converters > internal.converters;
+      // Placement must not change the gate count.
+      ok = ok && naive.crosspoints == internal.crosspoints;
+      table.add(N, k, bound.m, naive.converters, internal.converters,
+                maw.converters, equal);
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nConverter-placement ablation " << (ok ? "REPRODUCED" : "FAILED")
+            << ": optimal MSDW placement saves a factor m/n but only ties MAW "
+               "(same kN), at identical crosspoints -- MSDW remains dominated.\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// How many wavelength converters does a MAW switch really need? The paper
+// prices full MAW at kN dedicated converters and calls converters the
+// expensive device; replacing them with a shared bank of C converters keeps
+// the crossbar nonblocking in space and blocks only on bank exhaustion.
+// This bench sweeps C from 0 to kN under identical random dynamic load and
+// reports the converter-blocking curve plus the observed peak demand -- the
+// data a designer needs to trade converters for a small blocking risk.
+#include <iostream>
+
+#include "sim/converter_pool.h"
+#include "util/table.h"
+
+using namespace wdm;
+
+int main() {
+  print_banner(std::cout, "Shared converter bank: blocking vs pool size (MAW)");
+
+  bool ok = true;
+  for (const auto& [N, k] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{8, 2}, {8, 4}}) {
+    const std::size_t full = N * k;
+    std::vector<std::size_t> ladder;
+    for (std::size_t c = 0; c <= full; c += std::max<std::size_t>(1, full / 8)) {
+      ladder.push_back(c);
+    }
+    if (ladder.back() != full) ladder.push_back(full);
+
+    const auto points = sweep_converter_pool(N, k, ladder, 6000, 11);
+    std::cout << "\nN=" << N << ", k=" << k << " (paper budget kN=" << full
+              << " dedicated converters):\n";
+    Table table({"pool C", "C/kN", "attempts", "converter blocks", "P(block)",
+                 "peak in use"});
+    double previous = 1.0;
+    std::size_t one_percent_pool = full;
+    for (const PoolSweepPoint& point : points) {
+      table.add(point.pool_size,
+                static_cast<double>(point.pool_size) / static_cast<double>(full),
+                point.attempts, point.blocked_on_converters,
+                point.converter_blocking_probability(), point.peak_in_use);
+      ok = ok &&
+           point.converter_blocking_probability() <= previous + 1e-12;
+      previous = point.converter_blocking_probability();
+      if (point.converter_blocking_probability() <= 0.01) {
+        one_percent_pool = std::min(one_percent_pool, point.pool_size);
+      }
+    }
+    table.print(std::cout);
+    std::cout << "smallest sampled pool with P(block) <= 1%: "
+              << one_percent_pool << " of " << full << " ("
+              << 100.0 * static_cast<double>(one_percent_pool) /
+                     static_cast<double>(full)
+              << "% of the dedicated budget)\n";
+    ok = ok && points.back().blocked_on_converters == 0 &&
+         points.front().converter_blocking_probability() > 0.0 &&
+         one_percent_pool * 5 <= full * 4;  // <= 80% of the kN budget
+  }
+
+  std::cout << "\nConverter-pool analysis " << (ok ? "REPRODUCED" : "FAILED")
+            << ": blocking falls monotonically with C; a 1% blocking "
+               "tolerance already cuts the converter budget to ~3/4 of the "
+               "paper's dedicated kN even under saturating load -- the "
+               "cost-performance dial §2.4 points at.\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Teletraffic view of the cost-performance trade-off: blocking probability
+// vs offered load (Erlangs) for middle stages below the worst-case bound,
+// under uniform and hotspot (Zipf) destination popularity. Continuous-time
+// Poisson arrivals with exponential holding; the theorem-sized design stays
+// at zero blocking at every load, undersized designs degrade with load and
+// degrade faster under hotspots.
+#include <iostream>
+
+#include "sim/traffic_models.h"
+#include "util/table.h"
+
+using namespace wdm;
+
+namespace {
+
+ErlangStats run_point(std::size_t m, double erlangs, double zipf,
+                      std::uint64_t seed) {
+  const std::size_t n = 3, r = 3, k = 1;
+  const NonblockingBound bound = theorem1_min_m(n, r);
+  MultistageSwitch sw(ClosParams{n, r, std::max(m, n), k},
+                      Construction::kMswDominant, MulticastModel::kMSW,
+                      RoutingPolicy{bound.x});
+  ErlangConfig config;
+  config.mean_holding = 1.0;
+  config.arrival_rate = erlangs;
+  config.duration = 1500.0;
+  config.fanout = {1, 3};
+  config.zipf_exponent = zipf;
+  config.seed = seed;
+  return run_erlang_sim(sw, config);
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Blocking vs offered Erlang load (n=r=3, k=1)");
+
+  const NonblockingBound bound = theorem1_min_m(3, 3);
+  std::cout << "\nTheorem-1 bound: m=" << bound.m
+            << "; probing m=3 (minimum), m=5, and the bound itself.\n\n";
+
+  bool ok = true;
+  Table table({"m", "offered E", "popularity", "arrivals", "P(block)",
+               "carried E"});
+  for (const std::size_t m : {std::size_t{3}, std::size_t{5}, bound.m}) {
+    for (const double erlangs : {2.0, 4.0, 7.0}) {
+      for (const double zipf : {0.0, 1.2}) {
+        ErlangStats total;
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+          const ErlangStats stats = run_point(m, erlangs, zipf, seed * 101);
+          total.arrivals += stats.arrivals;
+          total.admitted += stats.admitted;
+          total.blocked += stats.blocked;
+          total.abandoned += stats.abandoned;
+          total.time_weighted_sessions += stats.time_weighted_sessions;
+          total.duration += stats.duration;
+        }
+        table.add(m, erlangs, zipf == 0.0 ? "uniform" : "zipf 1.2",
+                  total.arrivals, total.blocking_probability(),
+                  total.carried_erlangs());
+        if (m >= bound.m) ok = ok && total.blocked == 0;
+      }
+    }
+  }
+  table.print(std::cout);
+
+  // Shape checks: at m = 3, heavier load must not reduce blocking.
+  const double light = run_point(3, 2.0, 0.0, 404).blocking_probability();
+  const double heavy = run_point(3, 7.0, 0.0, 404).blocking_probability();
+  ok = ok && heavy >= light;
+  std::cout << "\nload sensitivity at m=3: P(block) " << light << " @2E -> "
+            << heavy << " @7E\n";
+
+  std::cout << "\nErlang analysis " << (ok ? "REPRODUCED" : "FAILED")
+            << ": zero blocking at the bound at any load; undersized middle "
+               "stages trade blocking for crosspoints as load grows.\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Reproduces Fig. 6: the paper's example MSDW network at N = 3, k = 2 -- an
+// Nk x Nk = 6 x 6 gate matrix (36 crosspoints) with a converter ahead of
+// each of the 6 input wavelengths. Audits the exact figure inventory and
+// replays a multi-connection scene exercising input-side conversion.
+#include <iostream>
+
+#include "fabric/fabric_switch.h"
+#include "util/table.h"
+
+using namespace wdm;
+
+int main() {
+  print_banner(std::cout, "Fig. 6: MSDW crossbar example (N=3, k=2)");
+
+  const std::size_t N = 3, k = 2;
+  const CrossbarFabric fabric(N, k, MulticastModel::kMSDW);
+  const CrossbarCost audit = fabric.audit();
+
+  Table inventory({"component", "built", "paper figure"});
+  inventory.add("SOA gates (crosspoints)", audit.crosspoints, "k^2 N^2 = 36");
+  inventory.add("wavelength converters", audit.converters, "Nk = 6 (input side)");
+  inventory.add("splitters (1 -> Nk)", audit.splitters, "Nk = 6");
+  inventory.add("combiners (Nk -> 1)", audit.combiners, "Nk = 6");
+  inventory.print(std::cout);
+  bool ok = audit.crosspoints == 36 && audit.converters == 6 &&
+            audit.splitters == 6 && audit.combiners == 6;
+
+  // A busy MSDW scene: three connections with distinct destination lanes,
+  // overlapping destination ports across lanes (the WDM multicast feature).
+  FabricSwitch sw(N, k, MulticastModel::kMSDW);
+  sw.connect({{0, 0}, {{0, 1}, {1, 1}}});  // λ1 source -> λ2 destinations
+  sw.connect({{1, 1}, {{0, 0}, {2, 0}}});  // λ2 source -> λ1 destinations
+  sw.connect({{2, 0}, {{1, 0}}});          // λ1 -> λ1 unicast (no conversion)
+  const auto report = sw.verify();
+  ok = ok && report.ok && sw.active_connections() == 3;
+  std::cout << "\n3 concurrent MSDW connections (port 0 and port 1 each "
+               "receiving two different streams on their two lanes): "
+            << (report.ok ? "verified" : "FAILED") << "\n"
+            << report.to_string() << "\n";
+
+  std::cout << "\nFig. 6 " << (ok ? "REPRODUCED" : "FAILED") << ".\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Reproduces Fig. 7: the paper's example MAW network at N = 3, k = 2 -- the
+// same 6 x 6 gate matrix as Fig. 6 but with the 6 converters moved to the
+// output side, enabling per-destination wavelengths. Audits the inventory
+// and replays a scene impossible under MSDW.
+#include <iostream>
+
+#include "fabric/fabric_switch.h"
+#include "util/table.h"
+
+using namespace wdm;
+
+int main() {
+  print_banner(std::cout, "Fig. 7: MAW crossbar example (N=3, k=2)");
+
+  const std::size_t N = 3, k = 2;
+  const CrossbarFabric fabric(N, k, MulticastModel::kMAW);
+  const CrossbarCost audit = fabric.audit();
+
+  Table inventory({"component", "built", "paper figure"});
+  inventory.add("SOA gates (crosspoints)", audit.crosspoints, "k^2 N^2 = 36");
+  inventory.add("wavelength converters", audit.converters, "Nk = 6 (output side)");
+  inventory.add("splitters (1 -> Nk)", audit.splitters, "Nk = 6");
+  inventory.add("combiners (Nk -> 1)", audit.combiners, "Nk = 6");
+  inventory.print(std::cout);
+  bool ok = audit.crosspoints == 36 && audit.converters == 6 &&
+            audit.splitters == 6 && audit.combiners == 6;
+
+  // Per-destination wavelengths: one source multicast delivering to λ1 at
+  // one port and λ2 at another -- MSDW must reject this shape, MAW realizes
+  // it.
+  const MulticastRequest mixed{{0, 0}, {{1, 0}, {2, 1}}};
+  {
+    FabricSwitch msdw(N, k, MulticastModel::kMSDW);
+    ok = ok && msdw.check_request(mixed) == ConnectError::kModelForbidsLanes;
+  }
+  FabricSwitch sw(N, k, MulticastModel::kMAW);
+  sw.connect(mixed);
+  // Saturate further: every output wavelength of port 1 receives a different
+  // stream.
+  sw.connect({{1, 1}, {{1, 1}, {0, 0}}});
+  sw.connect({{2, 0}, {{0, 1}, {2, 0}}});
+  const auto report = sw.verify();
+  ok = ok && report.ok && sw.active_connections() == 3;
+  std::cout << "\nmixed-lane multicast " << mixed.to_string()
+            << " rejected by MSDW, realized by MAW; full 3-connection scene: "
+            << (report.ok ? "verified" : "FAILED") << "\n"
+            << report.to_string() << "\n";
+
+  std::cout << "\nFig. 7 " << (ok ? "REPRODUCED" : "FAILED") << ".\n";
+  return ok ? 0 : 1;
+}

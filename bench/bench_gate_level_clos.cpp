@@ -1,0 +1,112 @@
+// End-to-end integration: the §3 three-stage constructions built as real
+// optical circuits (every SOA gate, splitter, combiner, converter, mux,
+// demux), loaded by the theorem-sized router, and verified by propagating
+// light. Also cross-checks the device tally against the Table 2 formulas
+// and the §2.3 power projection against measured beam power.
+#include <iostream>
+
+#include "fabric/clos_fabric.h"
+#include "optics/budget.h"
+#include "sim/request.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace wdm;
+
+int main() {
+  print_banner(std::cout, "Gate-level three-stage networks: photons meet Theorem 1");
+
+  bool ok = true;
+
+  std::cout << "\nDevice tally vs closed-form multistage cost:\n";
+  Table audit_table({"construction", "model", "geometry", "gates (built)",
+                     "gates (formula)", "converters (built)",
+                     "converters (formula)"});
+  const ClosParams params{2, 3, 4, 2};
+  for (const Construction construction :
+       {Construction::kMswDominant, Construction::kMawDominant}) {
+    for (const MulticastModel model : kAllModels) {
+      const ClosFabricSwitch sw(params, construction, model);
+      const MultistageCost built = sw.audit();
+      const MultistageCost formula = multistage_cost(params, construction, model);
+      ok = ok && built == formula;
+      audit_table.add(construction_name(construction), model_name(model),
+                      params.to_string(), built.crosspoints, formula.crosspoints,
+                      built.converters, formula.converters);
+    }
+  }
+  audit_table.print(std::cout);
+
+  std::cout << "\nMeasured vs projected path loss (unicast, 0 dBm transmitter):\n";
+  Table loss_table({"construction", "model", "projected dB", "measured dB",
+                    "gates crossed"});
+  for (const Construction construction :
+       {Construction::kMswDominant, Construction::kMawDominant}) {
+    for (const MulticastModel model : kAllModels) {
+      ClosFabricSwitch sw = ClosFabricSwitch::nonblocking(2, 3, 2, construction, model);
+      const auto id = sw.try_connect(model == MulticastModel::kMSW
+                                         ? MulticastRequest{{0, 0}, {{5, 0}}}
+                                         : MulticastRequest{{0, 1}, {{5, 0}}});
+      ok = ok && id.has_value();
+      const auto report = sw.verify();
+      ok = ok && report.ok && report.max_gates_crossed == 3;
+      const PowerBudget projected = multistage_power_budget(
+          sw.network().params(), construction, model);
+      const bool match =
+          std::abs(-report.min_power_dbm - projected.worst_path_loss_db) < 1e-9;
+      ok = ok && match;
+      loss_table.add(construction_name(construction), model_name(model),
+                     projected.worst_path_loss_db, -report.min_power_dbm,
+                     report.max_gates_crossed);
+    }
+  }
+  loss_table.print(std::cout);
+
+  // Fig. 10 at gate level: scripted priors, MAW-dominant routes the
+  // challenge and the photons arrive.
+  const Fig10Scenario scenario = fig10_scenario();
+  ClosFabricSwitch maw(scenario.params, Construction::kMawDominant,
+                       scenario.network_model, RoutingPolicy{2});
+  for (const auto& prior : scenario.prior) maw.install_route(prior.request, prior.route);
+  const auto challenge_id = maw.try_connect(scenario.challenge);
+  const bool challenge_ok = challenge_id.has_value() && maw.verify().ok;
+  ok = ok && challenge_ok;
+  std::cout << "\nFig. 10 challenge on the MAW-dominant gate-level fabric: "
+            << (challenge_ok ? "routed and optically verified" : "FAILED") << "\n";
+
+  // Churn: 200 steps of load on a theorem-sized fabric, light checked
+  // every 20 steps.
+  ClosFabricSwitch churn = ClosFabricSwitch::nonblocking(
+      2, 3, 2, Construction::kMswDominant, MulticastModel::kMAW);
+  Rng rng(2027);
+  std::vector<ConnectionId> live;
+  std::size_t blocks = 0, verified_states = 0;
+  for (int step = 0; step < 200; ++step) {
+    if (live.empty() || rng.next_bool(0.6)) {
+      const auto request = random_admissible_request(rng, churn.network(), {1, 4});
+      if (!request) continue;
+      if (const auto id = churn.try_connect(*request)) {
+        live.push_back(*id);
+      } else {
+        ++blocks;
+      }
+    } else {
+      const std::size_t victim = rng.next_below(live.size());
+      churn.disconnect(live[victim]);
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    if (step % 20 == 0) {
+      ok = ok && churn.verify().ok;
+      ++verified_states;
+    }
+  }
+  ok = ok && blocks == 0;
+  std::cout << "churn: " << verified_states
+            << " intermediate states optically verified, blocks=" << blocks << "\n";
+
+  std::cout << "\nGate-level Clos " << (ok ? "REPRODUCED" : "FAILED")
+            << ": Theorem-1-sized routing realizes every request as "
+               "conflict-free light paths; device counts equal the formulas.\n";
+  return ok ? 0 : 1;
+}

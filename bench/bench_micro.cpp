@@ -1,0 +1,163 @@
+// Library micro-benchmarks (google-benchmark): the performance-sensitive
+// paths a user of the library actually exercises -- capacity evaluation,
+// fabric construction, optical propagation, routing, and the multiset
+// algebra. Not a paper table; included so performance regressions are
+// visible alongside the reproduction benches.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "capacity/capacity.h"
+#include "fabric/fabric_switch.h"
+#include "multistage/builder.h"
+#include "multistage/rearrange.h"
+#include "schedule/round_scheduler.h"
+#include "sim/blocking_sim.h"
+#include "sim/traffic_models.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace wdm;
+
+void BM_BigUIntPow(benchmark::State& state) {
+  const auto exponent = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigUInt{7}.pow(exponent));
+  }
+}
+BENCHMARK(BM_BigUIntPow)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_CapacityExactMSDW(benchmark::State& state) {
+  const auto N = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        multicast_capacity(N, 4, MulticastModel::kMSDW, AssignmentKind::kAny));
+  }
+}
+BENCHMARK(BM_CapacityExactMSDW)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CapacityLog10MSDW(benchmark::State& state) {
+  const auto N = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        log10_multicast_capacity(N, 4, MulticastModel::kMSDW, AssignmentKind::kAny));
+  }
+}
+BENCHMARK(BM_CapacityLog10MSDW)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_FabricConstruction(benchmark::State& state) {
+  const auto N = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    CrossbarFabric fabric(N, 2, MulticastModel::kMAW);
+    benchmark::DoNotOptimize(fabric.audit());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(N));
+}
+BENCHMARK(BM_FabricConstruction)->Arg(4)->Arg(8)->Arg(16)->Complexity();
+
+void BM_OpticalPropagation(benchmark::State& state) {
+  const auto N = static_cast<std::size_t>(state.range(0));
+  FabricSwitch sw(N, 2, MulticastModel::kMAW);
+  Rng rng(1);
+  for (std::size_t port = 0; port < N; ++port) {
+    sw.connect({{port, 0},
+                {{(port + 1) % N, static_cast<Wavelength>(rng.next_below(2))}}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw.verify());
+  }
+}
+BENCHMARK(BM_OpticalPropagation)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RouteMulticast(benchmark::State& state) {
+  const auto r = static_cast<std::size_t>(state.range(0));
+  MultistageSwitch sw =
+      MultistageSwitch::nonblocking(4, r, 2, Construction::kMswDominant,
+                                    MulticastModel::kMSW);
+  MulticastRequest request{{0, 0}, {}};
+  for (std::size_t p = 0; p < r; ++p) request.outputs.push_back({p * 4, 0});
+  for (auto _ : state) {
+    const auto id = sw.try_connect(request);
+    benchmark::DoNotOptimize(id);
+    if (id) sw.disconnect(*id);
+  }
+}
+BENCHMARK(BM_RouteMulticast)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DynamicSimStep(benchmark::State& state) {
+  MultistageSwitch sw = MultistageSwitch::nonblocking(
+      3, 3, 2, Construction::kMswDominant, MulticastModel::kMSW);
+  SimConfig config;
+  config.steps = 100;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    config.seed = ++seed;
+    benchmark::DoNotOptimize(run_dynamic_sim(sw, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_DynamicSimStep);
+
+void BM_MultisetIntersect(benchmark::State& state) {
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  DestinationMultiset a(universe, 4);
+  DestinationMultiset b(universe, 4);
+  Rng rng(2);
+  for (std::size_t i = 0; i < universe * 2; ++i) {
+    const std::size_t p = rng.next_below(universe);
+    if (a.can_serve(p)) a.add(p);
+    const std::size_t q = rng.next_below(universe);
+    if (b.can_serve(q)) b.add(q);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b));
+  }
+}
+BENCHMARK(BM_MultisetIntersect)->Arg(16)->Arg(256);
+
+void BM_PaullPermutation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t r = n;
+  Rng rng(5);
+  std::vector<std::size_t> perm(n * r);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    rng.shuffle(perm);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(route_permutation(n, r, n, perm));
+  }
+}
+BENCHMARK(BM_PaullPermutation)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_WdmSlotPacking(benchmark::State& state) {
+  const auto sessions_count = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const auto sessions = random_sessions(rng, 16, sessions_count, 2, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        schedule_wdm_slots(sessions, 16, 4, MulticastModel::kMAW));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sessions_count));
+}
+BENCHMARK(BM_WdmSlotPacking)->Arg(50)->Arg(200);
+
+void BM_ErlangSim(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    MultistageSwitch sw = MultistageSwitch::nonblocking(
+        2, 2, 2, Construction::kMswDominant, MulticastModel::kMSW);
+    ErlangConfig config;
+    config.arrival_rate = 4.0;
+    config.duration = 50.0;
+    config.seed = ++seed;
+    benchmark::DoNotOptimize(run_erlang_sim(sw, config));
+  }
+}
+BENCHMARK(BM_ErlangSim);
+
+}  // namespace
+
+BENCHMARK_MAIN();

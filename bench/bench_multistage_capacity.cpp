@@ -1,0 +1,96 @@
+// §3.1's equivalence claim, checked constructively: "an N x N k-wavelength
+// nonblocking multistage WDM network under a given model will have the same
+// multicast capacity as a crossbar-based network under the same model."
+// We enumerate (exhaustively where feasible, by uniform sampling otherwise)
+// the legal multicast assignments of the crossbar definition and realize
+// every one of them, connection by connection in random order, on a
+// theorem-sized three-stage network. Realized count == capacity formula
+// proves the multistage network loses no assignments.
+#include <iostream>
+
+#include "capacity/enumerate.h"
+#include "multistage/builder.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace wdm;
+
+namespace {
+
+// Realize one assignment on a fresh theorem-sized network; true iff every
+// connection routed.
+bool realize(const AssignmentMap& map, std::size_t n, std::size_t r, std::size_t k,
+             MulticastModel model, Rng& rng) {
+  MultistageSwitch sw =
+      MultistageSwitch::nonblocking(n, r, k, Construction::kMswDominant, model);
+  std::vector<MulticastRequest> requests =
+      requests_from_assignment(map, n * r, k);
+  rng.shuffle(requests);
+  for (const MulticastRequest& request : requests) {
+    if (!sw.try_connect(request)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "Multistage capacity == crossbar capacity (§3.1), constructively");
+
+  bool ok = true;
+  Rng rng(404);
+  Table table({"model", "N", "k", "assignments (formula)", "checked", "realized",
+               "method"});
+
+  // Exhaustive: every MSW any-assignment of the 4-port network, k = 1 and 2.
+  for (const std::size_t k : {1u, 2u}) {
+    const std::size_t n = 2, r = 2;
+    std::uint64_t checked = 0, realized = 0;
+    for_each_assignment(
+        n * r, k, MulticastModel::kMSW, AssignmentKind::kAny,
+        [&](const AssignmentMap& map) {
+          ++checked;
+          if (realize(map, n, r, k, MulticastModel::kMSW, rng)) ++realized;
+          return true;
+        },
+        /*max_candidates=*/50'000'000);  // k=2 scans 9^8 = 43M raw maps
+    const BigUInt formula = multicast_capacity(n * r, k, MulticastModel::kMSW,
+                                               AssignmentKind::kAny);
+    ok = ok && realized == checked && BigUInt{checked} == formula;
+    table.add("MSW", n * r, k, formula.to_string(), checked, realized,
+              "exhaustive");
+  }
+
+  // Sampled: MSDW and MAW at N=4, k=2 (9.3M / 28.4M legal assignments).
+  for (const MulticastModel model :
+       {MulticastModel::kMSDW, MulticastModel::kMAW}) {
+    const std::size_t n = 2, r = 2, k = 2, nk = n * r * k;
+    std::uint64_t checked = 0, realized = 0;
+    const std::uint64_t target = 4000;
+    while (checked < target) {
+      // Uniform random map; keep it when legal.
+      AssignmentMap map(nk);
+      for (auto& cell : map) {
+        const auto choice = rng.next_below(nk + 1);
+        cell = choice == nk ? kUnconnected : static_cast<std::int32_t>(choice);
+      }
+      if (!assignment_legal(map, n * r, k, model)) continue;
+      ++checked;
+      if (realize(map, n, r, k, model, rng)) ++realized;
+    }
+    ok = ok && realized == checked;
+    table.add(model_name(model), n * r, k,
+              multicast_capacity(n * r, k, model, AssignmentKind::kAny).to_string(),
+              checked, realized, "uniform sample");
+  }
+
+  table.print(std::cout);
+
+  std::cout << "\nMultistage capacity equivalence "
+            << (ok ? "REPRODUCED" : "FAILED")
+            << ": every legal assignment (exhaustive for MSW, sampled for "
+               "MSDW/MAW) realized on the Theorem-1-sized three-stage network "
+               "in random arrival order.\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Cost-performance trade-off the paper motivates, quantified for operators:
+// how many middle modules do you actually need if you tolerate a small
+// average-case blocking probability instead of the worst-case guarantee?
+// Sweeps offered load and blocking targets, reporting the provisioned m and
+// its crosspoint saving relative to the Theorem-1 design.
+#include <iostream>
+
+#include "sim/load_analysis.h"
+#include "util/table.h"
+
+using namespace wdm;
+
+int main() {
+  print_banner(std::cout, "Middle-stage provisioning under average-case load");
+
+  bool ok = true;
+  const std::size_t n = 3, r = 3, k = 2;
+  const NonblockingBound bound = theorem1_min_m(n, r);
+  std::cout << "\ngeometry n=" << n << " r=" << r << " k=" << k
+            << "; worst-case (Theorem 1) m=" << bound.m << "\n";
+
+  std::cout << "\nBlocking and utilization vs offered load at m=" << n
+            << " (structural minimum):\n";
+  SimConfig base;
+  base.steps = 2500;
+  base.fanout = {1, 4};
+  base.seed = 1234;
+  const auto curve = blocking_vs_load(
+      ClosParams{n, r, n, k}, Construction::kMswDominant, MulticastModel::kMSW,
+      RoutingPolicy{bound.x}, {0.3, 0.5, 0.7, 0.9}, base, 3);
+  Table curve_table({"load", "attempts", "P(block)", "95% CI high",
+                     "mean utilization"});
+  for (const LoadPoint& point : curve) {
+    curve_table.add(point.load, point.stats.attempts,
+                    point.stats.blocking_probability(),
+                    point.stats.blocking_ci95().second, point.mean_utilization);
+  }
+  curve_table.print(std::cout);
+  // Utilization must rise with load.
+  ok = ok && curve.front().mean_utilization < curve.back().mean_utilization;
+
+  std::cout << "\nProvisioned m per blocking target (load 0.7):\n";
+  base.arrival_fraction = 0.7;
+  Table provision_table({"target P(block)", "chosen m", "observed P(block)",
+                         "CI95 high", "crosspoints vs theorem design"});
+  double previous_ratio = 0.0;
+  for (const double target : {0.05, 0.01, 0.0}) {
+    const ProvisioningResult result = provision_middle_stage(
+        n, r, k, Construction::kMswDominant, MulticastModel::kMSW, base, target,
+        3);
+    provision_table.add(target, result.chosen_m, result.observed_blocking,
+                        result.blocking_ci95_upper, result.crosspoint_ratio);
+    ok = ok && result.chosen_m <= result.theorem_m &&
+         result.observed_blocking <= target + 1e-12 &&
+         result.crosspoint_ratio >= previous_ratio - 1e-9;  // stricter => bigger
+    previous_ratio = result.crosspoint_ratio;
+  }
+  provision_table.print(std::cout);
+
+  std::cout << "\nProvisioning analysis " << (ok ? "REPRODUCED" : "FAILED")
+            << ": tolerating small average-case blocking buys a real "
+               "crosspoint saving below the worst-case design point.\n";
+  return ok ? 0 : 1;
+}

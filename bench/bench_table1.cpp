@@ -1,0 +1,78 @@
+// Reproduces paper Table 1: multicast capacity (full / any), crosspoints and
+// wavelength converters for an N x N k-wavelength crossbar under MSW, MSDW,
+// and MAW. The paper states the symbolic formulas; we print them evaluated
+// for a range of (N, k) plus the symbolic row itself, and check the claimed
+// relations (capacity ordering, MSDW/MAW cost equality) on every row.
+#include <iostream>
+
+#include "capacity/capacity.h"
+#include "capacity/cost.h"
+#include "util/table.h"
+
+using namespace wdm;
+
+int main() {
+  print_banner(std::cout, "Paper Table 1: WDM multicast networks under different models");
+
+  std::cout << "\nSymbolic rows (as printed in the paper):\n";
+  Table symbolic({"model", "capacity (full)", "capacity (any)", "#crosspoints",
+                  "#converters"});
+  symbolic.add("MSW", "N^(Nk)", "(N+1)^(Nk)", "k N^2", "0");
+  symbolic.add("MSDW", "sum P(Nk,sum j_i) prod S(N,j_i)",
+               "sum P(Nk,sum j_i) prod C(N,l_i) S(N-l_i,j_i)", "k^2 N^2", "k N");
+  symbolic.add("MAW", "[P(Nk,k)]^N", "[sum_j P(Nk,k-j) C(k,j)]^N", "k^2 N^2",
+               "k N");
+  symbolic.print(std::cout);
+
+  bool all_relations_hold = true;
+  for (const auto& [N, k] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {2, 2}, {4, 2}, {4, 4}, {8, 2}, {8, 4}, {16, 4}}) {
+    std::cout << "\nEvaluated for N=" << N << ", k=" << k << ":\n";
+    Table table({"model", "capacity (full)", "capacity (any)", "#crosspoints",
+                 "#converters"});
+    for (const MulticastModel model : kAllModels) {
+      const CrossbarCost cost = crossbar_cost(N, k, model);
+      table.add(model_name(model),
+                multicast_capacity(N, k, model, AssignmentKind::kFull).to_sci(4),
+                multicast_capacity(N, k, model, AssignmentKind::kAny).to_sci(4),
+                cost.crosspoints, cost.converters);
+    }
+    table.print(std::cout);
+
+    // Shape checks the paper claims (§2.2, §2.4).
+    const BigUInt msw = multicast_capacity(N, k, MulticastModel::kMSW,
+                                           AssignmentKind::kAny);
+    const BigUInt msdw = multicast_capacity(N, k, MulticastModel::kMSDW,
+                                            AssignmentKind::kAny);
+    const BigUInt maw = multicast_capacity(N, k, MulticastModel::kMAW,
+                                           AssignmentKind::kAny);
+    const bool ordering = msw < msdw && msdw < maw;
+    const bool cost_equal =
+        crossbar_cost(N, k, MulticastModel::kMSDW) ==
+        crossbar_cost(N, k, MulticastModel::kMAW);
+    all_relations_hold = all_relations_hold && ordering && cost_equal;
+    std::cout << "capacity ordering MSW < MSDW < MAW: "
+              << (ordering ? "holds" : "VIOLATED")
+              << "; MSDW/MAW cost identical: "
+              << (cost_equal ? "holds" : "VIOLATED") << "\n";
+  }
+
+  std::cout << "\n§2.4 trade-off in one number (log10 capacity digits bought "
+               "per crosspoint, any-assignments):\n";
+  Table efficiency({"N", "k", "MSW", "MSDW", "MAW", "MSW/MAW ratio"});
+  for (const auto& [N, k] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {4, 2}, {8, 4}, {16, 8}}) {
+    const double msw = capacity_per_crosspoint(N, k, MulticastModel::kMSW);
+    const double msdw = capacity_per_crosspoint(N, k, MulticastModel::kMSDW);
+    const double maw = capacity_per_crosspoint(N, k, MulticastModel::kMAW);
+    efficiency.add(N, k, msw, msdw, maw, msw / maw);
+    all_relations_hold = all_relations_hold && msw > maw && maw > msdw;
+  }
+  efficiency.print(std::cout);
+
+  std::cout << "\nTable 1 relations " << (all_relations_hold ? "REPRODUCED" : "FAILED")
+            << ": MSDW dominated by MAW at equal cost (paper's conclusion in "
+               "§2.4); MSW wins capacity-per-gate, MAW wins raw capacity -- "
+               "the genuine trade-off.\n";
+  return all_relations_hold ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// How tight are Theorems 1-2? The paper (citing the electronic lower-bound
+// technique) states matching necessary values exist. This bench searches
+// constructively for blocking witnesses below each bound and reports the
+// largest m at which one was found. A small gap = empirically tight; toy
+// geometries keep a structural gap because the adversary runs out of output
+// wavelengths before it can exclude every middle module.
+#include <iostream>
+
+#include "sim/witness.h"
+#include "util/table.h"
+
+using namespace wdm;
+
+int main() {
+  print_banner(std::cout, "Tightness probe: blocking witnesses below the bounds");
+
+  WitnessSearchConfig config;
+  config.churn_steps = 1200;
+  config.restarts = 4;
+  config.probes_per_step = 2;
+
+  bool ok = true;
+  Table table({"construction", "n", "r", "k", "bound m", "largest blocking m",
+               "gap"});
+  struct Case {
+    std::size_t n, r, k;
+    Construction construction;
+  };
+  for (const Case& c : {Case{2, 2, 1, Construction::kMswDominant},
+                        Case{2, 2, 2, Construction::kMswDominant},
+                        Case{2, 3, 2, Construction::kMswDominant},
+                        Case{3, 3, 1, Construction::kMswDominant},
+                        Case{3, 3, 2, Construction::kMswDominant},
+                        Case{2, 2, 2, Construction::kMawDominant},
+                        Case{3, 3, 2, Construction::kMawDominant}}) {
+    const TightnessReport report = probe_tightness(
+        c.n, c.r, c.k, c.construction, MulticastModel::kMSW, config);
+    table.add(construction_name(c.construction), c.n, c.r, c.k,
+              report.theorem_bound_m, report.largest_blocking_m, report.gap());
+    // Falsifiable claims: a witness must exist somewhere below the bound,
+    // and never at/above it (probe_tightness never scans there; the sweep
+    // and test suites cover that side).
+    ok = ok && report.largest_blocking_m > 0 &&
+         report.largest_blocking_m < report.theorem_bound_m;
+  }
+  table.print(std::cout);
+
+  std::cout << "\nA replayable witness example (n=r=k=2, m=2, MSW-dominant), "
+               "shrunk to its 1-minimal blocking core:\n";
+  const ClosParams tiny{2, 2, 2, 2};
+  const auto witness =
+      find_blocking_witness(tiny, Construction::kMswDominant,
+                            MulticastModel::kMSW, RoutingPolicy{1}, config);
+  if (witness) {
+    const BlockingWitness core = shrink_witness(
+        *witness, tiny, Construction::kMswDominant, MulticastModel::kMSW,
+        RoutingPolicy{1});
+    std::cout << "found with " << witness->state.size()
+              << " connections; minimal core has " << core.state.size() << ":\n";
+    for (const auto& [request, route] : core.state) {
+      std::cout << "  " << request.to_string() << " via " << route.to_string()
+                << "\n";
+    }
+    std::cout << "  blocks: " << core.blocked_request.to_string() << "\n";
+    ok = ok && core.state.size() <= witness->state.size();
+  }
+  ok = ok && witness.has_value();
+
+  std::cout << "\nTightness probe " << (ok ? "REPRODUCED" : "FAILED")
+            << ": constructive blocking strictly below every bound, none at it.\n";
+  return ok ? 0 : 1;
+}

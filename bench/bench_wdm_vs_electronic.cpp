@@ -1,0 +1,91 @@
+// §1's motivation, quantified: how much faster does a WDM multicast switch
+// clear a batch of overlapping multicast sessions than the electronic
+// baseline that must serialize them into conflict-free rounds?
+//
+// Electronic switch = 1 wavelength: rounds from conflict-graph coloring
+// (greedy, validated against exact on small batches). WDM switch = k
+// wavelengths: first-fit slot packing under each model. Expected shape:
+// slots fall ~1/k under MAW, MSW pays for its lane discipline, and the
+// model ordering MAW <= MSDW <= MSW holds everywhere.
+#include <iostream>
+
+#include "schedule/round_scheduler.h"
+#include "util/table.h"
+
+using namespace wdm;
+
+int main() {
+  print_banner(std::cout,
+               "WDM vs electronic multicast scheduling (the §1 motivation)");
+
+  bool ok = true;
+  Rng rng(31337);
+
+  // Small-batch sanity: greedy rounds vs exact chromatic number.
+  {
+    std::size_t greedy_total = 0, exact_total = 0, cases = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto sessions = random_sessions(rng, 8, 10, 1, 3);
+      const auto exact = minimum_rounds_exact(sessions);
+      if (!exact) continue;
+      greedy_total += schedule_rounds_greedy(sessions).size();
+      exact_total += *exact;
+      ++cases;
+    }
+    std::cout << "\ngreedy-vs-exact rounds on " << cases
+              << " small batches: greedy " << greedy_total << ", optimal "
+              << exact_total << " ("
+              << (exact_total == 0
+                      ? 1.0
+                      : static_cast<double>(greedy_total) /
+                            static_cast<double>(exact_total))
+              << "x)\n";
+    ok = ok && greedy_total >= exact_total;
+  }
+
+  const std::size_t N = 16;
+  std::cout << "\nSlots to clear a batch of 120 sessions on " << N
+            << " nodes (mean fanout ~4, heavy destination overlap):\n";
+  Table table({"k", "electronic rounds", "MSW slots", "MSDW slots", "MAW slots",
+               "MAW speedup"});
+  const auto sessions = random_sessions(rng, N, 120, 2, 6);
+  const std::size_t electronic = schedule_rounds_greedy(sessions).size();
+  std::size_t previous_maw = SIZE_MAX;
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    std::size_t counts[3] = {};
+    for (const MulticastModel model : kAllModels) {
+      const auto slots = schedule_wdm_slots(sessions, N, k, model);
+      if (check_wdm_schedule(sessions, N, k, model, slots)) {
+        std::cout << "INVALID SCHEDULE for " << model_name(model) << "\n";
+        ok = false;
+      }
+      counts[static_cast<int>(model)] = slots.size();
+    }
+    const std::size_t msw = counts[0];
+    const std::size_t msdw = counts[1];
+    const std::size_t maw = counts[2];
+    table.add(k, electronic, msw, msdw, maw,
+              static_cast<double>(electronic) / static_cast<double>(maw));
+    // First-fit is not monotone under constraint relaxation (a placement the
+    // stronger model allows can change all later decisions), so the model
+    // ordering is asserted with one slot of first-fit slack.
+    ok = ok && maw <= msdw + 1 && msdw <= msw + 1 && maw <= previous_maw;
+    previous_maw = maw;
+    if (k == 1) ok = ok && maw == msw && msdw == msw;  // models collapse at k=1
+  }
+  table.print(std::cout);
+
+  // The headline ratio: at k = 8, MAW should clear the batch close to 8x
+  // faster than the electronic baseline (within first-fit slack).
+  const std::size_t maw8 =
+      schedule_wdm_slots(sessions, N, 8, MulticastModel::kMAW).size();
+  const double speedup = static_cast<double>(electronic) / static_cast<double>(maw8);
+  ok = ok && speedup > 4.0;
+  std::cout << "\nk=8 MAW speedup over electronic: " << speedup
+            << "x (ideal 8x, first-fit and hotspot slack expected)\n";
+
+  std::cout << "\n§1 motivation " << (ok ? "REPRODUCED" : "FAILED")
+            << ": WDM clears overlapped multicasts ~k-fold faster; wavelength "
+               "freedom (MAW) packs best, lane-locked MSW worst.\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Interactive design explorer: the paper's cost/capacity analysis as a CLI.
+//
+//   $ ./network_designer --ports 64 --lanes 4
+//   $ ./network_designer --ports 256 --lanes 8 --model MAW --csv
+//
+// Prints Table-1-style model comparison for the requested size, every
+// nonblocking implementation with exact hardware counts, and the
+// recommendation; optionally CSV for plotting.
+#include <iostream>
+#include <string>
+
+#include "core/wdm.h"
+#include "util/cli.h"
+
+using namespace wdm;
+
+namespace {
+
+MulticastModel parse_model(const std::string& name) {
+  if (name == "MSW" || name == "msw") return MulticastModel::kMSW;
+  if (name == "MSDW" || name == "msdw") return MulticastModel::kMSDW;
+  if (name == "MAW" || name == "maw") return MulticastModel::kMAW;
+  throw std::invalid_argument("unknown model: " + name + " (use MSW|MSDW|MAW)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(argc, argv);
+  cli.describe("ports", "network size N (default 64)");
+  cli.describe("lanes", "wavelengths per fiber k (default 4)");
+  cli.describe("model", "restrict to one multicast model (MSW|MSDW|MAW)");
+  cli.describe("csv", "emit the design table as CSV instead of aligned text");
+  if (cli.wants_help()) {
+    std::cout << cli.help_text(
+        "Explore nonblocking WDM multicast switch designs (Yang/Wang/Qiao).");
+    return 0;
+  }
+  try {
+    cli.validate();
+    const auto N = static_cast<std::size_t>(cli.get_int("ports", 64));
+    const auto k = static_cast<std::size_t>(cli.get_int("lanes", 4));
+    const bool csv = cli.get_bool("csv");
+
+    std::vector<MulticastModel> models(kAllModels.begin(), kAllModels.end());
+    if (const auto name = cli.get_string("model")) {
+      models = {parse_model(*name)};
+    }
+
+    if (!csv) {
+      print_banner(std::cout, "Model comparison (paper Table 1) for N=" +
+                                  std::to_string(N) + ", k=" + std::to_string(k));
+      model_comparison_table(N, k).print(std::cout);
+    }
+
+    for (const MulticastModel model : models) {
+      const auto options = enumerate_designs(N, k, model);
+      const Table table = design_table(options);
+      if (csv) {
+        std::cout << table.to_csv();
+        continue;
+      }
+      print_banner(std::cout, std::string("Nonblocking designs under ") +
+                                  model_name(model));
+      table.print(std::cout);
+      const DesignOption best = recommend_design(N, k, model);
+      std::cout << "recommended: " << best.to_string() << "\n";
+      if (best.is_multistage) {
+        const double saving =
+            1.0 - static_cast<double>(best.crosspoints) /
+                      static_cast<double>(options.front().crosspoints);
+        std::cout << "crosspoint saving vs crossbar: " << saving * 100.0 << "%\n";
+      }
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,103 @@
+// Video conferencing on a WDM multicast switch -- the paper's motivating
+// workload for per-destination wavelength flexibility.
+//
+// Each conference is one multicast connection per *speaking* site (everyone
+// receives every other speaker). A site with k receivers can attend up to k
+// conferences simultaneously -- the WDM feature §1 highlights over
+// electronic switches. This example builds an MAW crossbar, hosts several
+// overlapping conferences, verifies every frame path optically, then churns
+// speakers to show reconfiguration.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/wdm.h"
+
+using namespace wdm;
+
+namespace {
+
+struct Conference {
+  std::string name;
+  std::vector<std::size_t> sites;   // participating ports
+  Wavelength lane;                  // receive lane the conference is assigned
+};
+
+// One multicast connection per speaker: speaker -> every other site, on the
+// conference's receive lane (legal under MAW regardless of speaker lane).
+MulticastRequest speaker_stream(const Conference& conference, std::size_t speaker,
+                                Wavelength transmit_lane) {
+  MulticastRequest request;
+  request.input = {speaker, transmit_lane};
+  for (const std::size_t site : conference.sites) {
+    if (site != speaker) request.outputs.push_back({site, conference.lane});
+  }
+  return request;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t sites = 8;
+  const std::size_t k = 2;
+  print_banner(std::cout, "Video conferencing on an 8-port 2-wavelength MAW switch");
+
+  FabricSwitch sw(sites, k, MulticastModel::kMAW);
+
+  // Two conferences sharing sites 2 and 5: those sites attend both at once,
+  // one per receive lane. (An electronic switch would need 2x the ports.)
+  std::vector<Conference> conferences = {
+      {"engineering sync", {0, 2, 5, 7}, 0},
+      {"board call", {1, 2, 5}, 1},
+  };
+
+  std::map<std::string, FabricSwitch::ConnectionId> active_speakers;
+  auto set_speaker = [&](const Conference& conference, std::size_t speaker,
+                         Wavelength transmit_lane) {
+    const std::string key = conference.name;
+    if (const auto it = active_speakers.find(key); it != active_speakers.end()) {
+      sw.disconnect(it->second);
+      active_speakers.erase(it);
+    }
+    const auto id = sw.connect(speaker_stream(conference, speaker, transmit_lane));
+    active_speakers.emplace(key, id);
+    std::cout << "  [" << conference.name << "] site " << speaker
+              << " now speaking on " << wavelength_name(transmit_lane)
+              << ", heard on " << wavelength_name(conference.lane) << " by "
+              << conference.sites.size() - 1 << " sites\n";
+  };
+
+  std::cout << "\nOpening both conferences:\n";
+  set_speaker(conferences[0], 0, 0);
+  set_speaker(conferences[1], 1, 1);
+
+  auto verify = [&](const char* when) {
+    const auto report = sw.verify();
+    std::cout << "optical verification (" << when << "): " << report.to_string()
+              << "\n";
+    return report.ok;
+  };
+  bool ok = verify("both conferences live");
+
+  std::cout << "\nSites 2 and 5 are in BOTH conferences, receiving two streams "
+               "concurrently on their two receive lanes -- impossible for a "
+               "single-wavelength electronic port.\n";
+
+  std::cout << "\nSpeaker churn (floor passes around):\n";
+  set_speaker(conferences[0], 2, 0);   // site 2 talks in engineering...
+  ok = verify("engineering floor -> site 2") && ok;
+  set_speaker(conferences[1], 5, 0);   // ...while site 5 talks to the board
+  ok = verify("board floor -> site 5") && ok;
+  set_speaker(conferences[0], 7, 1);
+  ok = verify("engineering floor -> site 7") && ok;
+
+  std::cout << "\nClosing the board call:\n";
+  sw.disconnect(active_speakers.at("board call"));
+  active_speakers.erase("board call");
+  ok = verify("board call closed") && ok;
+
+  std::cout << "\nactive connections at exit: " << sw.active_connections() << "\n"
+            << (ok ? "All conference states verified signal-by-signal.\n"
+                   : "VERIFICATION FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// Video-on-demand distribution over a theorem-sized three-stage WDM network.
+//
+// A head-end of video servers feeds neighborhood subscribers. Popular titles
+// are multicast to many subscribers at once; sessions start and stop
+// continuously. Because the middle stage is sized by Theorem 1, no session
+// ever blocks -- this example runs thousands of session events against a
+// 36-port network and reports utilization, fanout distribution, and the
+// (empty) blocking count.
+#include <iostream>
+#include <vector>
+
+#include "core/wdm.h"
+
+using namespace wdm;
+
+int main() {
+  // 36 ports = 6 x 6 Clos, 2 wavelengths, MSW network model (cheapest: VoD
+  // senders can transmit on the subscribers' wavelength).
+  const std::size_t n = 6, r = 6, k = 2;
+  print_banner(std::cout, "Video-on-demand over a 36-port three-stage WDM network");
+
+  MultistageSwitch sw = MultistageSwitch::nonblocking(
+      n, r, k, Construction::kMswDominant, MulticastModel::kMSW);
+  const ClosParams& params = sw.network().params();
+  std::cout << "\ngeometry " << params.to_string() << " -- middle stage sized by "
+            << "Theorem 1 (m=" << params.m
+            << ", routing spread x=" << sw.router().policy().max_spread << ")\n"
+            << "crosspoints: "
+            << multistage_cost(params, Construction::kMswDominant,
+                               MulticastModel::kMSW)
+                   .crosspoints
+            << " vs crossbar "
+            << crossbar_cost(params.port_count(), k, MulticastModel::kMSW).crosspoints
+            << "\n";
+
+  Rng rng(2026);
+  struct Session {
+    ConnectionId id;
+    std::size_t fanout;
+  };
+  std::vector<Session> sessions;
+  std::size_t started = 0, finished = 0, blocked = 0, endpoint_busy = 0;
+  std::size_t fanout_histogram[4] = {0, 0, 0, 0};  // 1, 2-4, 5-9, 10+
+  std::size_t peak = 0;
+
+  const std::size_t events = 8000;
+  for (std::size_t event = 0; event < events; ++event) {
+    const bool arrival = sessions.empty() || rng.next_bool(0.62);
+    if (arrival) {
+      // Popular titles have big fanouts; most sessions are small.
+      const std::size_t max_fanout = rng.next_bool(0.15) ? 18 : 4;
+      const auto request =
+          random_admissible_request(rng, sw.network(), {1, max_fanout});
+      if (!request) {
+        ++endpoint_busy;  // all servers busy at this load: arrival abandoned
+        continue;
+      }
+      if (const auto id = sw.try_connect(*request)) {
+        sessions.push_back({*id, request->fanout()});
+        ++started;
+        peak = std::max(peak, sessions.size());
+        const std::size_t fanout = request->fanout();
+        ++fanout_histogram[fanout == 1 ? 0 : fanout <= 4 ? 1 : fanout <= 9 ? 2 : 3];
+      } else {
+        ++blocked;  // would falsify Theorem 1
+      }
+    } else {
+      const std::size_t victim = rng.next_below(sessions.size());
+      sw.disconnect(sessions[victim].id);
+      sessions[victim] = sessions.back();
+      sessions.pop_back();
+      ++finished;
+    }
+    if (event % 1000 == 0) sw.network().self_check();
+  }
+
+  Table table({"metric", "value"});
+  table.add("session events", events);
+  table.add("sessions started", started);
+  table.add("sessions finished", finished);
+  table.add("arrivals abandoned (all endpoints busy)", endpoint_busy);
+  table.add("sessions BLOCKED mid-network", blocked);
+  table.add("peak concurrent sessions", peak);
+  table.add("unicast sessions", fanout_histogram[0]);
+  table.add("fanout 2-4", fanout_histogram[1]);
+  table.add("fanout 5-9", fanout_histogram[2]);
+  table.add("fanout 10+", fanout_histogram[3]);
+  std::cout << "\n";
+  table.print(std::cout);
+
+  std::cout << "\nEvery admissible session was routed (" << blocked
+            << " middle-stage blocks across " << started
+            << " admissions), as Theorem 1 guarantees.\n";
+  return blocked == 0 ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+#include "analysis/asymptotics.h"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace wdm {
+
+std::string AsymptoticFit::to_string() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << "N^" << poly_exponent << " * (logN/loglogN)^" << log_factor
+     << " (max rel err " << max_relative_error << ")";
+  return os.str();
+}
+
+AsymptoticFit fit_asymptotics(const std::vector<std::size_t>& sizes,
+                              const std::function<double(std::size_t)>& cost) {
+  if (sizes.size() < 3) {
+    throw std::invalid_argument("fit_asymptotics: need >= 3 sample sizes");
+  }
+  // Normal equations for least squares with basis
+  //   phi0 = log N, phi1 = log(log N / log log N), phi2 = 1.
+  std::array<std::array<double, 3>, 3> ata{};
+  std::array<double, 3> aty{};
+  std::vector<std::array<double, 3>> rows;
+  std::vector<double> targets;
+  for (const std::size_t N : sizes) {
+    if (N < 4) throw std::invalid_argument("fit_asymptotics: sizes must be >= 4");
+    const double y = cost(N);
+    if (y <= 0.0) throw std::invalid_argument("fit_asymptotics: cost must be > 0");
+    const double ln = std::log(static_cast<double>(N));
+    const std::array<double, 3> row = {ln, std::log(ln / std::log(ln)), 1.0};
+    const double target = std::log(y);
+    rows.push_back(row);
+    targets.push_back(target);
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) ata[i][j] += row[i] * row[j];
+      aty[i] += row[i] * target;
+    }
+  }
+
+  // Solve the 3x3 system by Gaussian elimination with partial pivoting.
+  std::array<std::array<double, 4>, 3> augmented{};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) augmented[i][j] = ata[i][j];
+    augmented[i][3] = aty[i];
+  }
+  for (int pivot = 0; pivot < 3; ++pivot) {
+    int best = pivot;
+    for (int row = pivot + 1; row < 3; ++row) {
+      if (std::abs(augmented[row][pivot]) > std::abs(augmented[best][pivot])) {
+        best = row;
+      }
+    }
+    std::swap(augmented[pivot], augmented[best]);
+    if (std::abs(augmented[pivot][pivot]) < 1e-12) {
+      throw std::invalid_argument("fit_asymptotics: degenerate sample ladder");
+    }
+    for (int row = 0; row < 3; ++row) {
+      if (row == pivot) continue;
+      const double factor = augmented[row][pivot] / augmented[pivot][pivot];
+      for (int col = pivot; col < 4; ++col) {
+        augmented[row][col] -= factor * augmented[pivot][col];
+      }
+    }
+  }
+
+  AsymptoticFit fit;
+  fit.poly_exponent = augmented[0][3] / augmented[0][0];
+  fit.log_factor = augmented[1][3] / augmented[1][1];
+  fit.log_constant = augmented[2][3] / augmented[2][2];
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double predicted = fit.poly_exponent * rows[i][0] +
+                             fit.log_factor * rows[i][1] + fit.log_constant;
+    const double relative =
+        std::abs(std::exp(predicted - targets[i]) - 1.0);
+    fit.max_relative_error = std::max(fit.max_relative_error, relative);
+  }
+  return fit;
+}
+
+AsymptoticFit fit_with_fixed_log_factor(
+    const std::vector<std::size_t>& sizes,
+    const std::function<double(std::size_t)>& cost, double log_factor) {
+  if (sizes.size() < 2) {
+    throw std::invalid_argument("fit_with_fixed_log_factor: need >= 2 samples");
+  }
+  // Ordinary least squares on log y - b*phi1 = a*log N + c.
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+  std::vector<double> xs, ys;
+  for (const std::size_t N : sizes) {
+    if (N < 4) {
+      throw std::invalid_argument("fit_with_fixed_log_factor: sizes >= 4");
+    }
+    const double y_raw = cost(N);
+    if (y_raw <= 0.0) {
+      throw std::invalid_argument("fit_with_fixed_log_factor: cost must be > 0");
+    }
+    const double ln = std::log(static_cast<double>(N));
+    const double x = ln;
+    const double y = std::log(y_raw) - log_factor * std::log(ln / std::log(ln));
+    xs.push_back(x);
+    ys.push_back(y);
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+  }
+  const double count = static_cast<double>(sizes.size());
+  const double denominator = count * sum_xx - sum_x * sum_x;
+  if (std::abs(denominator) < 1e-12) {
+    throw std::invalid_argument("fit_with_fixed_log_factor: degenerate ladder");
+  }
+  AsymptoticFit fit;
+  fit.log_factor = log_factor;
+  fit.poly_exponent = (count * sum_xy - sum_x * sum_y) / denominator;
+  fit.log_constant = (sum_y - fit.poly_exponent * sum_x) / count;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double predicted = fit.poly_exponent * xs[i] + fit.log_constant;
+    fit.max_relative_error = std::max(fit.max_relative_error,
+                                      std::abs(std::exp(predicted - ys[i]) - 1.0));
+  }
+  return fit;
+}
+
+double evaluate_fit(const AsymptoticFit& fit, std::size_t N) {
+  const double ln = std::log(static_cast<double>(N));
+  return std::exp(fit.poly_exponent * ln +
+                  fit.log_factor * std::log(ln / std::log(ln)) +
+                  fit.log_constant);
+}
+
+}  // namespace wdm

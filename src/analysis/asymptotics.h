@@ -1,0 +1,47 @@
+// Measuring asymptotic exponents (making Table 2's big-O claims testable).
+//
+// The paper states costs like O(k N^1.5 log N / log log N) without
+// constants. We fit measured counts y(N) to the three-parameter model
+//     log y = a * log N + b * log(log N / log log N) + c
+// by ordinary least squares over a geometric N-ladder, recovering the
+// polynomial exponent a and the log-factor weight b. The crossbar's k N^2
+// must fit with a ~ 2, b ~ 0; the theorem-sized three-stage network with
+// a ~ 1.5, b ~ 1 -- a quantitative reproduction of the asymptotic rows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace wdm {
+
+struct AsymptoticFit {
+  double poly_exponent = 0.0;   // a in N^a
+  double log_factor = 0.0;      // b in (log N / log log N)^b
+  double log_constant = 0.0;    // c (natural-log scale)
+  double max_relative_error = 0.0;  // of the fit over the sample points
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Least-squares fit of the sampled cost function over the given N values
+/// (all must be >= 4 so log log N > 0). Throws std::invalid_argument on
+/// fewer than 3 samples or non-positive costs.
+[[nodiscard]] AsymptoticFit fit_asymptotics(
+    const std::vector<std::size_t>& sizes,
+    const std::function<double(std::size_t)>& cost);
+
+/// Evaluate the fitted model at N.
+[[nodiscard]] double evaluate_fit(const AsymptoticFit& fit, std::size_t N);
+
+/// Constrained fit with the log-factor weight pinned (b = 0 tests the pure
+/// power hypothesis, b = 1 the paper's logN/loglogN correction). The free
+/// basis {log N, 1} is well-conditioned, so this is the right tool for
+/// hypothesis comparison on real (lumpy) cost curves where the full
+/// three-parameter basis is nearly collinear.
+[[nodiscard]] AsymptoticFit fit_with_fixed_log_factor(
+    const std::vector<std::size_t>& sizes,
+    const std::function<double(std::size_t)>& cost, double log_factor);
+
+}  // namespace wdm

@@ -1,0 +1,228 @@
+#include "capacity/capacity.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "combinatorics/combinatorics.h"
+#include "combinatorics/polynomial.h"
+
+namespace wdm {
+
+namespace {
+
+void check_parameters(std::size_t N, std::size_t k) {
+  if (N == 0 || k == 0) {
+    throw std::invalid_argument("multicast_capacity: N and k must be >= 1");
+  }
+}
+
+// f(z) = sum_{j=1..N} S(N, j) z^j: ways the N same-lane output wavelengths
+// form j multicast groups (Lemma 3, full case).
+Polynomial msdw_full_generator(std::size_t N, const StirlingTable& table) {
+  std::vector<BigUInt> coefficients(N + 1);
+  for (std::size_t j = 1; j <= N; ++j) coefficients[j] = table.get(N, j);
+  return Polynomial{std::move(coefficients)};
+}
+
+// g(z) = sum_{l=0..N} C(N, l) sum_{j} S(N-l, j) z^j: additionally choose l
+// of the lane's N output wavelengths to stay idle (Lemma 3, any case).
+// The l = N term contributes the constant 1 (S(0,0) z^0).
+Polynomial msdw_any_generator(std::size_t N, const StirlingTable& table) {
+  std::vector<BigUInt> coefficients(N + 1);
+  for (std::size_t l = 0; l <= N; ++l) {
+    const BigUInt choose_idle = binomial(N, l);
+    const std::size_t active = N - l;
+    for (std::size_t j = 1; j <= active; ++j) {
+      coefficients[j] += choose_idle * table.get(active, j);
+    }
+    if (active == 0) coefficients[0] += choose_idle;  // S(0,0) = 1: all idle
+  }
+  return Polynomial{std::move(coefficients)};
+}
+
+BigUInt msdw_capacity(std::size_t N, std::size_t k, AssignmentKind kind) {
+  const StirlingTable table(N);
+  const Polynomial per_lane = (kind == AssignmentKind::kFull)
+                                  ? msdw_full_generator(N, table)
+                                  : msdw_any_generator(N, table);
+  const Polynomial all_lanes = per_lane.pow(k);
+  // capacity = sum_t P(Nk, t) * [z^t] all_lanes
+  BigUInt total;
+  const std::size_t nk = N * k;
+  for (int t = 0; t <= all_lanes.degree(); ++t) {
+    const BigUInt& ways_to_group = all_lanes.coefficient(static_cast<std::size_t>(t));
+    if (ways_to_group.is_zero()) continue;
+    total += falling_factorial(nk, static_cast<std::uint64_t>(t)) * ways_to_group;
+  }
+  return total;
+}
+
+BigUInt maw_capacity(std::size_t N, std::size_t k, AssignmentKind kind) {
+  const std::size_t nk = N * k;
+  if (kind == AssignmentKind::kFull) {
+    return falling_factorial(nk, k).pow(N);
+  }
+  BigUInt per_port;
+  for (std::size_t j = 0; j <= k; ++j) {
+    per_port += falling_factorial(nk, k - j) * binomial(k, j);
+  }
+  return per_port.pow(N);
+}
+
+// ---------------------------------------------------------------------------
+// log10 versions. MSDW needs a log-space polynomial (log-sum-exp addition).
+
+class LogPolynomial {
+ public:
+  explicit LogPolynomial(std::vector<double> log_coefficients)
+      : log_coefficients_(std::move(log_coefficients)) {}
+
+  [[nodiscard]] std::size_t size() const { return log_coefficients_.size(); }
+  [[nodiscard]] double log_coefficient(std::size_t power) const {
+    return log_coefficients_[power];
+  }
+
+  [[nodiscard]] LogPolynomial multiply(const LogPolynomial& rhs) const {
+    std::vector<double> out(size() + rhs.size() - 1,
+                            -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (std::isinf(log_coefficients_[i])) continue;
+      for (std::size_t j = 0; j < rhs.size(); ++j) {
+        if (std::isinf(rhs.log_coefficients_[j])) continue;
+        out[i + j] = log_add(out[i + j], log_coefficients_[i] + rhs.log_coefficients_[j]);
+      }
+    }
+    return LogPolynomial{std::move(out)};
+  }
+
+  [[nodiscard]] LogPolynomial pow(std::size_t exponent) const {
+    LogPolynomial result{{0.0}};  // log10(1)
+    LogPolynomial base = *this;
+    while (exponent != 0) {
+      if (exponent & 1) result = result.multiply(base);
+      exponent >>= 1;
+      if (exponent != 0) base = base.multiply(base);
+    }
+    return result;
+  }
+
+  /// log10(a + b) given log10 a and log10 b.
+  static double log_add(double log_a, double log_b) {
+    if (std::isinf(log_a)) return log_b;
+    if (std::isinf(log_b)) return log_a;
+    if (log_a < log_b) std::swap(log_a, log_b);
+    return log_a + std::log10(1.0 + std::pow(10.0, log_b - log_a));
+  }
+
+ private:
+  std::vector<double> log_coefficients_;
+};
+
+// log10 of Stirling S(n, j) for all j, by running the recurrence in
+// log space (values overflow double for n in the hundreds).
+std::vector<std::vector<double>> log10_stirling_rows(std::size_t n_max) {
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> rows(n_max + 1);
+  rows[0] = {0.0};
+  for (std::size_t n = 1; n <= n_max; ++n) {
+    rows[n].assign(n + 1, neg_inf);
+    for (std::size_t j = 1; j <= n; ++j) {
+      double value = (j <= n - 1)
+                         ? std::log10(static_cast<double>(j)) + rows[n - 1][j]
+                         : neg_inf;
+      value = LogPolynomial::log_add(value, rows[n - 1][j - 1]);
+      rows[n][j] = value;
+    }
+  }
+  return rows;
+}
+
+double log10_msdw_capacity(std::size_t N, std::size_t k, AssignmentKind kind) {
+  const auto stirling = log10_stirling_rows(N);
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  std::vector<double> per_lane(N + 1, neg_inf);
+  if (kind == AssignmentKind::kFull) {
+    for (std::size_t j = 1; j <= N; ++j) per_lane[j] = stirling[N][j];
+  } else {
+    for (std::size_t l = 0; l <= N; ++l) {
+      const double log_choose =
+          log10_binomial(static_cast<double>(N), static_cast<double>(l));
+      const std::size_t active = N - l;
+      if (active == 0) {
+        per_lane[0] = LogPolynomial::log_add(per_lane[0], log_choose);
+        continue;
+      }
+      for (std::size_t j = 1; j <= active; ++j) {
+        per_lane[j] =
+            LogPolynomial::log_add(per_lane[j], log_choose + stirling[active][j]);
+      }
+    }
+  }
+  const LogPolynomial all_lanes = LogPolynomial{std::move(per_lane)}.pow(k);
+  const double nk = static_cast<double>(N * k);
+  double total = neg_inf;
+  for (std::size_t t = 0; t < all_lanes.size(); ++t) {
+    const double coefficient = all_lanes.log_coefficient(t);
+    if (std::isinf(coefficient)) continue;
+    total = LogPolynomial::log_add(
+        total, coefficient + log10_falling_factorial(nk, static_cast<double>(t)));
+  }
+  return total;
+}
+
+}  // namespace
+
+BigUInt multicast_capacity(std::size_t N, std::size_t k, MulticastModel model,
+                           AssignmentKind kind) {
+  check_parameters(N, k);
+  const std::uint64_t nk = static_cast<std::uint64_t>(N) * k;
+  switch (model) {
+    case MulticastModel::kMSW:
+      return (kind == AssignmentKind::kFull) ? ipow(N, nk) : ipow(N + 1, nk);
+    case MulticastModel::kMSDW:
+      return msdw_capacity(N, k, kind);
+    case MulticastModel::kMAW:
+      return maw_capacity(N, k, kind);
+  }
+  throw std::logic_error("multicast_capacity: unknown model");
+}
+
+double log10_multicast_capacity(std::size_t N, std::size_t k, MulticastModel model,
+                                AssignmentKind kind) {
+  check_parameters(N, k);
+  const double nk = static_cast<double>(N) * static_cast<double>(k);
+  switch (model) {
+    case MulticastModel::kMSW:
+      return nk * std::log10(static_cast<double>(kind == AssignmentKind::kFull
+                                                      ? N
+                                                      : N + 1));
+    case MulticastModel::kMSDW:
+      return log10_msdw_capacity(N, k, kind);
+    case MulticastModel::kMAW: {
+      if (kind == AssignmentKind::kFull) {
+        return static_cast<double>(N) *
+               log10_falling_factorial(nk, static_cast<double>(k));
+      }
+      double per_port = -std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j <= k; ++j) {
+        per_port = LogPolynomial::log_add(
+            per_port,
+            log10_falling_factorial(nk, static_cast<double>(k - j)) +
+                log10_binomial(static_cast<double>(k), static_cast<double>(j)));
+      }
+      return static_cast<double>(N) * per_port;
+    }
+  }
+  throw std::logic_error("log10_multicast_capacity: unknown model");
+}
+
+BigUInt electronic_equivalent_capacity(std::size_t N, std::size_t k,
+                                       AssignmentKind kind) {
+  check_parameters(N, k);
+  const std::uint64_t nk = static_cast<std::uint64_t>(N) * k;
+  return (kind == AssignmentKind::kFull) ? ipow(nk, nk) : ipow(nk + 1, nk);
+}
+
+}  // namespace wdm

@@ -1,0 +1,47 @@
+// Multicast capacity of an N x N k-wavelength WDM network (Lemmas 1-3).
+//
+// The multicast capacity under a model is the number of distinct multicast
+// assignments the network can realize:
+//   Lemma 1 (MSW):  N^(Nk) full,  (N+1)^(Nk) any.
+//   Lemma 2 (MAW):  [P(Nk,k)]^N full,
+//                   [sum_{j=0..k} P(Nk, k-j) C(k,j)]^N any.
+//   Lemma 3 (MSDW): Stirling-number sums; evaluated here through the
+//                   generating polynomial f(z) = sum_j S(N,j) z^j (full) or
+//                   g(z) = sum_l C(N,l) sum_j S(N-l,j) z^j (any), as
+//                   capacity = sum_t P(Nk,t) * [z^t] (f or g)(z)^k,
+//                   which collapses the paper's N^k-term sum to a
+//                   polynomial power.
+// Exact values use BigUInt; log10 variants (lgamma/log-sum-exp based) cover
+// parameter ranges where exact evaluation is unnecessarily slow.
+#pragma once
+
+#include <cstddef>
+
+#include "capacity/models.h"
+#include "util/biguint.h"
+
+namespace wdm {
+
+enum class AssignmentKind { kFull, kAny };
+
+[[nodiscard]] inline const char* assignment_kind_name(AssignmentKind kind) {
+  return kind == AssignmentKind::kFull ? "full" : "any";
+}
+
+/// Exact multicast capacity (Lemmas 1-3). Requires N >= 1, k >= 1.
+[[nodiscard]] BigUInt multicast_capacity(std::size_t N, std::size_t k,
+                                         MulticastModel model, AssignmentKind kind);
+
+/// log10 of the capacity, computed without big integers; matches the exact
+/// value to ~1e-9 relative error. Suitable for N into the thousands.
+[[nodiscard]] double log10_multicast_capacity(std::size_t N, std::size_t k,
+                                              MulticastModel model,
+                                              AssignmentKind kind);
+
+/// Capacity of the Nk x Nk *electronic* multicast network the paper compares
+/// against in §2.2 ((Nk)^(Nk) full, (Nk+1)^(Nk) any): the upper envelope no
+/// WDM model reaches for k > 1.
+[[nodiscard]] BigUInt electronic_equivalent_capacity(std::size_t N, std::size_t k,
+                                                     AssignmentKind kind);
+
+}  // namespace wdm

@@ -1,0 +1,67 @@
+#include "capacity/cost.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "capacity/capacity.h"
+
+namespace wdm {
+
+std::string CrossbarCost::to_string() const {
+  std::ostringstream os;
+  os << "crosspoints=" << crosspoints << " converters=" << converters
+     << " splitters=" << splitters << " combiners=" << combiners
+     << " muxes=" << muxes << " demuxes=" << demuxes;
+  return os.str();
+}
+
+CrossbarCost crossbar_cost(std::size_t N, std::size_t k, MulticastModel model) {
+  if (N == 0 || k == 0) throw std::invalid_argument("crossbar_cost: N, k >= 1");
+  const std::uint64_t n = N;
+  const std::uint64_t lanes = k;
+  const std::uint64_t nk = n * lanes;
+  CrossbarCost cost;
+  // Fig. 1's port model, both ends of both fibers: each input node muxes its
+  // k transmitters onto the input fiber and the network demuxes it; the
+  // network muxes each output fiber and the output node demuxes it to its k
+  // receivers. Hence 2N muxes and 2N demuxes for every fabric variant.
+  cost.muxes = 2 * n;
+  cost.demuxes = 2 * n;
+  switch (model) {
+    case MulticastModel::kMSW:
+      // k parallel 1-lane N x N splitter/combiner crossbars (Figs. 4, 5).
+      cost.crosspoints = lanes * n * n;
+      cost.converters = 0;
+      cost.splitters = lanes * n;  // per plane: one 1->N splitter per input
+      cost.combiners = lanes * n;  // per plane: one N->1 combiner per output
+      break;
+    case MulticastModel::kMSDW:
+      // Nk x Nk crossbar; converter per *input* wavelength (Figs. 3a, 6).
+      cost.crosspoints = nk * nk;
+      cost.converters = nk;
+      cost.splitters = nk;  // one 1->Nk splitter per input wavelength
+      cost.combiners = nk;  // one Nk->1 combiner per output wavelength
+      break;
+    case MulticastModel::kMAW:
+      // Nk x Nk crossbar; converter per *output* wavelength (Figs. 3b, 7).
+      cost.crosspoints = nk * nk;
+      cost.converters = nk;
+      cost.splitters = nk;
+      cost.combiners = nk;
+      break;
+  }
+  return cost;
+}
+
+std::uint64_t electronic_equivalent_crosspoints(std::size_t N, std::size_t k) {
+  const std::uint64_t nk = static_cast<std::uint64_t>(N) * k;
+  return nk * nk;
+}
+
+double capacity_per_crosspoint(std::size_t N, std::size_t k,
+                               MulticastModel model) {
+  return log10_multicast_capacity(N, k, model, AssignmentKind::kAny) /
+         static_cast<double>(crossbar_cost(N, k, model).crosspoints);
+}
+
+}  // namespace wdm

@@ -1,0 +1,123 @@
+#include "capacity/enumerate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wdm {
+
+bool assignment_legal(const AssignmentMap& map, std::size_t N, std::size_t k,
+                      MulticastModel model) {
+  const std::size_t nk = N * k;
+  if (map.size() != nk) {
+    throw std::invalid_argument("assignment_legal: map size must be N*k");
+  }
+  // Gather the outputs of each source (the multicast connections).
+  std::vector<std::vector<std::size_t>> groups(nk);
+  for (std::size_t out = 0; out < nk; ++out) {
+    const std::int32_t src = map[out];
+    if (src == kUnconnected) continue;
+    if (src < 0 || static_cast<std::size_t>(src) >= nk) return false;
+    groups[static_cast<std::size_t>(src)].push_back(out);
+  }
+
+  for (std::size_t src = 0; src < nk; ++src) {
+    const auto& outs = groups[src];
+    if (outs.empty()) continue;
+    const std::size_t src_lane = src % k;
+
+    // At most one destination per output port within one connection.
+    std::vector<bool> port_used(N, false);
+    const std::size_t first_lane = outs.front() % k;
+    for (const std::size_t out : outs) {
+      const std::size_t port = out / k;
+      const std::size_t lane = out % k;
+      if (port_used[port]) return false;
+      port_used[port] = true;
+      switch (model) {
+        case MulticastModel::kMSW:
+          if (lane != src_lane) return false;
+          break;
+        case MulticastModel::kMSDW:
+          if (lane != first_lane) return false;
+          break;
+        case MulticastModel::kMAW:
+          break;
+      }
+    }
+  }
+  return true;
+}
+
+void for_each_assignment(std::size_t N, std::size_t k, MulticastModel model,
+                         AssignmentKind kind,
+                         const std::function<bool(const AssignmentMap&)>& visit,
+                         std::uint64_t max_candidates) {
+  const std::size_t nk = N * k;
+  const std::uint64_t choices =
+      static_cast<std::uint64_t>(nk) + (kind == AssignmentKind::kAny ? 1 : 0);
+  // Candidate count = choices^(nk); reject absurd sizes up front.
+  const double candidates = std::pow(static_cast<double>(choices),
+                                     static_cast<double>(nk));
+  if (candidates > static_cast<double>(max_candidates)) {
+    throw std::invalid_argument("for_each_assignment: candidate space too large");
+  }
+
+  AssignmentMap map(nk, kind == AssignmentKind::kAny ? kUnconnected : 0);
+  const std::int32_t first_choice = kind == AssignmentKind::kAny ? kUnconnected : 0;
+  const auto last_choice = static_cast<std::int32_t>(nk - 1);
+
+  for (;;) {
+    if (assignment_legal(map, N, k, model)) {
+      if (!visit(map)) return;
+    }
+    // Odometer increment.
+    std::size_t position = 0;
+    while (position < nk) {
+      if (map[position] < last_choice) {
+        ++map[position];
+        break;
+      }
+      map[position] = first_choice;
+      ++position;
+    }
+    if (position == nk) break;
+  }
+}
+
+std::uint64_t count_assignments_bruteforce(std::size_t N, std::size_t k,
+                                           MulticastModel model,
+                                           AssignmentKind kind,
+                                           std::uint64_t max_candidates) {
+  std::uint64_t legal = 0;
+  for_each_assignment(
+      N, k, model, kind,
+      [&legal](const AssignmentMap&) {
+        ++legal;
+        return true;
+      },
+      max_candidates);
+  return legal;
+}
+
+std::vector<MulticastRequest> requests_from_assignment(const AssignmentMap& map,
+                                                       std::size_t N,
+                                                       std::size_t k) {
+  const std::size_t nk = N * k;
+  if (map.size() != nk) {
+    throw std::invalid_argument("requests_from_assignment: map size must be N*k");
+  }
+  std::vector<MulticastRequest> requests(nk);
+  for (std::size_t out = 0; out < nk; ++out) {
+    const std::int32_t src = map[out];
+    if (src == kUnconnected) continue;
+    auto& request = requests.at(static_cast<std::size_t>(src));
+    request.input = {static_cast<std::size_t>(src) / k,
+                     static_cast<Wavelength>(static_cast<std::size_t>(src) % k)};
+    request.outputs.push_back({out / k, static_cast<Wavelength>(out % k)});
+  }
+  std::erase_if(requests,
+                [](const MulticastRequest& request) { return request.outputs.empty(); });
+  return requests;
+}
+
+}  // namespace wdm

@@ -1,0 +1,57 @@
+// Brute-force multicast-assignment enumeration for small networks.
+//
+// This is the ground truth the capacity formulas (Lemmas 1-3) are validated
+// against: it counts assignments straight from the *definitions* in §2.1 --
+// each output wavelength picks an input wavelength (or none), connections
+// are the groups of outputs sharing a source, and the model rules are
+// checked per group. Exponential in Nk, so restricted to toy sizes; that is
+// exactly its purpose.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "capacity/capacity.h"
+#include "capacity/models.h"
+#include "core/connection.h"
+
+namespace wdm {
+
+/// An assignment maps each output wavelength (index = port*k + lane) to an
+/// input wavelength index in [0, Nk) or kUnconnected.
+inline constexpr std::int32_t kUnconnected = -1;
+using AssignmentMap = std::vector<std::int32_t>;
+
+/// Check the §2.1 rules for `map` under `model`:
+///  * the outputs sharing one source form a single multicast connection;
+///  * within a connection, at most one output per output port;
+///  * MSW: every endpoint lane equals the source lane;
+///  * MSDW: all destination lanes equal (source lane free);
+///  * MAW: no lane restriction.
+[[nodiscard]] bool assignment_legal(const AssignmentMap& map, std::size_t N,
+                                    std::size_t k, MulticastModel model);
+
+/// Count legal assignments by exhaustive enumeration. kFull forbids
+/// kUnconnected. Throws std::invalid_argument if the candidate space
+/// exceeds `max_candidates` (guards against accidental explosion).
+[[nodiscard]] std::uint64_t count_assignments_bruteforce(
+    std::size_t N, std::size_t k, MulticastModel model, AssignmentKind kind,
+    std::uint64_t max_candidates = 20'000'000);
+
+/// Visit every legal assignment (the same enumeration as the counter, but
+/// with a callback). The callback receives the assignment map; return false
+/// from it to stop early.
+void for_each_assignment(std::size_t N, std::size_t k, MulticastModel model,
+                         AssignmentKind kind,
+                         const std::function<bool(const AssignmentMap&)>& visit,
+                         std::uint64_t max_candidates = 20'000'000);
+
+/// Decompose an assignment map into its multicast connections: one request
+/// per input wavelength with a non-empty destination group. The map is
+/// assumed legal (assignment_legal) -- the §2.1 rules guarantee the result
+/// is a valid set of simultaneous requests.
+[[nodiscard]] std::vector<MulticastRequest> requests_from_assignment(
+    const AssignmentMap& map, std::size_t N, std::size_t k);
+
+}  // namespace wdm

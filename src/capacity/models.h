@@ -1,0 +1,44 @@
+// The three WDM multicast models of §2.1.
+//
+//   MSW  - Multicast with Same Wavelength: source and every destination of a
+//          connection use the same lane. No converters needed.
+//   MSDW - Multicast with Same Destination Wavelength: all destinations share
+//          one lane; the source lane may differ (one converter per
+//          connection, at the input side).
+//   MAW  - Multicast with Any Wavelength: every endpoint may use any lane
+//          (one converter per destination, at the output side).
+// Strictness: every MSW-legal connection is MSDW-legal, and every MSDW-legal
+// connection is MAW-legal (MSW < MSDW < MAW).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace wdm {
+
+enum class MulticastModel : int { kMSW = 0, kMSDW = 1, kMAW = 2 };
+
+inline constexpr std::array<MulticastModel, 3> kAllModels = {
+    MulticastModel::kMSW, MulticastModel::kMSDW, MulticastModel::kMAW};
+
+[[nodiscard]] inline const char* model_name(MulticastModel model) {
+  switch (model) {
+    case MulticastModel::kMSW: return "MSW";
+    case MulticastModel::kMSDW: return "MSDW";
+    case MulticastModel::kMAW: return "MAW";
+  }
+  return "?";
+}
+
+/// True iff every connection legal under `weaker` is legal under `stronger`.
+[[nodiscard]] inline bool model_at_least(MulticastModel stronger,
+                                         MulticastModel weaker) {
+  return static_cast<int>(stronger) >= static_cast<int>(weaker);
+}
+
+/// Whether a fabric under this model needs wavelength converters.
+[[nodiscard]] inline bool model_needs_converters(MulticastModel model) {
+  return model != MulticastModel::kMSW;
+}
+
+}  // namespace wdm

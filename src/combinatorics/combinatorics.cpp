@@ -1,0 +1,76 @@
+#include "combinatorics/combinatorics.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wdm {
+
+BigUInt falling_factorial(std::uint64_t x, std::uint64_t i) {
+  if (i > x) return BigUInt{0};
+  BigUInt result{1};
+  for (std::uint64_t step = 0; step < i; ++step) {
+    result *= BigUInt{x - step};
+  }
+  return result;
+}
+
+BigUInt binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return BigUInt{0};
+  if (k > n - k) k = n - k;
+  // Multiply ascending and divide immediately so every intermediate value is
+  // itself a binomial coefficient (hence the division is exact).
+  BigUInt result{1};
+  for (std::uint64_t step = 1; step <= k; ++step) {
+    result *= BigUInt{n - k + step};
+    result /= BigUInt{step};
+  }
+  return result;
+}
+
+BigUInt factorial(std::uint64_t n) { return falling_factorial(n, n); }
+
+BigUInt ipow(std::uint64_t base, std::uint64_t exp) {
+  return BigUInt{base}.pow(exp);
+}
+
+StirlingTable::StirlingTable(std::size_t n_max) {
+  rows_.resize(n_max + 1);
+  rows_[0] = {BigUInt{1}};  // S(0, 0) = 1
+  for (std::size_t n = 1; n <= n_max; ++n) {
+    rows_[n].resize(n + 1);
+    rows_[n][0] = BigUInt{0};
+    for (std::size_t j = 1; j <= n; ++j) {
+      // S(n, j) = j * S(n-1, j) + S(n-1, j-1)
+      BigUInt value = rows_[n - 1][j - 1];
+      if (j <= n - 1) value += BigUInt{j} * rows_[n - 1][j];
+      rows_[n][j] = std::move(value);
+    }
+  }
+}
+
+const BigUInt& StirlingTable::get(std::size_t n, std::size_t j) const {
+  if (n >= rows_.size()) throw std::out_of_range("StirlingTable: n exceeds n_max");
+  if (j > n) return zero_;
+  return rows_[n][j];
+}
+
+BigUInt stirling2(std::size_t n, std::size_t j) {
+  if (j > n) return BigUInt{0};
+  StirlingTable table(n);
+  return table.get(n, j);
+}
+
+double log10_falling_factorial(double x, double i) {
+  if (i > x) return -std::numeric_limits<double>::infinity();
+  if (i == 0) return 0.0;
+  return (std::lgamma(x + 1) - std::lgamma(x - i + 1)) / std::log(10.0);
+}
+
+double log10_binomial(double n, double k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return (std::lgamma(n + 1) - std::lgamma(k + 1) - std::lgamma(n - k + 1)) /
+         std::log(10.0);
+}
+
+}  // namespace wdm

@@ -1,0 +1,60 @@
+// Exact combinatorics used by the capacity lemmas (Lemmas 1-3).
+//
+// The paper's formulas are built from three primitives:
+//   P(x, i)  - the falling factorial x(x-1)...(x-i+1)  (permutations),
+//   C(n, k)  - binomial coefficients,
+//   S(n, j)  - Stirling numbers of the second kind (ways to partition n
+//              labelled items into j non-empty groups).
+// All are computed exactly over BigUInt; double-precision log variants are
+// provided for parameter ranges where only magnitudes are needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/biguint.h"
+
+namespace wdm {
+
+/// Falling factorial P(x, i) = x (x-1) ... (x-i+1). P(x, 0) == 1.
+/// Returns 0 when i > x (the paper's convention: no way to choose).
+[[nodiscard]] BigUInt falling_factorial(std::uint64_t x, std::uint64_t i);
+
+/// Binomial coefficient C(n, k); 0 when k > n.
+[[nodiscard]] BigUInt binomial(std::uint64_t n, std::uint64_t k);
+
+/// n! as BigUInt.
+[[nodiscard]] BigUInt factorial(std::uint64_t n);
+
+/// Integer power base**exp as BigUInt.
+[[nodiscard]] BigUInt ipow(std::uint64_t base, std::uint64_t exp);
+
+/// Stirling numbers of the second kind.
+///
+/// StirlingTable(n_max) precomputes S(n, j) for all 0 <= j <= n <= n_max via
+/// the recurrence S(n, j) = j*S(n-1, j) + S(n-1, j-1); lookups are O(1).
+class StirlingTable {
+ public:
+  explicit StirlingTable(std::size_t n_max);
+
+  [[nodiscard]] std::size_t n_max() const { return rows_.size() - 1; }
+
+  /// S(n, j). Throws std::out_of_range if n > n_max. S(0,0)=1; S(n,0)=0 for
+  /// n>0; S(n,j)=0 for j>n.
+  [[nodiscard]] const BigUInt& get(std::size_t n, std::size_t j) const;
+
+ private:
+  std::vector<std::vector<BigUInt>> rows_;  // rows_[n][j], j in [0, n]
+  BigUInt zero_;
+};
+
+/// Convenience one-shot S(n, j).
+[[nodiscard]] BigUInt stirling2(std::size_t n, std::size_t j);
+
+/// log10 of the falling factorial, stable for large x (uses lgamma).
+[[nodiscard]] double log10_falling_factorial(double x, double i);
+
+/// log10 of C(n, k).
+[[nodiscard]] double log10_binomial(double n, double k);
+
+}  // namespace wdm

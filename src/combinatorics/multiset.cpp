@@ -1,0 +1,86 @@
+#include "combinatorics/multiset.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace wdm {
+
+DestinationMultiset::DestinationMultiset(std::size_t universe,
+                                         std::uint32_t max_multiplicity)
+    : counts_(universe, 0), cap_(max_multiplicity) {
+  if (max_multiplicity == 0) {
+    throw std::invalid_argument("DestinationMultiset: multiplicity cap must be >= 1");
+  }
+}
+
+std::uint32_t DestinationMultiset::multiplicity(std::size_t p) const {
+  return counts_.at(p);
+}
+
+void DestinationMultiset::add(std::size_t p) {
+  std::uint32_t& count = counts_.at(p);
+  if (count >= cap_) {
+    throw std::logic_error("DestinationMultiset::add: element already saturated");
+  }
+  ++count;
+  ++total_;
+  if (count == cap_) ++saturated_;
+}
+
+void DestinationMultiset::remove(std::size_t p) {
+  std::uint32_t& count = counts_.at(p);
+  if (count == 0) {
+    throw std::logic_error("DestinationMultiset::remove: element not present");
+  }
+  if (count == cap_) --saturated_;
+  --count;
+  --total_;
+}
+
+bool DestinationMultiset::can_serve(std::size_t p) const {
+  return counts_.at(p) < cap_;
+}
+
+std::size_t DestinationMultiset::saturated_count() const { return saturated_; }
+
+DestinationMultiset DestinationMultiset::intersect(
+    const DestinationMultiset& other) const {
+  if (other.counts_.size() != counts_.size() || other.cap_ != cap_) {
+    throw std::invalid_argument(
+        "DestinationMultiset::intersect: mismatched universe or cap");
+  }
+  DestinationMultiset result(counts_.size(), cap_);
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    const std::uint32_t m = std::min(counts_[p], other.counts_[p]);
+    result.counts_[p] = m;
+    result.total_ += m;
+    if (m == cap_) ++result.saturated_;
+  }
+  return result;
+}
+
+std::vector<std::size_t> DestinationMultiset::saturated_elements() const {
+  std::vector<std::size_t> elements;
+  elements.reserve(saturated_);
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    if (counts_[p] == cap_) elements.push_back(p);
+  }
+  return elements;
+}
+
+std::string DestinationMultiset::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    if (counts_[p] == 0) continue;
+    if (!first) os << ", ";
+    os << p << '^' << counts_[p];
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace wdm

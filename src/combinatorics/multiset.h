@@ -1,0 +1,74 @@
+// Destination multisets with bounded multiplicity (paper §3.3, eqs. 2-5).
+//
+// In a three-stage network, the traffic a middle-stage switch j currently
+// carries is summarized by which output-stage switches it reaches. With k
+// wavelengths per link, switch j can route up to k connections to the same
+// output switch p, so the summary is a *multiset* M_j over {0..r-1} with
+// multiplicities in [0, k]:
+//     M_j = { 0^{i_0}, 1^{i_1}, ..., (r-1)^{i_{r-1}} },  0 <= i_p <= k.  (2)
+// The paper defines, for the purpose of admitting one more connection:
+//   * intersection: element-wise minimum of multiplicities            (3)
+//   * cardinality |M|: the number of elements whose multiplicity is
+//     exactly k -- i.e. the number of *saturated* output switches      (4)
+//   * null: M == null iff |M| == 0                                    (5)
+// An output switch p is usable through j iff its multiplicity is < k; the
+// electronic (k = 1) case degenerates to ordinary destination sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wdm {
+
+class DestinationMultiset {
+ public:
+  /// Empty multiset over `universe` output switches with multiplicity cap
+  /// `max_multiplicity` (the per-link wavelength count k; >= 1).
+  DestinationMultiset(std::size_t universe, std::uint32_t max_multiplicity);
+
+  [[nodiscard]] std::size_t universe() const { return counts_.size(); }
+  [[nodiscard]] std::uint32_t max_multiplicity() const { return cap_; }
+
+  /// Current multiplicity of element p.
+  [[nodiscard]] std::uint32_t multiplicity(std::size_t p) const;
+
+  /// Add one occurrence of p. Throws std::logic_error if p is saturated.
+  void add(std::size_t p);
+
+  /// Remove one occurrence of p. Throws std::logic_error if absent.
+  void remove(std::size_t p);
+
+  /// True iff p can absorb one more occurrence (multiplicity < k).
+  [[nodiscard]] bool can_serve(std::size_t p) const;
+
+  /// Paper eq. (4): the number of saturated elements (multiplicity == k).
+  [[nodiscard]] std::size_t saturated_count() const;
+
+  /// Paper eq. (5): null iff no element is saturated.
+  [[nodiscard]] bool is_null() const { return saturated_ == 0; }
+
+  /// Total number of occurrences (sum of multiplicities) -- the number of
+  /// connections currently transiting this middle switch.
+  [[nodiscard]] std::size_t total_occurrences() const { return total_; }
+
+  /// Paper eq. (3): element-wise minimum. Both operands must share universe
+  /// and cap.
+  [[nodiscard]] DestinationMultiset intersect(const DestinationMultiset& other) const;
+
+  /// The set of saturated elements, ascending.
+  [[nodiscard]] std::vector<std::size_t> saturated_elements() const;
+
+  /// Debug rendering, e.g. "{0^2, 3^1}".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const DestinationMultiset&, const DestinationMultiset&) = default;
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::uint32_t cap_;
+  std::size_t saturated_ = 0;  // cached eq. (4)
+  std::size_t total_ = 0;
+};
+
+}  // namespace wdm

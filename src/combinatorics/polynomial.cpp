@@ -1,0 +1,90 @@
+#include "combinatorics/polynomial.h"
+
+namespace wdm {
+
+const BigUInt Polynomial::kZero{};
+
+Polynomial::Polynomial(std::vector<BigUInt> coefficients)
+    : coefficients_(std::move(coefficients)) {
+  trim();
+}
+
+void Polynomial::trim() {
+  while (!coefficients_.empty() && coefficients_.back().is_zero()) {
+    coefficients_.pop_back();
+  }
+}
+
+const BigUInt& Polynomial::coefficient(std::size_t power) const {
+  if (power >= coefficients_.size()) return kZero;
+  return coefficients_[power];
+}
+
+void Polynomial::set_coefficient(std::size_t power, BigUInt value) {
+  if (power >= coefficients_.size()) {
+    if (value.is_zero()) return;
+    coefficients_.resize(power + 1);
+  }
+  coefficients_[power] = std::move(value);
+  trim();
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& rhs) {
+  if (coefficients_.size() < rhs.coefficients_.size()) {
+    coefficients_.resize(rhs.coefficients_.size());
+  }
+  for (std::size_t i = 0; i < rhs.coefficients_.size(); ++i) {
+    coefficients_[i] += rhs.coefficients_[i];
+  }
+  trim();
+  return *this;
+}
+
+Polynomial operator*(const Polynomial& lhs, const Polynomial& rhs) {
+  if (lhs.is_zero() || rhs.is_zero()) return {};
+  Polynomial result;
+  result.coefficients_.assign(
+      lhs.coefficients_.size() + rhs.coefficients_.size() - 1, BigUInt{});
+  for (std::size_t i = 0; i < lhs.coefficients_.size(); ++i) {
+    if (lhs.coefficients_[i].is_zero()) continue;
+    for (std::size_t j = 0; j < rhs.coefficients_.size(); ++j) {
+      if (rhs.coefficients_[j].is_zero()) continue;
+      result.coefficients_[i + j] += lhs.coefficients_[i] * rhs.coefficients_[j];
+    }
+  }
+  result.trim();
+  return result;
+}
+
+Polynomial& Polynomial::operator*=(const Polynomial& rhs) {
+  *this = *this * rhs;
+  return *this;
+}
+
+Polynomial Polynomial::pow(std::uint64_t exponent) const {
+  Polynomial result(std::vector<BigUInt>{BigUInt{1}});
+  Polynomial base = *this;
+  while (exponent != 0) {
+    if (exponent & 1) result *= base;
+    exponent >>= 1;
+    if (exponent != 0) base *= base;
+  }
+  return result;
+}
+
+BigUInt Polynomial::evaluate(const BigUInt& point) const {
+  BigUInt result;
+  for (std::size_t i = coefficients_.size(); i-- > 0;) {
+    result *= point;
+    result += coefficients_[i];
+  }
+  return result;
+}
+
+BigUInt Polynomial::coefficient_sum() const {
+  BigUInt total;
+  for (const auto& coefficient : coefficients_) total += coefficient;
+  return total;
+}
+
+}  // namespace wdm

@@ -1,0 +1,57 @@
+// Dense univariate polynomials over BigUInt coefficients.
+//
+// Used to evaluate the MSDW capacity of Lemma 3 without enumerating the
+// N^k-term sum: the per-wavelength choices factor into a generating
+// polynomial f(z) (coefficient of z^j = number of ways one wavelength class
+// contributes j multicast connections), so the capacity is
+//     sum_t P(Nk, t) * [z^t] f(z)^k,
+// and f(z)^k is ordinary polynomial exponentiation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/biguint.h"
+
+namespace wdm {
+
+class Polynomial {
+ public:
+  /// Zero polynomial.
+  Polynomial() = default;
+  /// From coefficients, index = degree. Trailing zeros are trimmed.
+  explicit Polynomial(std::vector<BigUInt> coefficients);
+
+  [[nodiscard]] bool is_zero() const { return coefficients_.empty(); }
+  /// Degree of the polynomial; -1 for the zero polynomial.
+  [[nodiscard]] int degree() const { return static_cast<int>(coefficients_.size()) - 1; }
+
+  /// Coefficient of z^power (0 beyond the degree).
+  [[nodiscard]] const BigUInt& coefficient(std::size_t power) const;
+
+  /// Set the coefficient of z^power, extending with zeros if needed.
+  void set_coefficient(std::size_t power, BigUInt value);
+
+  Polynomial& operator+=(const Polynomial& rhs);
+  friend Polynomial operator+(Polynomial lhs, const Polynomial& rhs) { return lhs += rhs; }
+  friend Polynomial operator*(const Polynomial& lhs, const Polynomial& rhs);
+  Polynomial& operator*=(const Polynomial& rhs);
+
+  /// this**exponent via repeated squaring (pow(0) == 1).
+  [[nodiscard]] Polynomial pow(std::uint64_t exponent) const;
+
+  /// Evaluate at a BigUInt point (Horner).
+  [[nodiscard]] BigUInt evaluate(const BigUInt& point) const;
+
+  /// Sum of all coefficients (== evaluate(1), but cheaper).
+  [[nodiscard]] BigUInt coefficient_sum() const;
+
+  friend bool operator==(const Polynomial& lhs, const Polynomial& rhs) = default;
+
+ private:
+  void trim();
+  std::vector<BigUInt> coefficients_;
+  static const BigUInt kZero;
+};
+
+}  // namespace wdm

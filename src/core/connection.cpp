@@ -1,0 +1,69 @@
+#include "core/connection.h"
+
+#include <set>
+#include <sstream>
+
+namespace wdm {
+
+std::string WavelengthEndpoint::to_string() const {
+  return "(p" + std::to_string(port) + "," + wavelength_name(lane) + ")";
+}
+
+std::string MulticastRequest::to_string() const {
+  std::ostringstream os;
+  os << input.to_string() << " -> {";
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << outputs[i].to_string();
+  }
+  os << '}';
+  return os.str();
+}
+
+const char* connect_error_name(ConnectError error) {
+  switch (error) {
+    case ConnectError::kBadGeometry: return "bad-geometry";
+    case ConnectError::kTwoLanesSamePort: return "two-lanes-same-port";
+    case ConnectError::kModelForbidsLanes: return "model-forbids-lanes";
+    case ConnectError::kInputBusy: return "input-busy";
+    case ConnectError::kOutputBusy: return "output-busy";
+    case ConnectError::kBlocked: return "blocked";
+  }
+  return "?";
+}
+
+std::optional<ConnectError> check_request_shape(const MulticastRequest& request,
+                                                std::size_t N, std::size_t k,
+                                                MulticastModel model) {
+  if (request.outputs.empty()) return ConnectError::kBadGeometry;
+  if (request.input.port >= N || request.input.lane >= k) {
+    return ConnectError::kBadGeometry;
+  }
+  std::set<WavelengthEndpoint> seen;
+  std::set<std::size_t> ports;
+  for (const auto& out : request.outputs) {
+    if (out.port >= N || out.lane >= k) return ConnectError::kBadGeometry;
+    if (!seen.insert(out).second) return ConnectError::kBadGeometry;
+    // §2.1: no two wavelengths of the same output port in one connection.
+    if (!ports.insert(out.port).second) return ConnectError::kTwoLanesSamePort;
+  }
+  switch (model) {
+    case MulticastModel::kMSW:
+      for (const auto& out : request.outputs) {
+        if (out.lane != request.input.lane) return ConnectError::kModelForbidsLanes;
+      }
+      break;
+    case MulticastModel::kMSDW: {
+      const Wavelength lane = request.outputs.front().lane;
+      for (const auto& out : request.outputs) {
+        if (out.lane != lane) return ConnectError::kModelForbidsLanes;
+      }
+      break;
+    }
+    case MulticastModel::kMAW:
+      break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wdm

@@ -1,0 +1,60 @@
+// Connection-level vocabulary shared by every switching implementation.
+//
+// A multicast connection (§2.1) originates at one input wavelength
+// (port, lane) and terminates at a set of output wavelengths, at most one
+// per output port. The same request/validation types drive both the
+// gate-level crossbar fabrics and the three-stage networks so that tests can
+// replay identical workloads against either.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "capacity/models.h"
+#include "optics/wavelength.h"
+
+namespace wdm {
+
+struct WavelengthEndpoint {
+  std::size_t port = 0;
+  Wavelength lane = 0;
+
+  friend auto operator<=>(const WavelengthEndpoint&, const WavelengthEndpoint&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct MulticastRequest {
+  WavelengthEndpoint input;
+  std::vector<WavelengthEndpoint> outputs;
+
+  /// Number of destinations.
+  [[nodiscard]] std::size_t fanout() const { return outputs.size(); }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const MulticastRequest&, const MulticastRequest&) = default;
+};
+
+/// Why a request is rejected (statically or against current state).
+enum class ConnectError {
+  kBadGeometry,        // port/lane out of range, empty or duplicate outputs
+  kTwoLanesSamePort,   // violates the one-wavelength-per-output-port rule
+  kModelForbidsLanes,  // lane pattern illegal under the network's model
+  kInputBusy,
+  kOutputBusy,
+  kBlocked,            // admissible, but no route exists right now
+};
+
+[[nodiscard]] const char* connect_error_name(ConnectError error);
+
+/// State-independent validation of a request against an N-port k-lane
+/// network under `model` (§2.1 rules + the model's lane discipline).
+/// nullopt = legal.
+[[nodiscard]] std::optional<ConnectError> check_request_shape(
+    const MulticastRequest& request, std::size_t N, std::size_t k,
+    MulticastModel model);
+
+using ConnectionId = std::uint64_t;
+
+}  // namespace wdm

@@ -1,0 +1,44 @@
+// Export utilities: Graphviz DOT for optical circuits, JSON for network
+// state and design explorations.
+//
+// These are the integration points a downstream user needs to inspect what
+// the library built -- render a Fig. 5/6/7 fabric with `dot -Tsvg`, feed a
+// network snapshot to a dashboard, or archive a design sweep. The JSON
+// emitter is deliberately dependency-free (RFC 8259 string escaping, keys
+// in fixed order so output is diffable).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/switch_design.h"
+#include "multistage/network.h"
+#include "optics/circuit.h"
+
+namespace wdm {
+
+/// Graphviz digraph of the component graph. Components are nodes labelled
+/// kind#id (plus label when set); gates show their on/off state, converters
+/// their target lane. Options keep huge fabrics renderable.
+struct DotOptions {
+  /// Skip components with no wired ports (none exist in practice).
+  bool cluster_by_label_prefix = false;  // cluster "in0 ..."-style prefixes
+  /// Only emit gates that are switched on (plus all non-gate components).
+  bool active_gates_only = false;
+};
+
+[[nodiscard]] std::string circuit_to_dot(const Circuit& circuit,
+                                         const DotOptions& options = {});
+
+/// JSON snapshot of a three-stage network: geometry, construction, per-
+/// connection requests and routes, and per-middle destination multisets.
+[[nodiscard]] std::string network_state_to_json(const ThreeStageNetwork& network);
+
+/// JSON array of design options (as produced by enumerate_designs).
+[[nodiscard]] std::string design_options_to_json(
+    const std::vector<DesignOption>& options);
+
+/// Minimal JSON string escaping (RFC 8259).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace wdm

@@ -1,0 +1,65 @@
+#include "core/report.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace wdm {
+
+namespace {
+
+std::string capacity_cell(std::size_t N, std::size_t k, MulticastModel model,
+                          AssignmentKind kind, std::size_t exact_digit_limit) {
+  const double digits = log10_multicast_capacity(N, k, model, kind);
+  if (digits <= static_cast<double>(exact_digit_limit)) {
+    return multicast_capacity(N, k, model, kind).to_sci(4);
+  }
+  std::ostringstream os;
+  os.precision(4);
+  os << "10^" << digits;
+  return os.str();
+}
+
+}  // namespace
+
+Table design_table(const std::vector<DesignOption>& options) {
+  Table table({"design", "model", "crosspoints", "converters", "geometry", "x"});
+  for (const DesignOption& option : options) {
+    table.add(option.name, model_name(option.model), option.crosspoints,
+              option.converters,
+              option.is_multistage ? option.clos.to_string() : std::string("-"),
+              option.is_multistage ? std::to_string(option.routing_spread)
+                                   : std::string("-"));
+  }
+  return table;
+}
+
+Table model_comparison_table(std::size_t N, std::size_t k,
+                             std::size_t exact_digit_limit) {
+  Table table({"model", "capacity (full)", "capacity (any)", "crosspoints",
+               "converters"});
+  for (const MulticastModel model : kAllModels) {
+    const CrossbarCost cost = crossbar_cost(N, k, model);
+    table.add(model_name(model),
+              capacity_cell(N, k, model, AssignmentKind::kFull, exact_digit_limit),
+              capacity_cell(N, k, model, AssignmentKind::kAny, exact_digit_limit),
+              cost.crosspoints, cost.converters);
+  }
+  return table;
+}
+
+void print_design_report(std::ostream& os, std::size_t N, std::size_t k) {
+  print_banner(os, "WDM multicast switch design report: N=" + std::to_string(N) +
+                       ", k=" + std::to_string(k));
+  os << "\nMulticast models (paper Table 1, crossbar realization):\n";
+  model_comparison_table(N, k).print(os);
+
+  for (const MulticastModel model : kAllModels) {
+    os << "\nNonblocking implementations under " << model_name(model) << ":\n";
+    design_table(enumerate_designs(N, k, model)).print(os);
+    const DesignOption best = recommend_design(N, k, model);
+    os << "recommended: " << best.to_string() << "\n";
+  }
+}
+
+}  // namespace wdm

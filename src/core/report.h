@@ -1,0 +1,31 @@
+// Rendering design explorations for humans.
+//
+// Turns DesignOption lists and capacity queries into the same tabular shape
+// the paper's Tables 1-2 use, so example programs and the quickstart can
+// print something directly comparable to the publication.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/switch_design.h"
+#include "util/table.h"
+
+namespace wdm {
+
+/// One row per design option: implementation, crosspoints, converters, and
+/// the geometry when multistage.
+[[nodiscard]] Table design_table(const std::vector<DesignOption>& options);
+
+/// The paper's Table 1 for concrete (N, k): per model, capacity (full/any),
+/// crosspoints, converters. Uses exact big integers up to `exact_limit`
+/// digits, falling back to log10 for larger parameters.
+[[nodiscard]] Table model_comparison_table(std::size_t N, std::size_t k,
+                                           std::size_t exact_digit_limit = 40);
+
+/// Render a full design report (models compared + recommended design) to a
+/// stream; the quickstart example's main output.
+void print_design_report(std::ostream& os, std::size_t N, std::size_t k);
+
+}  // namespace wdm

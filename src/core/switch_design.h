@@ -1,0 +1,60 @@
+// High-level design exploration: the paper's Tables 1-2 as an API.
+//
+// Given (N, k, multicast model), enumerate the nonblocking implementations
+// the paper analyzes -- the crossbar fabric (§2.3) and the three-stage
+// networks under both constructions with the middle stage sized by
+// Theorem 1 / 2 -- with their exact crosspoint and converter counts and the
+// (log10) multicast capacity. recommend_design() then applies the paper's
+// §3.4 conclusion: pick the cheapest design, preferring MSW-dominant
+// multistage once it undercuts the crossbar.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "capacity/capacity.h"
+#include "capacity/cost.h"
+#include "multistage/builder.h"
+#include "multistage/nonblocking.h"
+
+namespace wdm {
+
+struct DesignOption {
+  std::string name;
+  MulticastModel model;
+  bool is_multistage = false;
+  /// Only meaningful when is_multistage.
+  Construction construction = Construction::kMswDominant;
+  ClosParams clos;                  // multistage geometry (m from the theorem)
+  std::size_t routing_spread = 1;   // x of the routing strategy
+  std::uint64_t crosspoints = 0;
+  std::uint64_t converters = 0;
+  /// log10 of the any-multicast capacity (same for every nonblocking
+  /// implementation of one model; repeated here for report convenience).
+  double log10_capacity_any = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Factor N into n*r with n <= r and the ratio as balanced as possible.
+/// Throws std::invalid_argument for N < 4 or prime N (no useful multistage
+/// decomposition exists).
+[[nodiscard]] std::pair<std::size_t, std::size_t> balanced_factorization(std::size_t N);
+
+/// All nonblocking implementations of an N x N k-lane network under `model`:
+/// the crossbar plus (when N factors) both multistage constructions.
+[[nodiscard]] std::vector<DesignOption> enumerate_designs(std::size_t N, std::size_t k,
+                                                          MulticastModel model);
+
+/// The cheapest design by crosspoints (converters break ties) -- the paper's
+/// §3.4 recommendation falls out of this automatically.
+[[nodiscard]] DesignOption recommend_design(std::size_t N, std::size_t k,
+                                            MulticastModel model);
+
+/// Instantiate a routable switch for a multistage design option.
+[[nodiscard]] MultistageSwitch build_switch(const DesignOption& option,
+                                            MulticastModel model);
+
+}  // namespace wdm

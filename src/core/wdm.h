@@ -1,0 +1,40 @@
+// Umbrella header for the wdmcast library.
+//
+// Reproduction of: Yang, Wang, Qiao, "Nonblocking WDM Multicast Switching
+// Networks" (ICPP 2000 / IEEE TPDS). Include this to get the whole public
+// API; individual headers remain includable for finer-grained builds.
+#pragma once
+
+#include "analysis/asymptotics.h" // measured Table 2 exponents
+#include "capacity/capacity.h"    // Lemmas 1-3: multicast capacity
+#include "capacity/cost.h"        // §2.3: crossbar crosspoints/converters
+#include "capacity/enumerate.h"   // brute-force validation of the lemmas
+#include "capacity/models.h"      // MSW / MSDW / MAW
+#include "combinatorics/combinatorics.h"
+#include "combinatorics/multiset.h"  // §3.3 destination multisets
+#include "core/connection.h"      // requests and endpoints
+#include "core/export.h"          // DOT / JSON export
+#include "core/report.h"          // tabular design reports
+#include "core/switch_design.h"   // design enumeration / recommendation
+#include "fabric/clos_fabric.h"       // gate-level three-stage networks
+#include "fabric/crossbar_builder.h"  // Figs. 4-7 gate-level fabrics
+#include "fabric/fabric_switch.h"     // crossbar controller + verification
+#include "fabric/module_builder.h"    // gate-level switching modules
+#include "multistage/builder.h"       // assembled three-stage switches
+#include "multistage/network.h"       // §3 network state
+#include "multistage/nonblocking.h"   // Theorems 1-2, §3.4 costs
+#include "multistage/rearrange.h"     // Slepian-Duguid / Paull baseline
+#include "multistage/recursive.h"     // 5/7-stage recursive designs
+#include "multistage/routing.h"       // limited-spread routing strategy
+#include "optics/budget.h"            // §2.3 power/crosstalk projection
+#include "optics/circuit.h"           // optical component graph simulator
+#include "sim/blocking_sim.h"         // dynamic blocking simulation
+#include "sim/converter_pool.h"       // shared wavelength-converter banks
+#include "sim/load_analysis.h"        // load curves, provisioning
+#include "sim/nested.h"               // live recursion validation
+#include "schedule/round_scheduler.h" // §1 electronic-baseline scheduling
+#include "sim/request.h"              // workload generators, Fig. 10 scenario
+#include "sim/sweep.h"                // parallel m-sweeps
+#include "sim/trace.h"                // record / replay connection traces
+#include "sim/traffic_models.h"       // Erlang/Zipf continuous-time traffic
+#include "sim/witness.h"              // blocking-witness search

@@ -1,0 +1,193 @@
+#include "fabric/crossbar_builder.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace wdm {
+
+namespace {
+std::string pl(std::size_t port, Wavelength lane) {
+  return "p" + std::to_string(port) + wavelength_name(lane);
+}
+}  // namespace
+
+CrossbarFabric::CrossbarFabric(std::size_t N, std::size_t k, MulticastModel model,
+                               LossModel losses)
+    : n_(N), k_(k), model_(model), circuit_(losses) {
+  if (N == 0 || k == 0) {
+    throw std::invalid_argument("CrossbarFabric: N and k must be >= 1");
+  }
+  build_port_shell();
+  if (model == MulticastModel::kMSW) {
+    build_msw();
+  } else {
+    build_wavelength_crossbar();
+  }
+}
+
+void CrossbarFabric::build_port_shell() {
+  const auto lanes = static_cast<std::uint32_t>(k_);
+  sources_.resize(n_ * k_);
+  sinks_.resize(n_ * k_);
+  in_demux_out_.resize(n_);
+  out_mux_.resize(n_);
+
+  for (std::size_t port = 0; port < n_; ++port) {
+    // Input node: k transmitters -> node mux -> fiber -> network demux.
+    const ComponentId node_mux =
+        circuit_.add_mux(lanes, "in-node-mux p" + std::to_string(port));
+    const ComponentId net_demux =
+        circuit_.add_demux(lanes, "in-net-demux p" + std::to_string(port));
+    circuit_.connect({node_mux, 0}, {net_demux, 0});
+    in_demux_out_[port] = net_demux;
+    for (Wavelength lane = 0; lane < k_; ++lane) {
+      const ComponentId tx = circuit_.add_source(lane, "tx " + pl(port, lane));
+      circuit_.connect({tx, 0}, {node_mux, lane});
+      sources_[wl_index(port, lane)] = tx;
+    }
+
+    // Output side: network mux -> fiber -> node demux -> k receivers.
+    const ComponentId net_mux =
+        circuit_.add_mux(lanes, "out-net-mux p" + std::to_string(port));
+    const ComponentId node_demux =
+        circuit_.add_demux(lanes, "out-node-demux p" + std::to_string(port));
+    circuit_.connect({net_mux, 0}, {node_demux, 0});
+    out_mux_[port] = net_mux;
+    for (Wavelength lane = 0; lane < k_; ++lane) {
+      const ComponentId rx = circuit_.add_sink(lane, "rx " + pl(port, lane));
+      circuit_.connect({node_demux, lane}, {rx, 0});
+      sinks_[wl_index(port, lane)] = rx;
+    }
+  }
+}
+
+void CrossbarFabric::build_msw() {
+  // k parallel N x N single-lane crossbars (Fig. 4); each plane is the
+  // splitter/gate/combiner crossbar of Fig. 5.
+  gates_.assign(k_ * n_ * n_, kNoComponent);
+  const auto fan = static_cast<std::uint32_t>(n_);
+  for (Wavelength lane = 0; lane < k_; ++lane) {
+    // Combiners first so gates can wire straight into them.
+    std::vector<ComponentId> combiners(n_);
+    for (std::size_t out = 0; out < n_; ++out) {
+      combiners[out] = circuit_.add_combiner(fan, "comb " + pl(out, lane));
+      circuit_.connect({combiners[out], 0}, {out_mux_[out], lane});
+    }
+    for (std::size_t in = 0; in < n_; ++in) {
+      const ComponentId splitter = circuit_.add_splitter(fan, "split " + pl(in, lane));
+      circuit_.connect({in_demux_out_[in], lane}, {splitter, 0});
+      for (std::size_t out = 0; out < n_; ++out) {
+        const ComponentId g = circuit_.add_gate(
+            pl(in, lane) + "->" + pl(out, lane));
+        circuit_.connect({splitter, static_cast<std::uint32_t>(out)}, {g, 0});
+        circuit_.connect({g, 0}, {combiners[out], static_cast<std::uint32_t>(in)});
+        gates_[(lane * n_ + in) * n_ + out] = g;
+      }
+    }
+  }
+}
+
+void CrossbarFabric::build_wavelength_crossbar() {
+  // Full Nk x Nk crossbar (Figs. 6-7). Converter placement is the only
+  // difference between MSDW (input side) and MAW (output side).
+  const std::size_t nk = n_ * k_;
+  gates_.assign(nk * nk, kNoComponent);
+  const auto fan = static_cast<std::uint32_t>(nk);
+  const bool converters_at_input = (model_ == MulticastModel::kMSDW);
+  if (converters_at_input) {
+    input_converters_.resize(nk);
+  } else {
+    output_converters_.resize(nk);
+  }
+
+  // Output column: combiner (-> converter under MAW) -> network mux lane.
+  std::vector<ComponentId> combiners(nk);
+  for (std::size_t out = 0; out < n_; ++out) {
+    for (Wavelength lane = 0; lane < k_; ++lane) {
+      const std::size_t o = wl_index(out, lane);
+      combiners[o] = circuit_.add_combiner(fan, "comb " + pl(out, lane));
+      if (converters_at_input) {
+        circuit_.connect({combiners[o], 0}, {out_mux_[out], lane});
+      } else {
+        const ComponentId converter =
+            circuit_.add_converter("out-conv " + pl(out, lane));
+        circuit_.connect({combiners[o], 0}, {converter, 0});
+        circuit_.connect({converter, 0}, {out_mux_[out], lane});
+        output_converters_[o] = converter;
+      }
+    }
+  }
+
+  for (std::size_t in = 0; in < n_; ++in) {
+    for (Wavelength lane = 0; lane < k_; ++lane) {
+      const std::size_t i = wl_index(in, lane);
+      PortRef feed{in_demux_out_[in], lane};
+      if (converters_at_input) {
+        const ComponentId converter =
+            circuit_.add_converter("in-conv " + pl(in, lane));
+        circuit_.connect(feed, {converter, 0});
+        feed = {converter, 0};
+        input_converters_[i] = converter;
+      }
+      const ComponentId splitter = circuit_.add_splitter(fan, "split " + pl(in, lane));
+      circuit_.connect(feed, {splitter, 0});
+      for (std::size_t o = 0; o < nk; ++o) {
+        const ComponentId g = circuit_.add_gate();
+        circuit_.connect({splitter, static_cast<std::uint32_t>(o)}, {g, 0});
+        circuit_.connect({g, 0}, {combiners[o], static_cast<std::uint32_t>(i)});
+        gates_[i * nk + o] = g;
+      }
+    }
+  }
+}
+
+ComponentId CrossbarFabric::source(std::size_t port, Wavelength lane) const {
+  return sources_.at(wl_index(port, lane));
+}
+
+ComponentId CrossbarFabric::sink(std::size_t port, Wavelength lane) const {
+  return sinks_.at(wl_index(port, lane));
+}
+
+ComponentId CrossbarFabric::gate(std::size_t in_port, Wavelength in_lane,
+                                 std::size_t out_port, Wavelength out_lane) const {
+  if (in_port >= n_ || out_port >= n_ || in_lane >= k_ || out_lane >= k_) {
+    throw std::out_of_range("CrossbarFabric::gate: coordinate out of range");
+  }
+  if (model_ == MulticastModel::kMSW) {
+    if (in_lane != out_lane) {
+      throw std::invalid_argument(
+          "CrossbarFabric::gate: MSW fabric has no cross-lane gates");
+    }
+    return gates_[(in_lane * n_ + in_port) * n_ + out_port];
+  }
+  const std::size_t nk = n_ * k_;
+  return gates_[wl_index(in_port, in_lane) * nk + wl_index(out_port, out_lane)];
+}
+
+ComponentId CrossbarFabric::input_converter(std::size_t port, Wavelength lane) const {
+  if (model_ != MulticastModel::kMSDW) {
+    throw std::logic_error("input_converter: only MSDW fabrics convert at input");
+  }
+  return input_converters_.at(wl_index(port, lane));
+}
+
+ComponentId CrossbarFabric::output_converter(std::size_t port, Wavelength lane) const {
+  if (model_ != MulticastModel::kMAW) {
+    throw std::logic_error("output_converter: only MAW fabrics convert at output");
+  }
+  return output_converters_.at(wl_index(port, lane));
+}
+
+CrossbarCost CrossbarFabric::audit() const {
+  CrossbarCost cost;
+  cost.crosspoints = circuit_.count_kind(ComponentKind::kSoaGate);
+  cost.converters = circuit_.count_kind(ComponentKind::kConverter);
+  cost.splitters = circuit_.count_kind(ComponentKind::kSplitter);
+  cost.combiners = circuit_.count_kind(ComponentKind::kCombiner);
+  cost.muxes = circuit_.count_kind(ComponentKind::kMux);
+  cost.demuxes = circuit_.count_kind(ComponentKind::kDemux);
+  return cost;
+}
+
+}  // namespace wdm

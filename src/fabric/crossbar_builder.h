@@ -1,0 +1,84 @@
+// Gate-level crossbar fabric construction (paper Figs. 4-7).
+//
+// Builds the complete optical circuit for an N x N k-wavelength crossbar
+// under each multicast model:
+//   MSW  (Figs. 4-5): k parallel 1-lane N x N splitter/combiner crossbars,
+//        one plane per wavelength; k N^2 SOA gates, no converters.
+//   MSDW (Figs. 3a, 6): an Nk x Nk crossbar with one converter per *input*
+//        wavelength, placed before the splitter; (Nk)^2 gates.
+//   MAW  (Figs. 3b, 7): an Nk x Nk crossbar with one converter per *output*
+//        wavelength, placed after the combiner; (Nk)^2 gates.
+// Port model (Fig. 1): each input node muxes k fixed-tuned transmitters onto
+// its fiber; the network demuxes it; on the way out the network muxes each
+// output fiber and the node demuxes to k fixed-tuned receivers.
+//
+// The result carries dense index maps from (port, lane) coordinates to the
+// circuit's component ids so a controller can address gates/converters in
+// O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "capacity/cost.h"
+#include "capacity/models.h"
+#include "optics/circuit.h"
+
+namespace wdm {
+
+class CrossbarFabric {
+ public:
+  /// Build the full circuit for the given geometry and model.
+  CrossbarFabric(std::size_t N, std::size_t k, MulticastModel model,
+                 LossModel losses = {});
+
+  [[nodiscard]] std::size_t port_count() const { return n_; }
+  [[nodiscard]] std::size_t lane_count() const { return k_; }
+  [[nodiscard]] MulticastModel model() const { return model_; }
+
+  [[nodiscard]] Circuit& circuit() { return circuit_; }
+  [[nodiscard]] const Circuit& circuit() const { return circuit_; }
+
+  // -- addressing -----------------------------------------------------------
+  [[nodiscard]] ComponentId source(std::size_t port, Wavelength lane) const;
+  [[nodiscard]] ComponentId sink(std::size_t port, Wavelength lane) const;
+
+  /// The SOA gate from input wavelength (in_port, in_lane) to output
+  /// wavelength (out_port, out_lane). Under MSW this exists only for
+  /// in_lane == out_lane (throws otherwise).
+  [[nodiscard]] ComponentId gate(std::size_t in_port, Wavelength in_lane,
+                                 std::size_t out_port, Wavelength out_lane) const;
+
+  /// MSDW only: the converter ahead of input wavelength (port, lane).
+  [[nodiscard]] ComponentId input_converter(std::size_t port, Wavelength lane) const;
+  /// MAW only: the converter behind output wavelength (port, lane).
+  [[nodiscard]] ComponentId output_converter(std::size_t port, Wavelength lane) const;
+
+  /// Component tallies of the built circuit, for auditing against
+  /// crossbar_cost() (they must agree exactly).
+  [[nodiscard]] CrossbarCost audit() const;
+
+ private:
+  void build_port_shell();  // sources, muxes, demuxes, sinks (all models)
+  void build_msw();
+  void build_wavelength_crossbar();  // shared by MSDW / MAW
+
+  [[nodiscard]] std::size_t wl_index(std::size_t port, Wavelength lane) const {
+    return port * k_ + lane;
+  }
+
+  std::size_t n_;
+  std::size_t k_;
+  MulticastModel model_;
+  Circuit circuit_;
+
+  std::vector<ComponentId> sources_;          // [wl_index]
+  std::vector<ComponentId> sinks_;            // [wl_index]
+  std::vector<ComponentId> in_demux_out_;     // network-side demux per input port
+  std::vector<ComponentId> out_mux_;          // network-side mux per output port
+  std::vector<ComponentId> gates_;            // see gate() for layout
+  std::vector<ComponentId> input_converters_;  // MSDW: [wl_index]
+  std::vector<ComponentId> output_converters_; // MAW: [wl_index]
+};
+
+}  // namespace wdm

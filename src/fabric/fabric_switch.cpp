@@ -1,0 +1,182 @@
+#include "fabric/fabric_switch.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace wdm {
+
+FabricSwitch::FabricSwitch(std::size_t N, std::size_t k, MulticastModel model,
+                           LossModel losses)
+    : fabric_(N, k, model, losses) {}
+
+std::optional<ConnectError> FabricSwitch::check_request(
+    const MulticastRequest& request) const {
+  return check_request_shape(request, port_count(), lane_count(), model());
+}
+
+std::optional<ConnectError> FabricSwitch::check_admissible(
+    const MulticastRequest& request) const {
+  if (const auto error = check_request(request)) return error;
+  if (busy_inputs_.contains(request.input)) return ConnectError::kInputBusy;
+  for (const auto& out : request.outputs) {
+    if (busy_outputs_.contains(out)) return ConnectError::kOutputBusy;
+  }
+  return std::nullopt;
+}
+
+void FabricSwitch::install(ActiveConnection& connection) {
+  Circuit& circuit = fabric_.circuit();
+  const MulticastRequest& request = connection.request;
+  switch (model()) {
+    case MulticastModel::kMSW:
+      for (const auto& out : request.outputs) {
+        const ComponentId g =
+            fabric_.gate(request.input.port, request.input.lane, out.port, out.lane);
+        circuit.set_gate(g, true);
+        connection.gates_on.push_back(g);
+      }
+      break;
+    case MulticastModel::kMSDW: {
+      // One converter ahead of the splitter retunes the whole connection to
+      // the common destination lane (Fig. 3a).
+      const Wavelength dest_lane = request.outputs.front().lane;
+      const ComponentId converter =
+          fabric_.input_converter(request.input.port, request.input.lane);
+      circuit.set_converter(converter, dest_lane);
+      connection.converters_set.push_back(converter);
+      for (const auto& out : request.outputs) {
+        const ComponentId g =
+            fabric_.gate(request.input.port, request.input.lane, out.port, dest_lane);
+        circuit.set_gate(g, true);
+        connection.gates_on.push_back(g);
+      }
+      break;
+    }
+    case MulticastModel::kMAW:
+      // Beams travel at the source lane; each destination's own converter
+      // retunes after the combiner (Fig. 3b).
+      for (const auto& out : request.outputs) {
+        const ComponentId g =
+            fabric_.gate(request.input.port, request.input.lane, out.port, out.lane);
+        circuit.set_gate(g, true);
+        connection.gates_on.push_back(g);
+        const ComponentId converter = fabric_.output_converter(out.port, out.lane);
+        circuit.set_converter(converter, out.lane);
+        connection.converters_set.push_back(converter);
+      }
+      break;
+  }
+}
+
+FabricSwitch::ConnectionId FabricSwitch::connect(const MulticastRequest& request) {
+  if (const auto error = check_admissible(request)) {
+    const std::string what = std::string("FabricSwitch::connect: ") +
+                             connect_error_name(*error) + " for " +
+                             request.to_string();
+    if (*error == ConnectError::kInputBusy || *error == ConnectError::kOutputBusy) {
+      throw std::runtime_error(what);
+    }
+    throw std::invalid_argument(what);
+  }
+
+  const ConnectionId id = next_id_++;
+  ActiveConnection connection{request, {}, {}};
+  install(connection);
+  fabric_.circuit().inject(fabric_.source(request.input.port, request.input.lane),
+                           static_cast<std::int64_t>(id));
+  busy_inputs_[request.input] = id;
+  for (const auto& out : request.outputs) busy_outputs_[out] = id;
+  connections_.emplace(id, std::move(connection));
+  return id;
+}
+
+std::optional<FabricSwitch::ConnectionId> FabricSwitch::try_connect(
+    const MulticastRequest& request) {
+  if (check_admissible(request)) return std::nullopt;
+  return connect(request);
+}
+
+void FabricSwitch::disconnect(ConnectionId id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) {
+    throw std::out_of_range("FabricSwitch::disconnect: unknown connection id");
+  }
+  Circuit& circuit = fabric_.circuit();
+  const ActiveConnection& connection = it->second;
+  for (const ComponentId gate : connection.gates_on) circuit.set_gate(gate, false);
+  for (const ComponentId converter : connection.converters_set) {
+    circuit.set_converter(converter, std::nullopt);
+  }
+  circuit.clear_injection(
+      fabric_.source(connection.request.input.port, connection.request.input.lane));
+  busy_inputs_.erase(connection.request.input);
+  for (const auto& out : connection.request.outputs) busy_outputs_.erase(out);
+  connections_.erase(it);
+}
+
+bool FabricSwitch::input_busy(const WavelengthEndpoint& endpoint) const {
+  return busy_inputs_.contains(endpoint);
+}
+
+bool FabricSwitch::output_busy(const WavelengthEndpoint& endpoint) const {
+  return busy_outputs_.contains(endpoint);
+}
+
+std::string FabricSwitch::VerifyReport::to_string() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "FAIL") << " min_power=" << min_power_dbm
+     << "dBm max_gates=" << max_gates_crossed;
+  for (const auto& error : errors) os << "\n  " << error;
+  return os.str();
+}
+
+FabricSwitch::VerifyReport FabricSwitch::verify() const {
+  VerifyReport report;
+  const PropagationResult result = fabric_.circuit().propagate();
+  for (const auto& violation : result.violations) {
+    report.ok = false;
+    report.errors.push_back("physical violation: " + violation.to_string());
+  }
+
+  // Expected deliveries: sink id -> connection id.
+  std::map<ComponentId, ConnectionId> expected;
+  for (const auto& [id, connection] : connections_) {
+    for (const auto& out : connection.request.outputs) {
+      expected[fabric_.sink(out.port, out.lane)] = id;
+    }
+  }
+
+  for (const auto& [sink, signals] : result.received) {
+    const auto want = expected.find(sink);
+    if (want == expected.end()) {
+      report.ok = false;
+      report.errors.push_back("unexpected light at " +
+                              fabric_.circuit().component(sink).describe(sink));
+      continue;
+    }
+    if (signals.size() != 1 ||
+        signals.front().source_tag != static_cast<std::int64_t>(want->second)) {
+      report.ok = false;
+      report.errors.push_back("wrong stream at " +
+                              fabric_.circuit().component(sink).describe(sink));
+    }
+  }
+  for (const auto& [sink, id] : expected) {
+    if (!result.received.contains(sink)) {
+      report.ok = false;
+      report.errors.push_back("no light delivered for connection " +
+                              std::to_string(id) + " at " +
+                              fabric_.circuit().component(sink).describe(sink));
+    }
+  }
+
+  if (!result.received.empty()) {
+    report.min_power_dbm = result.min_power_dbm();
+    report.max_gates_crossed = result.max_gates_crossed();
+  }
+  return report;
+}
+
+}  // namespace wdm

@@ -1,0 +1,92 @@
+// Controller for a gate-level crossbar fabric.
+//
+// FabricSwitch owns a CrossbarFabric and exposes connection-oriented
+// semantics: set up / tear down multicast connections by driving the SOA
+// gates and converters, enforcing the §2.1 usage rules (an input wavelength
+// serves at most one connection; an output wavelength belongs to at most one
+// connection; a connection touches at most one wavelength per output port)
+// and the per-model lane rules. verify() then *physically* checks the state:
+// it lights every active transmitter and propagates signals through the
+// circuit, asserting each intended receiver sees exactly its stream -- the
+// simulation equivalent of putting a power meter on every output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/connection.h"
+#include "fabric/crossbar_builder.h"
+
+namespace wdm {
+
+class FabricSwitch {
+ public:
+  using ConnectionId = wdm::ConnectionId;
+
+  FabricSwitch(std::size_t N, std::size_t k, MulticastModel model,
+               LossModel losses = {});
+
+  [[nodiscard]] const CrossbarFabric& fabric() const { return fabric_; }
+  [[nodiscard]] std::size_t port_count() const { return fabric_.port_count(); }
+  [[nodiscard]] std::size_t lane_count() const { return fabric_.lane_count(); }
+  [[nodiscard]] MulticastModel model() const { return fabric_.model(); }
+
+  /// Model/geometry legality of the request itself (state-independent).
+  /// nullopt = legal.
+  [[nodiscard]] std::optional<ConnectError> check_request(
+      const MulticastRequest& request) const;
+
+  /// Full admissibility: request legality plus endpoint availability.
+  [[nodiscard]] std::optional<ConnectError> check_admissible(
+      const MulticastRequest& request) const;
+
+  /// Install the connection, driving gates/converters and lighting the
+  /// transmitter. Throws std::invalid_argument / std::runtime_error with the
+  /// ConnectError name on failure.
+  ConnectionId connect(const MulticastRequest& request);
+
+  /// Non-throwing variant.
+  [[nodiscard]] std::optional<ConnectionId> try_connect(const MulticastRequest& request);
+
+  /// Tear down; throws std::out_of_range for unknown ids.
+  void disconnect(ConnectionId id);
+
+  [[nodiscard]] std::size_t active_connections() const { return connections_.size(); }
+  [[nodiscard]] bool input_busy(const WavelengthEndpoint& endpoint) const;
+  [[nodiscard]] bool output_busy(const WavelengthEndpoint& endpoint) const;
+
+  struct VerifyReport {
+    bool ok = true;
+    std::vector<std::string> errors;
+    /// Worst (lowest) delivered power over all receivers, dBm.
+    double min_power_dbm = 0.0;
+    /// Most SOA gates crossed by any delivered beam (crosstalk proxy).
+    std::uint32_t max_gates_crossed = 0;
+
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  /// Propagate light through the circuit and check every active connection
+  /// delivers exactly its stream to exactly its destinations.
+  [[nodiscard]] VerifyReport verify() const;
+
+ private:
+  struct ActiveConnection {
+    MulticastRequest request;
+    std::vector<ComponentId> gates_on;
+    std::vector<ComponentId> converters_set;
+  };
+
+  void install(ActiveConnection& connection);
+
+  CrossbarFabric fabric_;
+  std::map<ConnectionId, ActiveConnection> connections_;
+  std::map<WavelengthEndpoint, ConnectionId> busy_inputs_;
+  std::map<WavelengthEndpoint, ConnectionId> busy_outputs_;
+  ConnectionId next_id_ = 1;
+};
+
+}  // namespace wdm

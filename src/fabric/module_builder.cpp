@@ -1,0 +1,134 @@
+#include "fabric/module_builder.h"
+
+#include <stdexcept>
+
+namespace wdm {
+
+ComponentId ModuleCircuit::gate(std::size_t in_port, Wavelength in_lane,
+                                std::size_t out_port, Wavelength out_lane) const {
+  if (in_port >= in_ports || out_port >= out_ports || in_lane >= lanes ||
+      out_lane >= lanes) {
+    throw std::out_of_range("ModuleCircuit::gate: coordinate out of range");
+  }
+  if (model == MulticastModel::kMSW) {
+    if (in_lane != out_lane) {
+      throw std::invalid_argument("ModuleCircuit::gate: MSW has no cross-lane gates");
+    }
+    return gates[(in_lane * in_ports + in_port) * out_ports + out_port];
+  }
+  const std::size_t bk = out_ports * lanes;
+  return gates[(in_port * lanes + in_lane) * bk + (out_port * lanes + out_lane)];
+}
+
+ComponentId ModuleCircuit::input_converter(std::size_t port, Wavelength lane) const {
+  if (model != MulticastModel::kMSDW) {
+    throw std::logic_error("ModuleCircuit: only MSDW modules convert at input");
+  }
+  return input_converters.at(port * lanes + lane);
+}
+
+ComponentId ModuleCircuit::output_converter(std::size_t port, Wavelength lane) const {
+  if (model != MulticastModel::kMAW) {
+    throw std::logic_error("ModuleCircuit: only MAW modules convert at output");
+  }
+  return output_converters.at(port * lanes + lane);
+}
+
+ModuleCircuit build_module_circuit(Circuit& circuit, std::size_t a, std::size_t b,
+                                   std::size_t k, MulticastModel model,
+                                   const std::string& name) {
+  if (a == 0 || b == 0 || k == 0) {
+    throw std::invalid_argument("build_module_circuit: a, b, k >= 1");
+  }
+  ModuleCircuit module;
+  module.model = model;
+  module.in_ports = a;
+  module.out_ports = b;
+  module.lanes = k;
+
+  const auto lanes32 = static_cast<std::uint32_t>(k);
+  for (std::size_t i = 0; i < a; ++i) {
+    module.in_demux.push_back(
+        circuit.add_demux(lanes32, name + " in-demux " + std::to_string(i)));
+  }
+  for (std::size_t o = 0; o < b; ++o) {
+    module.out_mux.push_back(
+        circuit.add_mux(lanes32, name + " out-mux " + std::to_string(o)));
+  }
+
+  if (model == MulticastModel::kMSW) {
+    // k parallel a x b planes.
+    module.gates.assign(k * a * b, kNoComponent);
+    const auto fan_out = static_cast<std::uint32_t>(b);
+    const auto fan_in = static_cast<std::uint32_t>(a);
+    for (Wavelength lane = 0; lane < k; ++lane) {
+      std::vector<ComponentId> combiners(b);
+      for (std::size_t o = 0; o < b; ++o) {
+        combiners[o] = circuit.add_combiner(fan_in);
+        circuit.connect({combiners[o], 0}, {module.out_mux[o], lane});
+      }
+      for (std::size_t i = 0; i < a; ++i) {
+        const ComponentId splitter = circuit.add_splitter(fan_out);
+        circuit.connect({module.in_demux[i], lane}, {splitter, 0});
+        for (std::size_t o = 0; o < b; ++o) {
+          const ComponentId g = circuit.add_gate();
+          circuit.connect({splitter, static_cast<std::uint32_t>(o)}, {g, 0});
+          circuit.connect({g, 0}, {combiners[o], static_cast<std::uint32_t>(i)});
+          module.gates[(lane * a + i) * b + o] = g;
+        }
+      }
+    }
+    return module;
+  }
+
+  // Wavelength crossbar (ak) x (bk).
+  const std::size_t ak = a * k;
+  const std::size_t bk = b * k;
+  module.gates.assign(ak * bk, kNoComponent);
+  const bool converters_at_input = (model == MulticastModel::kMSDW);
+  if (converters_at_input) {
+    module.input_converters.resize(ak);
+  } else {
+    module.output_converters.resize(bk);
+  }
+
+  std::vector<ComponentId> combiners(bk);
+  for (std::size_t o = 0; o < b; ++o) {
+    for (Wavelength lane = 0; lane < k; ++lane) {
+      const std::size_t index = o * k + lane;
+      combiners[index] = circuit.add_combiner(static_cast<std::uint32_t>(ak));
+      if (converters_at_input) {
+        circuit.connect({combiners[index], 0}, {module.out_mux[o], lane});
+      } else {
+        const ComponentId converter = circuit.add_converter();
+        circuit.connect({combiners[index], 0}, {converter, 0});
+        circuit.connect({converter, 0}, {module.out_mux[o], lane});
+        module.output_converters[index] = converter;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < a; ++i) {
+    for (Wavelength lane = 0; lane < k; ++lane) {
+      const std::size_t index = i * k + lane;
+      PortRef feed{module.in_demux[i], lane};
+      if (converters_at_input) {
+        const ComponentId converter = circuit.add_converter();
+        circuit.connect(feed, {converter, 0});
+        feed = {converter, 0};
+        module.input_converters[index] = converter;
+      }
+      const ComponentId splitter =
+          circuit.add_splitter(static_cast<std::uint32_t>(bk));
+      circuit.connect(feed, {splitter, 0});
+      for (std::size_t o = 0; o < bk; ++o) {
+        const ComponentId g = circuit.add_gate();
+        circuit.connect({splitter, static_cast<std::uint32_t>(o)}, {g, 0});
+        circuit.connect({g, 0}, {combiners[o], static_cast<std::uint32_t>(index)});
+        module.gates[index * bk + o] = g;
+      }
+    }
+  }
+  return module;
+}
+
+}  // namespace wdm

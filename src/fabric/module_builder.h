@@ -1,0 +1,64 @@
+// Gate-level construction of one switching module inside a larger circuit.
+//
+// A module is an a x b crossbar with k wavelengths per port, built exactly
+// like the monolithic fabrics of Figs. 4-7 but with *fiber* boundaries: one
+// demux per input fiber, one mux per output fiber, so modules can be
+// spliced together into multistage networks (Fig. 8) by connecting an
+// upstream module's output mux straight into a downstream module's input
+// demux. Per model:
+//   MSW : k parallel a x b planes, a*b*k gates, no converters;
+//   MSDW: (ak) x (bk) gate matrix, one converter per input wavelength;
+//   MAW : (ak) x (bk) gate matrix, one converter per output wavelength.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capacity/models.h"
+#include "optics/circuit.h"
+
+namespace wdm {
+
+struct ModuleCircuit {
+  MulticastModel model = MulticastModel::kMSW;
+  std::size_t in_ports = 0;   // a
+  std::size_t out_ports = 0;  // b
+  std::size_t lanes = 0;      // k
+
+  /// One demux per input fiber; feed light into {in_demux[i], 0}.
+  std::vector<ComponentId> in_demux;
+  /// One mux per output fiber; light leaves from {out_mux[o], 0}.
+  std::vector<ComponentId> out_mux;
+
+  /// The SOA gate from input wavelength (in_port, in_lane) to output
+  /// wavelength (out_port, out_lane). MSW modules only have same-lane gates
+  /// (throws std::invalid_argument otherwise).
+  [[nodiscard]] ComponentId gate(std::size_t in_port, Wavelength in_lane,
+                                 std::size_t out_port, Wavelength out_lane) const;
+
+  /// MSDW only: converter ahead of input wavelength (port, lane).
+  [[nodiscard]] ComponentId input_converter(std::size_t port, Wavelength lane) const;
+  /// MAW only: converter behind output wavelength (port, lane).
+  [[nodiscard]] ComponentId output_converter(std::size_t port, Wavelength lane) const;
+
+  [[nodiscard]] std::size_t gate_count() const { return gates.size(); }
+  [[nodiscard]] std::size_t converter_count() const {
+    return input_converters.size() + output_converters.size();
+  }
+
+  // Raw storage (see gate() for the layout).
+  std::vector<ComponentId> gates;
+  std::vector<ComponentId> input_converters;
+  std::vector<ComponentId> output_converters;
+};
+
+/// Build the module's components into `circuit` and return the addressing
+/// structure. The module's fiber ports are left unwired for the caller to
+/// splice.
+[[nodiscard]] ModuleCircuit build_module_circuit(Circuit& circuit, std::size_t a,
+                                                 std::size_t b, std::size_t k,
+                                                 MulticastModel model,
+                                                 const std::string& name);
+
+}  // namespace wdm

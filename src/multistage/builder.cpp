@@ -1,0 +1,44 @@
+#include "multistage/builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace wdm {
+
+ClosParams nonblocking_params(std::size_t n, std::size_t r, std::size_t k,
+                              Construction construction) {
+  const NonblockingBound bound = construction == Construction::kMswDominant
+                                     ? theorem1_min_m(n, r)
+                                     : theorem2_min_m(n, r, k);
+  ClosParams params{n, r, std::max(bound.m, n), k};
+  params.validate();
+  return params;
+}
+
+MultistageSwitch::MultistageSwitch(ClosParams params, Construction construction,
+                                   MulticastModel network_model,
+                                   std::optional<RoutingPolicy> policy)
+    : network_(params, construction, network_model),
+      router_(network_,
+              policy.value_or(Router::recommended_policy(params, construction))) {}
+
+MultistageSwitch MultistageSwitch::nonblocking(std::size_t n, std::size_t r,
+                                               std::size_t k,
+                                               Construction construction,
+                                               MulticastModel network_model) {
+  return MultistageSwitch(nonblocking_params(n, r, k, construction), construction,
+                          network_model);
+}
+
+ConnectionId MultistageSwitch::connect(const MulticastRequest& request) {
+  const auto id = try_connect(request);
+  if (!id) {
+    throw std::runtime_error(std::string("MultistageSwitch::connect: ") +
+                             connect_error_name(last_error()) + " for " +
+                             request.to_string());
+  }
+  return *id;
+}
+
+}  // namespace wdm

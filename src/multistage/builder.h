@@ -1,0 +1,68 @@
+// Assembled three-stage switch: network + router behind one interface.
+//
+// MultistageSwitch mirrors FabricSwitch's connection API so workloads can be
+// replayed against either a crossbar fabric or a multistage network. The
+// nonblocking() factory sizes the middle stage straight from Theorem 1 / 2
+// and picks the optimizing routing spread, i.e. it constructs exactly the
+// design point the paper proves nonblocking.
+#pragma once
+
+#include <optional>
+
+#include "multistage/routing.h"
+
+namespace wdm {
+
+/// ClosParams with m set to the smallest sufficient value from Theorem 1
+/// (MSW-dominant) or Theorem 2 (MAW-dominant).
+[[nodiscard]] ClosParams nonblocking_params(std::size_t n, std::size_t r,
+                                            std::size_t k,
+                                            Construction construction);
+
+class MultistageSwitch {
+ public:
+  /// Explicit geometry; policy defaults to Router::recommended_policy.
+  MultistageSwitch(ClosParams params, Construction construction,
+                   MulticastModel network_model,
+                   std::optional<RoutingPolicy> policy = std::nullopt);
+
+  /// The paper's nonblocking design point for an (n*r) x (n*r) network.
+  [[nodiscard]] static MultistageSwitch nonblocking(std::size_t n, std::size_t r,
+                                                    std::size_t k,
+                                                    Construction construction,
+                                                    MulticastModel network_model);
+
+  [[nodiscard]] ThreeStageNetwork& network() { return network_; }
+  [[nodiscard]] const ThreeStageNetwork& network() const { return network_; }
+  [[nodiscard]] Router& router() { return router_; }
+
+  [[nodiscard]] std::size_t port_count() const { return network_.port_count(); }
+  [[nodiscard]] std::size_t lane_count() const { return network_.lane_count(); }
+  [[nodiscard]] MulticastModel model() const { return network_.network_model(); }
+
+  [[nodiscard]] std::optional<ConnectError> check_admissible(
+      const MulticastRequest& request) const {
+    return network_.check_admissible(request);
+  }
+
+  /// Route + install; nullopt on failure (reason in last_error()).
+  [[nodiscard]] std::optional<ConnectionId> try_connect(const MulticastRequest& request) {
+    return router_.try_connect(request);
+  }
+
+  /// Throwing variant of try_connect.
+  ConnectionId connect(const MulticastRequest& request);
+
+  void disconnect(ConnectionId id) { router_.disconnect(id); }
+
+  [[nodiscard]] ConnectError last_error() const { return router_.last_error(); }
+  [[nodiscard]] std::size_t active_connections() const {
+    return network_.active_connections();
+  }
+
+ private:
+  ThreeStageNetwork network_;
+  Router router_;
+};
+
+}  // namespace wdm

@@ -1,0 +1,37 @@
+#include "multistage/clos_params.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace wdm {
+
+void ClosParams::validate() const {
+  if (n == 0 || r == 0 || m == 0 || k == 0) {
+    throw std::invalid_argument("ClosParams: all of n, r, m, k must be >= 1");
+  }
+  if (m < n) {
+    throw std::invalid_argument(
+        "ClosParams: m >= n required (fewer middle modules than module inputs "
+        "cannot even carry a unicast permutation)");
+  }
+}
+
+std::string ClosParams::to_string() const {
+  std::ostringstream os;
+  os << "Clos(n=" << n << ", r=" << r << ", m=" << m << ", k=" << k
+     << ", N=" << port_count() << ")";
+  return os.str();
+}
+
+ClosParams balanced_params(std::size_t N, std::size_t k, std::size_t m) {
+  const auto root = static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(N))));
+  if (root * root != N) {
+    throw std::invalid_argument("balanced_params: N must be a perfect square");
+  }
+  ClosParams params{root, root, m, k};
+  params.validate();
+  return params;
+}
+
+}  // namespace wdm

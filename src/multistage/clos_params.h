@@ -1,0 +1,45 @@
+// Three-stage (Clos-type) network geometry (paper Fig. 8).
+//
+// An N x N network with N = n*r is built from
+//   r  input-stage modules of size n x m,
+//   m  middle-stage modules of size r x r,
+//   r  output-stage modules of size m x n,
+// with exactly one (k-wavelength) link between every pair of modules in
+// consecutive stages. Construction flavor (§3.1): the first two stages are
+// either all-MSW (MSW-dominant) or all-MAW (MAW-dominant); the output stage
+// carries the network's own model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wdm {
+
+struct ClosParams {
+  std::size_t n = 1;  // input ports per input module (= output ports per output module)
+  std::size_t r = 1;  // number of input (= output) modules
+  std::size_t m = 1;  // number of middle modules
+  std::size_t k = 1;  // wavelengths per fiber link
+
+  [[nodiscard]] std::size_t port_count() const { return n * r; }  // N
+
+  /// Throws std::invalid_argument unless all fields >= 1 and m >= n (the
+  /// minimum for the network to even be rearrangeable for unicast).
+  void validate() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const ClosParams&, const ClosParams&) = default;
+};
+
+enum class Construction { kMswDominant, kMawDominant };
+
+[[nodiscard]] inline const char* construction_name(Construction construction) {
+  return construction == Construction::kMswDominant ? "MSW-dominant" : "MAW-dominant";
+}
+
+/// Balanced geometry n = r = sqrt(N) used for the §3.4 cost analysis.
+/// Throws std::invalid_argument if N is not a perfect square.
+[[nodiscard]] ClosParams balanced_params(std::size_t N, std::size_t k, std::size_t m);
+
+}  // namespace wdm

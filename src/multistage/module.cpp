@@ -1,0 +1,144 @@
+#include "multistage/module.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace wdm {
+
+std::string ModulePortLane::to_string() const {
+  return "(port " + std::to_string(port) + ", " + wavelength_name(lane) + ")";
+}
+
+SwitchModule::SwitchModule(std::size_t in_ports, std::size_t out_ports,
+                           std::size_t lanes, MulticastModel model, std::string name)
+    : lanes_(lanes), model_(model), name_(std::move(name)) {
+  if (in_ports == 0 || out_ports == 0 || lanes == 0) {
+    throw std::invalid_argument("SwitchModule: ports and lanes must be >= 1");
+  }
+  in_used_.assign(in_ports, std::vector<bool>(lanes, false));
+  out_used_.assign(out_ports, std::vector<bool>(lanes, false));
+}
+
+std::optional<std::string> SwitchModule::check_transit(
+    const ModulePortLane& in, const std::vector<ModulePortLane>& outs) const {
+  if (outs.empty()) return "transit has no outputs";
+  if (in.port >= in_ports() || in.lane >= lanes_) {
+    return "inbound " + in.to_string() + " out of range";
+  }
+  if (in_used_[in.port][in.lane]) {
+    return "inbound " + in.to_string() + " already carries a connection";
+  }
+  std::set<std::size_t> out_ports_seen;
+  for (const auto& out : outs) {
+    if (out.port >= out_ports() || out.lane >= lanes_) {
+      return "outbound " + out.to_string() + " out of range";
+    }
+    if (!out_ports_seen.insert(out.port).second) {
+      return "two outbound lanes on port " + std::to_string(out.port) +
+             " in one transit";
+    }
+    if (out_used_[out.port][out.lane]) {
+      return "outbound " + out.to_string() + " already carries a connection";
+    }
+  }
+  switch (model_) {
+    case MulticastModel::kMSW:
+      for (const auto& out : outs) {
+        if (out.lane != in.lane) {
+          return "MSW module cannot convert " + wavelength_name(in.lane) +
+                 " to " + wavelength_name(out.lane);
+        }
+      }
+      break;
+    case MulticastModel::kMSDW: {
+      const Wavelength lane = outs.front().lane;
+      for (const auto& out : outs) {
+        if (out.lane != lane) {
+          return "MSDW module requires a single outbound lane per transit";
+        }
+      }
+      break;
+    }
+    case MulticastModel::kMAW:
+      break;
+  }
+  return std::nullopt;
+}
+
+SwitchModule::TransitId SwitchModule::add_transit(
+    const ModulePortLane& in, const std::vector<ModulePortLane>& outs) {
+  if (const auto reason = check_transit(in, outs)) {
+    throw std::logic_error("SwitchModule[" + name_ + "]::add_transit: " + *reason);
+  }
+  in_used_[in.port][in.lane] = true;
+  for (const auto& out : outs) out_used_[out.port][out.lane] = true;
+  const TransitId id = next_id_++;
+  transits_.emplace(id, Transit{in, outs});
+  return id;
+}
+
+void SwitchModule::remove_transit(TransitId id) {
+  const auto it = transits_.find(id);
+  if (it == transits_.end()) {
+    throw std::out_of_range("SwitchModule[" + name_ + "]: unknown transit id");
+  }
+  const Transit& transit = it->second;
+  in_used_[transit.in.port][transit.in.lane] = false;
+  for (const auto& out : transit.outs) out_used_[out.port][out.lane] = false;
+  transits_.erase(it);
+}
+
+bool SwitchModule::in_lane_free(std::size_t port, Wavelength lane) const {
+  return !in_used_.at(port).at(lane);
+}
+
+bool SwitchModule::out_lane_free(std::size_t port, Wavelength lane) const {
+  return !out_used_.at(port).at(lane);
+}
+
+std::size_t SwitchModule::free_out_lanes(std::size_t port) const {
+  const auto& slots = out_used_.at(port);
+  return static_cast<std::size_t>(std::count(slots.begin(), slots.end(), false));
+}
+
+std::size_t SwitchModule::free_in_lanes(std::size_t port) const {
+  const auto& slots = in_used_.at(port);
+  return static_cast<std::size_t>(std::count(slots.begin(), slots.end(), false));
+}
+
+std::optional<Wavelength> SwitchModule::lowest_free_out_lane(std::size_t port) const {
+  const auto& slots = out_used_.at(port);
+  for (Wavelength lane = 0; lane < lanes_; ++lane) {
+    if (!slots[lane]) return lane;
+  }
+  return std::nullopt;
+}
+
+void SwitchModule::self_check() const {
+  std::vector<std::vector<bool>> in_expected(in_ports(),
+                                             std::vector<bool>(lanes_, false));
+  std::vector<std::vector<bool>> out_expected(out_ports(),
+                                              std::vector<bool>(lanes_, false));
+  for (const auto& [id, transit] : transits_) {
+    if (in_expected[transit.in.port][transit.in.lane]) {
+      throw std::logic_error("SwitchModule[" + name_ +
+                             "]: two transits share an inbound wavelength");
+    }
+    in_expected[transit.in.port][transit.in.lane] = true;
+    for (const auto& out : transit.outs) {
+      if (out_expected[out.port][out.lane]) {
+        throw std::logic_error("SwitchModule[" + name_ +
+                               "]: two transits share an outbound wavelength");
+      }
+      out_expected[out.port][out.lane] = true;
+    }
+  }
+  if (in_expected != in_used_ || out_expected != out_used_) {
+    throw std::logic_error("SwitchModule[" + name_ +
+                           "]: occupancy bitmap diverged from transit list");
+  }
+}
+
+}  // namespace wdm

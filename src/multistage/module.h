@@ -1,0 +1,97 @@
+// A single switching module inside a multistage network (§3.1).
+//
+// Modules are crossbar-based and internally nonblocking, so what a module
+// contributes to network-level feasibility is (a) occupancy of its port
+// wavelengths -- each (port, lane) on either side carries at most one
+// connection -- and (b) its model's lane discipline for each *transit*
+// (one connection passing through: one input wavelength fanning out to a set
+// of output wavelengths, at most one per output port):
+//   MSW : every endpoint lane equals the inbound lane (no conversion),
+//   MSDW: all outbound lanes equal; inbound lane free (one converter),
+//   MAW : all lanes free (converter per outbound wavelength).
+// SwitchModule records active transits and rejects illegal ones eagerly;
+// ThreeStageNetwork embeds these so every link's occupancy is visible from
+// both of its endpoint modules and can be cross-checked.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "capacity/models.h"
+#include "optics/wavelength.h"
+
+namespace wdm {
+
+struct ModulePortLane {
+  std::size_t port = 0;
+  Wavelength lane = 0;
+
+  friend auto operator<=>(const ModulePortLane&, const ModulePortLane&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+class SwitchModule {
+ public:
+  using TransitId = std::uint64_t;
+
+  SwitchModule(std::size_t in_ports, std::size_t out_ports, std::size_t lanes,
+               MulticastModel model, std::string name = {});
+
+  [[nodiscard]] std::size_t in_ports() const { return in_used_.size(); }
+  [[nodiscard]] std::size_t out_ports() const { return out_used_.size(); }
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+  [[nodiscard]] MulticastModel model() const { return model_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Would this transit be legal and available right now? nullopt = yes,
+  /// otherwise a human-readable reason.
+  [[nodiscard]] std::optional<std::string> check_transit(
+      const ModulePortLane& in, const std::vector<ModulePortLane>& outs) const;
+
+  /// Install a transit; throws std::logic_error with the check_transit
+  /// reason on failure.
+  TransitId add_transit(const ModulePortLane& in, const std::vector<ModulePortLane>& outs);
+
+  /// Remove a transit; throws std::out_of_range for unknown ids.
+  void remove_transit(TransitId id);
+
+  [[nodiscard]] bool in_lane_free(std::size_t port, Wavelength lane) const;
+  [[nodiscard]] bool out_lane_free(std::size_t port, Wavelength lane) const;
+
+  /// Number of free lanes on an output port (link capacity remaining).
+  [[nodiscard]] std::size_t free_out_lanes(std::size_t port) const;
+  [[nodiscard]] std::size_t free_in_lanes(std::size_t port) const;
+
+  /// Lowest free lane of an output port, if any.
+  [[nodiscard]] std::optional<Wavelength> lowest_free_out_lane(std::size_t port) const;
+
+  [[nodiscard]] std::size_t active_transits() const { return transits_.size(); }
+
+  /// Recompute occupancy from the transit list and compare with the cached
+  /// bitmaps; throws std::logic_error on divergence. Used by network
+  /// self-checks and the property tests.
+  void self_check() const;
+
+ private:
+  struct Transit {
+    ModulePortLane in;
+    std::vector<ModulePortLane> outs;
+  };
+
+  [[nodiscard]] bool& in_slot(std::size_t port, Wavelength lane);
+  [[nodiscard]] bool& out_slot(std::size_t port, Wavelength lane);
+
+  std::size_t lanes_;
+  MulticastModel model_;
+  std::string name_;
+  // occupancy bitmaps: [port][lane]
+  std::vector<std::vector<bool>> in_used_;
+  std::vector<std::vector<bool>> out_used_;
+  std::map<TransitId, Transit> transits_;
+  TransitId next_id_ = 1;
+};
+
+}  // namespace wdm

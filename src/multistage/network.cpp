@@ -1,0 +1,297 @@
+#include "multistage/network.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace wdm {
+
+std::string Route::to_string() const {
+  std::ostringstream os;
+  os << "Route[";
+  for (std::size_t b = 0; b < branches.size(); ++b) {
+    if (b != 0) os << "; ";
+    const RouteBranch& branch = branches[b];
+    os << "mid " << branch.middle << '@' << wavelength_name(branch.link_lane) << " -> ";
+    for (std::size_t l = 0; l < branch.legs.size(); ++l) {
+      if (l != 0) os << ", ";
+      os << "om" << branch.legs[l].out_module << '@'
+         << wavelength_name(branch.legs[l].link_lane);
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+ThreeStageNetwork::ThreeStageNetwork(ClosParams params, Construction construction,
+                                     MulticastModel network_model)
+    : params_(params), construction_(construction), network_model_(network_model) {
+  params_.validate();
+  const MulticastModel inner = inner_model();
+  inputs_.reserve(params_.r);
+  outputs_.reserve(params_.r);
+  middles_.reserve(params_.m);
+  for (std::size_t i = 0; i < params_.r; ++i) {
+    inputs_.emplace_back(params_.n, params_.m, params_.k, inner,
+                         "in" + std::to_string(i));
+    outputs_.emplace_back(params_.m, params_.n, params_.k, network_model,
+                          "out" + std::to_string(i));
+  }
+  for (std::size_t j = 0; j < params_.m; ++j) {
+    middles_.emplace_back(params_.r, params_.r, params_.k, inner,
+                          "mid" + std::to_string(j));
+  }
+}
+
+MulticastModel ThreeStageNetwork::inner_model() const {
+  return construction_ == Construction::kMswDominant ? MulticastModel::kMSW
+                                                     : MulticastModel::kMAW;
+}
+
+const SwitchModule& ThreeStageNetwork::input_module(std::size_t i) const {
+  return inputs_.at(i);
+}
+const SwitchModule& ThreeStageNetwork::middle_module(std::size_t j) const {
+  return middles_.at(j);
+}
+const SwitchModule& ThreeStageNetwork::output_module(std::size_t p) const {
+  return outputs_.at(p);
+}
+
+std::optional<ConnectError> ThreeStageNetwork::check_admissible(
+    const MulticastRequest& request) const {
+  if (const auto error = check_request_shape(request, port_count(), params_.k,
+                                             network_model_)) {
+    return error;
+  }
+  if (busy_inputs_.contains(request.input)) return ConnectError::kInputBusy;
+  for (const auto& out : request.outputs) {
+    if (busy_outputs_.contains(out)) return ConnectError::kOutputBusy;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ThreeStageNetwork::check_route(
+    const MulticastRequest& request, const Route& route) const {
+  if (route.branches.empty()) return "route has no branches";
+
+  // The legs must partition the request's destinations by output module.
+  std::set<WavelengthEndpoint> routed;
+  std::set<std::size_t> middles_used;
+  std::set<std::size_t> modules_delivered;
+  for (const RouteBranch& branch : route.branches) {
+    if (branch.middle >= params_.m) return "branch middle module out of range";
+    if (!middles_used.insert(branch.middle).second) {
+      return "route uses middle module " + std::to_string(branch.middle) + " twice";
+    }
+    if (branch.legs.empty()) return "branch with no legs";
+    if (branch.link_lane >= params_.k) return "branch link lane out of range";
+    for (const DeliveryLeg& leg : branch.legs) {
+      if (leg.out_module >= params_.r) return "leg output module out of range";
+      if (leg.link_lane >= params_.k) return "leg link lane out of range";
+      if (!modules_delivered.insert(leg.out_module).second) {
+        return "two legs deliver to output module " + std::to_string(leg.out_module);
+      }
+      if (leg.destinations.empty()) return "leg with no destinations";
+      for (const auto& dest : leg.destinations) {
+        if (output_module_of(dest.port) != leg.out_module) {
+          return "destination " + dest.to_string() + " not in leg's output module";
+        }
+        if (!routed.insert(dest).second) {
+          return "destination " + dest.to_string() + " routed twice";
+        }
+      }
+    }
+  }
+  if (routed.size() != request.outputs.size()) {
+    return "route covers " + std::to_string(routed.size()) + " of " +
+           std::to_string(request.outputs.size()) + " destinations";
+  }
+  for (const auto& out : request.outputs) {
+    if (!routed.contains(out)) {
+      return "destination " + out.to_string() + " missing from route";
+    }
+  }
+
+  // Module-level dry runs (lane discipline + occupancy).
+  const std::size_t in_module = input_module_of(request.input.port);
+  {
+    std::vector<ModulePortLane> outs;
+    outs.reserve(route.branches.size());
+    for (const RouteBranch& branch : route.branches) {
+      outs.push_back({branch.middle, branch.link_lane});
+    }
+    if (const auto reason = inputs_[in_module].check_transit(
+            {local_port(request.input.port), request.input.lane}, outs)) {
+      return "input module: " + *reason;
+    }
+  }
+  for (const RouteBranch& branch : route.branches) {
+    std::vector<ModulePortLane> outs;
+    outs.reserve(branch.legs.size());
+    for (const DeliveryLeg& leg : branch.legs) {
+      outs.push_back({leg.out_module, leg.link_lane});
+    }
+    if (const auto reason = middles_[branch.middle].check_transit(
+            {in_module, branch.link_lane}, outs)) {
+      return "middle module " + std::to_string(branch.middle) + ": " + *reason;
+    }
+    for (const DeliveryLeg& leg : branch.legs) {
+      std::vector<ModulePortLane> deliveries;
+      deliveries.reserve(leg.destinations.size());
+      for (const auto& dest : leg.destinations) {
+        deliveries.push_back({local_port(dest.port), dest.lane});
+      }
+      if (const auto reason = outputs_[leg.out_module].check_transit(
+              {branch.middle, leg.link_lane}, deliveries)) {
+        return "output module " + std::to_string(leg.out_module) + ": " + *reason;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+ConnectionId ThreeStageNetwork::install(const MulticastRequest& request,
+                                        const Route& route) {
+  if (const auto error = check_admissible(request)) {
+    throw std::logic_error(std::string("ThreeStageNetwork::install: ") +
+                           connect_error_name(*error) + " for " + request.to_string());
+  }
+  if (const auto reason = check_route(request, route)) {
+    throw std::logic_error("ThreeStageNetwork::install: " + *reason);
+  }
+
+  const std::size_t in_module = input_module_of(request.input.port);
+  InstalledTransits installed;
+  {
+    std::vector<ModulePortLane> outs;
+    for (const RouteBranch& branch : route.branches) {
+      outs.push_back({branch.middle, branch.link_lane});
+    }
+    installed.input_transit = inputs_[in_module].add_transit(
+        {local_port(request.input.port), request.input.lane}, outs);
+  }
+  for (const RouteBranch& branch : route.branches) {
+    std::vector<ModulePortLane> outs;
+    for (const DeliveryLeg& leg : branch.legs) {
+      outs.push_back({leg.out_module, leg.link_lane});
+    }
+    installed.middle_transits.emplace_back(
+        branch.middle,
+        middles_[branch.middle].add_transit({in_module, branch.link_lane}, outs));
+    for (const DeliveryLeg& leg : branch.legs) {
+      std::vector<ModulePortLane> deliveries;
+      for (const auto& dest : leg.destinations) {
+        deliveries.push_back({local_port(dest.port), dest.lane});
+      }
+      installed.output_transits.emplace_back(
+          leg.out_module, outputs_[leg.out_module].add_transit(
+                              {branch.middle, leg.link_lane}, deliveries));
+    }
+  }
+
+  const ConnectionId id = next_id_++;
+  busy_inputs_[request.input] = id;
+  for (const auto& out : request.outputs) busy_outputs_[out] = id;
+  connections_.emplace(id, std::make_pair(request, route));
+  transits_.emplace(id, std::move(installed));
+  return id;
+}
+
+void ThreeStageNetwork::release(ConnectionId id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) {
+    throw std::out_of_range("ThreeStageNetwork::release: unknown connection id");
+  }
+  const auto& [request, route] = it->second;
+  const InstalledTransits& installed = transits_.at(id);
+
+  inputs_[input_module_of(request.input.port)].remove_transit(installed.input_transit);
+  for (const auto& [module, transit] : installed.middle_transits) {
+    middles_[module].remove_transit(transit);
+  }
+  for (const auto& [module, transit] : installed.output_transits) {
+    outputs_[module].remove_transit(transit);
+  }
+
+  busy_inputs_.erase(request.input);
+  for (const auto& out : request.outputs) busy_outputs_.erase(out);
+  transits_.erase(id);
+  connections_.erase(it);
+}
+
+bool ThreeStageNetwork::input_busy(const WavelengthEndpoint& endpoint) const {
+  return busy_inputs_.contains(endpoint);
+}
+
+bool ThreeStageNetwork::output_busy(const WavelengthEndpoint& endpoint) const {
+  return busy_outputs_.contains(endpoint);
+}
+
+DestinationMultiset ThreeStageNetwork::middle_destination_multiset(
+    std::size_t j) const {
+  const SwitchModule& middle = middles_.at(j);
+  DestinationMultiset multiset(params_.r, static_cast<std::uint32_t>(params_.k));
+  for (std::size_t p = 0; p < params_.r; ++p) {
+    const std::size_t used = params_.k - middle.free_out_lanes(p);
+    for (std::size_t occurrence = 0; occurrence < used; ++occurrence) multiset.add(p);
+  }
+  return multiset;
+}
+
+std::vector<bool> ThreeStageNetwork::middle_plane_destinations(
+    std::size_t j, Wavelength lane) const {
+  const SwitchModule& middle = middles_.at(j);
+  std::vector<bool> destinations(params_.r);
+  for (std::size_t p = 0; p < params_.r; ++p) {
+    destinations[p] = !middle.out_lane_free(p, lane);
+  }
+  return destinations;
+}
+
+void ThreeStageNetwork::self_check() const {
+  for (const auto& module : inputs_) module.self_check();
+  for (const auto& module : middles_) module.self_check();
+  for (const auto& module : outputs_) module.self_check();
+
+  // Link mirroring: both endpoint modules of every inter-stage link must
+  // agree lane by lane (an input module's output port IS the middle
+  // module's input port, and likewise for stage 2 -> 3).
+  for (std::size_t i = 0; i < params_.r; ++i) {
+    for (std::size_t j = 0; j < params_.m; ++j) {
+      for (Wavelength lane = 0; lane < params_.k; ++lane) {
+        if (inputs_[i].out_lane_free(j, lane) != middles_[j].in_lane_free(i, lane)) {
+          throw std::logic_error(
+              "ThreeStageNetwork: stage 1-2 link state diverged between its "
+              "endpoint modules");
+        }
+      }
+    }
+  }
+  for (std::size_t j = 0; j < params_.m; ++j) {
+    for (std::size_t p = 0; p < params_.r; ++p) {
+      for (Wavelength lane = 0; lane < params_.k; ++lane) {
+        if (middles_[j].out_lane_free(p, lane) != outputs_[p].in_lane_free(j, lane)) {
+          throw std::logic_error(
+              "ThreeStageNetwork: stage 2-3 link state diverged between its "
+              "endpoint modules");
+        }
+      }
+    }
+  }
+
+  std::map<WavelengthEndpoint, ConnectionId> expected_inputs;
+  std::map<WavelengthEndpoint, ConnectionId> expected_outputs;
+  for (const auto& [id, entry] : connections_) {
+    const auto& [request, route] = entry;
+    expected_inputs[request.input] = id;
+    for (const auto& out : request.outputs) expected_outputs[out] = id;
+  }
+  if (expected_inputs != busy_inputs_ || expected_outputs != busy_outputs_) {
+    throw std::logic_error(
+        "ThreeStageNetwork: endpoint busy maps diverged from connection table");
+  }
+}
+
+}  // namespace wdm

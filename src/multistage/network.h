@@ -1,0 +1,145 @@
+// Three-stage WDM multicast network state (paper §3, Fig. 8).
+//
+// ThreeStageNetwork embeds the full module grid -- r input modules (n x m),
+// m middle modules (r x r), r output modules (m x n), every consecutive pair
+// joined by one k-lane link -- and tracks which (link, lane) each active
+// connection occupies. Stage-module models come from the construction
+// (§3.1): MSW-dominant or MAW-dominant for stages 1-2, the network model for
+// stage 3.
+//
+// A Route describes how one multicast connection threads the network: it
+// splits at its input module toward at most x middle modules (branches);
+// each branch's middle module fans out to the output modules it is
+// responsible for (legs); each leg's output module delivers to the final
+// destination wavelengths. install() validates a route end-to-end against
+// every module's lane discipline before committing it, so the network state
+// can never become physically meaningless; the Router (routing.h) is the
+// component that *finds* routes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "combinatorics/multiset.h"
+#include "core/connection.h"
+#include "multistage/clos_params.h"
+#include "multistage/module.h"
+
+namespace wdm {
+
+/// One output-module delivery of a route branch.
+struct DeliveryLeg {
+  std::size_t out_module = 0;
+  /// Lane used on the middle-module -> output-module link.
+  Wavelength link_lane = 0;
+  /// Final destinations, all inside `out_module`.
+  std::vector<WavelengthEndpoint> destinations;
+};
+
+/// One middle-module subtree of a route.
+struct RouteBranch {
+  std::size_t middle = 0;
+  /// Lane used on the input-module -> middle-module link.
+  Wavelength link_lane = 0;
+  std::vector<DeliveryLeg> legs;
+};
+
+struct Route {
+  std::vector<RouteBranch> branches;
+
+  /// Number of middle modules used (the routing spread).
+  [[nodiscard]] std::size_t spread() const { return branches.size(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+class ThreeStageNetwork {
+ public:
+  ThreeStageNetwork(ClosParams params, Construction construction,
+                    MulticastModel network_model);
+
+  [[nodiscard]] const ClosParams& params() const { return params_; }
+  [[nodiscard]] Construction construction() const { return construction_; }
+  [[nodiscard]] MulticastModel network_model() const { return network_model_; }
+  [[nodiscard]] MulticastModel inner_model() const;
+  [[nodiscard]] std::size_t port_count() const { return params_.port_count(); }
+  [[nodiscard]] std::size_t lane_count() const { return params_.k; }
+
+  // -- topology helpers -----------------------------------------------------
+  [[nodiscard]] std::size_t input_module_of(std::size_t port) const {
+    return port / params_.n;
+  }
+  [[nodiscard]] std::size_t output_module_of(std::size_t port) const {
+    return port / params_.n;
+  }
+  [[nodiscard]] std::size_t local_port(std::size_t port) const {
+    return port % params_.n;
+  }
+
+  [[nodiscard]] const SwitchModule& input_module(std::size_t i) const;
+  [[nodiscard]] const SwitchModule& middle_module(std::size_t j) const;
+  [[nodiscard]] const SwitchModule& output_module(std::size_t p) const;
+
+  // -- admission ------------------------------------------------------------
+  /// Shape legality under the network model plus endpoint availability.
+  [[nodiscard]] std::optional<ConnectError> check_admissible(
+      const MulticastRequest& request) const;
+
+  /// Detailed route validation; nullopt = the route would install cleanly.
+  [[nodiscard]] std::optional<std::string> check_route(
+      const MulticastRequest& request, const Route& route) const;
+
+  /// Commit a route. Throws std::logic_error with the check_route reason on
+  /// any inconsistency.
+  ConnectionId install(const MulticastRequest& request, const Route& route);
+
+  /// Tear down a connection; throws std::out_of_range for unknown ids.
+  void release(ConnectionId id);
+
+  [[nodiscard]] bool input_busy(const WavelengthEndpoint& endpoint) const;
+  [[nodiscard]] bool output_busy(const WavelengthEndpoint& endpoint) const;
+  [[nodiscard]] std::size_t active_connections() const { return connections_.size(); }
+  [[nodiscard]] const std::map<ConnectionId, std::pair<MulticastRequest, Route>>&
+  connections() const {
+    return connections_;
+  }
+
+  // -- analysis views (§3.3) ------------------------------------------------
+  /// The destination multiset M_j of middle module j: multiplicity of output
+  /// module p = number of lanes in use on the link j -> p (eq. 2).
+  [[nodiscard]] DestinationMultiset middle_destination_multiset(std::size_t j) const;
+
+  /// MSW-plane view: the set of output modules whose link from middle j has
+  /// `lane` occupied (the ordinary destination set of §3.2).
+  [[nodiscard]] std::vector<bool> middle_plane_destinations(std::size_t j,
+                                                            Wavelength lane) const;
+
+  /// Deep consistency check: every module self-checks, and busy-endpoint
+  /// maps match the connection table. Throws std::logic_error on failure.
+  void self_check() const;
+
+ private:
+  struct InstalledTransits {
+    SwitchModule::TransitId input_transit = 0;
+    std::vector<std::pair<std::size_t, SwitchModule::TransitId>> middle_transits;
+    std::vector<std::pair<std::size_t, SwitchModule::TransitId>> output_transits;
+  };
+
+  ClosParams params_;
+  Construction construction_;
+  MulticastModel network_model_;
+
+  std::vector<SwitchModule> inputs_;
+  std::vector<SwitchModule> middles_;
+  std::vector<SwitchModule> outputs_;
+
+  std::map<ConnectionId, std::pair<MulticastRequest, Route>> connections_;
+  std::map<ConnectionId, InstalledTransits> transits_;
+  std::map<WavelengthEndpoint, ConnectionId> busy_inputs_;
+  std::map<WavelengthEndpoint, ConnectionId> busy_outputs_;
+  ConnectionId next_id_ = 1;
+};
+
+}  // namespace wdm

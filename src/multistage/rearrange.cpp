@@ -1,0 +1,230 @@
+#include "multistage/rearrange.h"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <stdexcept>
+
+namespace wdm {
+
+PaullMatrix::PaullMatrix(std::size_t r, std::size_t m, std::size_t n)
+    : r_(r), m_(m), n_(n) {
+  if (r == 0 || m == 0 || n == 0) {
+    throw std::invalid_argument("PaullMatrix: r, m, n >= 1");
+  }
+  row_col_.assign(r, std::vector<std::size_t>(m, kNone));
+  col_row_.assign(r, std::vector<std::size_t>(m, kNone));
+  row_count_.assign(r, 0);
+  col_count_.assign(r, 0);
+}
+
+std::optional<std::size_t> PaullMatrix::insert(std::size_t row, std::size_t col) {
+  if (row >= r_ || col >= r_) {
+    throw std::out_of_range("PaullMatrix::insert: module index out of range");
+  }
+  if (row_count_[row] >= n_ || col_count_[col] >= n_) {
+    return std::nullopt;  // illegal load: more calls than module ports
+  }
+
+  // Fast path: a symbol free in both the row and the column.
+  for (std::size_t s = 0; s < m_; ++s) {
+    if (row_col_[row][s] == kNone && col_row_[col][s] == kNone) {
+      row_col_[row][s] = col;
+      col_row_[col][s] = row;
+      ++row_count_[row];
+      ++col_count_[col];
+      ++calls_;
+      return s;
+    }
+  }
+
+  // Paull chain: pick a free-in-row symbol `a` and free-in-column symbol
+  // `b`, then swap a<->b along the alternating chain so `a` becomes free in
+  // the column too.
+  std::size_t a = kNone, b = kNone;
+  for (std::size_t s = 0; s < m_; ++s) {
+    if (a == kNone && row_col_[row][s] == kNone) a = s;
+    if (b == kNone && col_row_[col][s] == kNone) b = s;
+  }
+  if (a == kNone || b == kNone) return std::nullopt;  // m < n load pressure
+
+  // Textbook alternating chain. We will give the new call symbol `a`, so
+  // `a`'s existing occurrence in `col` must be displaced to `b`; if `b`
+  // then collides in that row, its occurrence moves to `a`, and so on. The
+  // chain visits distinct cells (an alternating path in the bipartite
+  // row/column graph), so it terminates.
+  // Loop invariant: the cell (pending_row, pending_col) carries
+  // `from_symbol` (its row index says so) and must be converted to
+  // `to_symbol`. The column index col_row_[pending_col][from_symbol] may
+  // already point at a *kept* duplicate occurrence, so it is cleared only
+  // when it points at this cell.
+  std::size_t pending_row = col_row_[col][a];  // a is used in col (else fast path)
+  std::size_t pending_col = col;
+  const std::size_t from_symbol = a;
+  const std::size_t to_symbol = b;
+  while (pending_row != kNone) {
+    const std::size_t r = pending_row;
+    const std::size_t c = pending_col;
+    // Where does `to_symbol` already occur in this row (the next row link)?
+    const std::size_t to_col = row_col_[r][to_symbol];
+    // Convert (r, c): from_symbol -> to_symbol.
+    row_col_[r][from_symbol] = kNone;
+    if (col_row_[c][from_symbol] == r) col_row_[c][from_symbol] = kNone;
+    row_col_[r][to_symbol] = c;
+    col_row_[c][to_symbol] = r;
+    moves_.push_back({r, c, from_symbol, to_symbol});
+    if (to_col == kNone) break;
+
+    // to_symbol also sat at (r, to_col); convert that cell back to
+    // from_symbol. from_symbol's prior occurrence in to_col (if any)
+    // becomes the next conflict to displace.
+    const std::size_t next_row = col_row_[to_col][from_symbol];
+    if (col_row_[to_col][to_symbol] == r) col_row_[to_col][to_symbol] = kNone;
+    row_col_[r][from_symbol] = to_col;
+    col_row_[to_col][from_symbol] = r;
+    moves_.push_back({r, to_col, to_symbol, from_symbol});
+    if (next_row == kNone) break;
+    pending_row = next_row;
+    pending_col = to_col;
+  }
+
+  // `a` is now free in both row and col: place the new call on it.
+  row_col_[row][a] = col;
+  col_row_[col][a] = row;
+  ++row_count_[row];
+  ++col_count_[col];
+  ++calls_;
+  return a;
+}
+
+void PaullMatrix::remove(std::size_t row, std::size_t col, std::size_t middle) {
+  if (row >= r_ || col >= r_ || middle >= m_) {
+    throw std::out_of_range("PaullMatrix::remove: out of range");
+  }
+  if (row_col_[row][middle] != col || col_row_[col][middle] != row) {
+    throw std::logic_error("PaullMatrix::remove: no such call");
+  }
+  row_col_[row][middle] = kNone;
+  col_row_[col][middle] = kNone;
+  --row_count_[row];
+  --col_count_[col];
+  --calls_;
+}
+
+void PaullMatrix::check_invariants() const {
+  for (std::size_t row = 0; row < r_; ++row) {
+    std::size_t count = 0;
+    for (std::size_t s = 0; s < m_; ++s) {
+      const std::size_t col = row_col_[row][s];
+      if (col == kNone) continue;
+      ++count;
+      if (col >= r_ || col_row_[col][s] != row) {
+        throw std::logic_error("PaullMatrix: row/column index mismatch");
+      }
+    }
+    if (count != row_count_[row] || count > n_) {
+      throw std::logic_error("PaullMatrix: row count invariant violated");
+    }
+  }
+  for (std::size_t col = 0; col < r_; ++col) {
+    std::size_t count = 0;
+    for (std::size_t s = 0; s < m_; ++s) {
+      if (col_row_[col][s] != kNone) ++count;
+    }
+    if (count != col_count_[col] || count > n_) {
+      throw std::logic_error("PaullMatrix: column count invariant violated");
+    }
+  }
+}
+
+std::string PermutationRouting::to_string() const {
+  std::ostringstream os;
+  os << middle_of_call.size() << " calls, " << rearranged_calls
+     << " rearranged";
+  return os.str();
+}
+
+namespace {
+
+void validate_permutation(std::size_t N, const std::vector<std::size_t>& perm) {
+  if (perm.size() != N) {
+    throw std::invalid_argument("route_permutation: permutation size != n*r");
+  }
+  std::vector<bool> seen(N, false);
+  for (const std::size_t t : perm) {
+    if (t >= N || seen[t]) {
+      throw std::invalid_argument("route_permutation: not a permutation");
+    }
+    seen[t] = true;
+  }
+}
+
+}  // namespace
+
+std::optional<PermutationRouting> route_permutation(
+    std::size_t n, std::size_t r, std::size_t m,
+    const std::vector<std::size_t>& destination_of) {
+  const std::size_t N = n * r;
+  validate_permutation(N, destination_of);
+  PaullMatrix matrix(r, m, n);
+  PermutationRouting routing;
+  routing.middle_of_call.resize(N);
+
+  // Rearrangements move *earlier* calls between middles, so final
+  // assignments are reconstructed by replaying the move log against a
+  // (row, col, middle) -> call index map (a symbol appears once per row, so
+  // the triple identifies the call uniquely).
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>, std::size_t> cell_call;
+  for (std::size_t q = 0; q < N; ++q) {
+    const std::size_t row = q / n;
+    const std::size_t col = destination_of[q] / n;
+    const std::size_t before = matrix.move_log().size();
+    const auto middle = matrix.insert(row, col);
+    if (!middle) return std::nullopt;
+    for (std::size_t i = before; i < matrix.move_log().size(); ++i) {
+      const PaullMatrix::Move& move = matrix.move_log()[i];
+      const auto node = cell_call.extract({move.row, move.col, move.from_middle});
+      if (node.empty()) {
+        throw std::logic_error("route_permutation: move references unknown call");
+      }
+      const std::size_t moved_call = node.mapped();
+      cell_call[{move.row, move.col, move.to_middle}] = moved_call;
+      routing.middle_of_call[moved_call] = move.to_middle;
+      ++routing.rearranged_calls;
+    }
+    cell_call[{row, col, *middle}] = q;
+    routing.middle_of_call[q] = *middle;
+    matrix.check_invariants();
+  }
+  return routing;
+}
+
+std::optional<PermutationRouting> route_permutation_first_fit(
+    std::size_t n, std::size_t r, std::size_t m,
+    const std::vector<std::size_t>& destination_of) {
+  const std::size_t N = n * r;
+  validate_permutation(N, destination_of);
+  // Track row/column symbol usage directly (no chains).
+  std::vector<std::vector<bool>> row_used(r, std::vector<bool>(m, false));
+  std::vector<std::vector<bool>> col_used(r, std::vector<bool>(m, false));
+  PermutationRouting routing;
+  routing.middle_of_call.resize(N);
+  for (std::size_t q = 0; q < N; ++q) {
+    const std::size_t row = q / n;
+    const std::size_t col = destination_of[q] / n;
+    bool placed = false;
+    for (std::size_t s = 0; s < m; ++s) {
+      if (!row_used[row][s] && !col_used[col][s]) {
+        row_used[row][s] = true;
+        col_used[col][s] = true;
+        routing.middle_of_call[q] = s;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return std::nullopt;
+  }
+  return routing;
+}
+
+}  // namespace wdm

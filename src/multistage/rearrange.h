@@ -1,0 +1,94 @@
+// Rearrangeable routing: the classical baseline under the paper's theory.
+//
+// The multistage literature the paper builds on ([11]-[16]) rests on the
+// Slepian-Duguid theorem: a three-stage Clos network with m >= n is
+// *rearrangeably* nonblocking for unicast -- any permutation is routable if
+// existing calls may be moved. Paull's matrix algorithm realizes this: rows
+// are input modules, columns output modules, entries the middle modules
+// carrying calls between them; a symbol may appear at most once per row and
+// per column (one k=1 link each way). A new call takes a symbol free in its
+// row and column, or triggers an alternating a/b swap chain.
+//
+// This gives the cost hierarchy the paper's Table 2 sits on top of:
+//   rearrangeable unicast        m = n          (moves calls),
+//   strict-sense unicast (Clos)  m = 2n-1       (never moves),
+//   strict-sense multicast       m from Theorem 1 (never moves, multicast).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wdm {
+
+class PaullMatrix {
+ public:
+  /// r x r matrix over m middle symbols; each input module has n ports (the
+  /// per-row/column call count can then reach n).
+  PaullMatrix(std::size_t r, std::size_t m, std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return r_; }
+  [[nodiscard]] std::size_t symbols() const { return m_; }
+
+  /// One moved call during an insertion.
+  struct Move {
+    std::size_t row, col;
+    std::size_t from_middle, to_middle;
+  };
+
+  /// Place a call from input module `row` to output module `col`. Returns
+  /// the middle module assigned (rearranging existing calls if necessary)
+  /// or nullopt when even rearrangement cannot help (only possible when the
+  /// load is illegal or m < n). Moves performed are appended to the log.
+  [[nodiscard]] std::optional<std::size_t> insert(std::size_t row, std::size_t col);
+
+  /// Remove one call carried by `middle` between `row` and `col`; throws
+  /// std::logic_error if absent.
+  void remove(std::size_t row, std::size_t col, std::size_t middle);
+
+  [[nodiscard]] std::size_t call_count() const { return calls_; }
+  [[nodiscard]] const std::vector<Move>& move_log() const { return moves_; }
+
+  /// Verify the Paull invariants (symbol once per row / column, counts
+  /// within n); throws std::logic_error on violation.
+  void check_invariants() const;
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  std::size_t r_, m_, n_;
+  // row_col_[row][symbol] = column where this symbol is used in `row`.
+  std::vector<std::vector<std::size_t>> row_col_;
+  // col_row_[col][symbol] = row where this symbol is used in `col`.
+  std::vector<std::vector<std::size_t>> col_row_;
+  std::vector<std::size_t> row_count_;
+  std::vector<std::size_t> col_count_;
+  std::size_t calls_ = 0;
+  std::vector<Move> moves_;
+};
+
+struct PermutationRouting {
+  /// middle_of_call[q] = middle module carrying input port q.
+  std::vector<std::size_t> middle_of_call;
+  std::size_t rearranged_calls = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Route the permutation `destination_of` (input port -> output port) on an
+/// (n, r, m) Clos via Paull's algorithm. nullopt iff some call could not be
+/// placed (never happens for m >= n -- Slepian-Duguid).
+[[nodiscard]] std::optional<PermutationRouting> route_permutation(
+    std::size_t n, std::size_t r, std::size_t m,
+    const std::vector<std::size_t>& destination_of);
+
+/// First-fit WITHOUT rearrangement (the strict-sense discipline): route the
+/// permutation call by call, each taking a symbol free in row and column,
+/// failing if none. Succeeds for every permutation when m >= 2n-1 (Clos'
+/// theorem); may fail below.
+[[nodiscard]] std::optional<PermutationRouting> route_permutation_first_fit(
+    std::size_t n, std::size_t r, std::size_t m,
+    const std::vector<std::size_t>& destination_of);
+
+}  // namespace wdm

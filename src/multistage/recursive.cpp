@@ -1,0 +1,118 @@
+#include "multistage/recursive.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "capacity/cost.h"
+#include "core/switch_design.h"
+
+namespace wdm {
+
+namespace {
+
+bool factorizable(std::size_t size) {
+  if (size < 4) return false;
+  for (std::size_t divisor = 2; divisor * divisor <= size; ++divisor) {
+    if (size % divisor == 0) return true;
+  }
+  return false;
+}
+
+// Crosspoints of an S x S MSW-dominant network whose middle modules are
+// expanded `depth` more times; fills `levels` outermost-first. The network
+// model only matters at the outermost output stage, handled by the caller.
+std::uint64_t msw_core_crosspoints(std::size_t size, std::size_t k,
+                                   std::size_t depth,
+                                   std::vector<RecursiveDesign::Level>& levels) {
+  if (depth == 0) {
+    return crossbar_cost(size, k, MulticastModel::kMSW).crosspoints;
+  }
+  if (!factorizable(size)) {
+    throw std::invalid_argument(
+        "recursive_design: size " + std::to_string(size) +
+        " cannot be decomposed further (prime or < 4)");
+  }
+  const auto [n, r] = balanced_factorization(size);
+  const NonblockingBound bound = theorem1_min_m(n, r);
+  const std::size_t m = std::max(bound.m, n);
+  levels.push_back({n, r, m, bound.x});
+
+  // r input modules (n x m crossbars, MSW) + m recursively-built r x r
+  // middles + r output modules (m x n crossbars; MSW here -- the caller
+  // corrects the outermost output stage for stronger network models).
+  const std::uint64_t edge_modules =
+      static_cast<std::uint64_t>(r) * k * n * m +  // input stage
+      static_cast<std::uint64_t>(r) * k * m * n;   // output stage (MSW basis)
+  return edge_modules + m * msw_core_crosspoints(r, k, depth - 1, levels);
+}
+
+}  // namespace
+
+std::string RecursiveDesign::to_string() const {
+  std::ostringstream os;
+  os << stages << "-stage N=" << size << ": crosspoints=" << crosspoints
+     << " converters=" << converters;
+  for (const Level& level : levels) {
+    os << " | (n=" << level.n << ", r=" << level.r << ", m=" << level.m
+       << ", x=" << level.x << ")";
+  }
+  return os.str();
+}
+
+RecursiveDesign recursive_design(std::size_t N, std::size_t k,
+                                 MulticastModel model, std::size_t depth) {
+  if (N == 0 || k == 0) throw std::invalid_argument("recursive_design: N, k >= 1");
+  RecursiveDesign design;
+  design.size = N;
+  design.stages = 2 * depth + 1;
+
+  if (depth == 0) {
+    const CrossbarCost cost = crossbar_cost(N, k, model);
+    design.crosspoints = cost.crosspoints;
+    design.converters = cost.converters;
+    return design;
+  }
+
+  design.crosspoints = msw_core_crosspoints(N, k, depth, design.levels);
+
+  // The outermost output stage carries the network model: upgrade its r
+  // m x n modules from the MSW basis (k m n each) to k^2 m n for MSDW/MAW,
+  // and attach the converters.
+  const RecursiveDesign::Level& outer = design.levels.front();
+  if (model != MulticastModel::kMSW) {
+    const std::uint64_t basis =
+        static_cast<std::uint64_t>(outer.r) * k * outer.m * outer.n;
+    design.crosspoints += basis * (k - 1);  // k m n -> k^2 m n per §2.3.1
+    design.converters =
+        model == MulticastModel::kMSDW
+            ? static_cast<std::uint64_t>(outer.r) * outer.m * k   // Fig. 3a
+            : static_cast<std::uint64_t>(outer.r) * outer.n * k;  // Fig. 3b: kN
+  }
+  return design;
+}
+
+std::size_t max_recursion_depth(std::size_t N) {
+  std::size_t depth = 0;
+  std::size_t size = N;
+  while (factorizable(size)) {
+    const auto [n, r] = balanced_factorization(size);
+    (void)n;
+    ++depth;
+    size = r;
+  }
+  return depth;
+}
+
+RecursiveDesign best_recursive_design(std::size_t N, std::size_t k,
+                                      MulticastModel model) {
+  RecursiveDesign best = recursive_design(N, k, model, 0);
+  const std::size_t limit = max_recursion_depth(N);
+  for (std::size_t depth = 1; depth <= limit; ++depth) {
+    const RecursiveDesign candidate = recursive_design(N, k, model, depth);
+    if (candidate.crosspoints < best.crosspoints) best = candidate;
+  }
+  return best;
+}
+
+}  // namespace wdm

@@ -1,0 +1,61 @@
+// Recursive multistage construction (§3: "a network can have any odd number
+// of stages and be built in a recursive fashion from these switching
+// modules").
+//
+// We follow the standard recursion the paper implies: each r x r middle
+// module of a three-stage network is itself realized as a (recursively
+// built) nonblocking three-stage network of size r, sized by Theorem 1 on
+// its own geometry. Stages 1-2 of every level adopt MSW (the construction
+// §3.4 recommends); only the outermost output stage carries the network
+// model, so converter counts are unchanged by depth. Each expansion turns a
+// (2s+1)-stage network into a (2s+3)-stage one and trades the middle
+// crossbars' k*r^2 gates for ~k*r^1.5 scaling -- the same √ gain applied
+// again, at the cost of a larger constant (every level multiplies by its
+// own m/r > 1 overprovisioning factor).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capacity/models.h"
+#include "multistage/nonblocking.h"
+
+namespace wdm {
+
+struct RecursiveDesign {
+  std::size_t size = 0;        // N of this (sub)network
+  std::size_t stages = 1;      // 1 = crossbar module, 3, 5, 7, ...
+  std::uint64_t crosspoints = 0;
+  std::uint64_t converters = 0;
+
+  /// One entry per expansion level, outermost first.
+  struct Level {
+    std::size_t n = 0;  // module inputs at this level
+    std::size_t r = 0;  // input/output module count (= middle module size)
+    std::size_t m = 0;  // middle module count (Theorem 1)
+    std::size_t x = 0;  // routing spread at this level
+  };
+  std::vector<Level> levels;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Build the cost model for an N x N k-lane network under `model` with
+/// exactly `depth` recursive expansions (depth 0 = crossbar, 1 = three
+/// stages, 2 = five stages, ...). Factorizations are balanced at every
+/// level. Throws std::invalid_argument if some level's middle size cannot
+/// be factorized (prime or < 4) before reaching the requested depth.
+[[nodiscard]] RecursiveDesign recursive_design(std::size_t N, std::size_t k,
+                                               MulticastModel model,
+                                               std::size_t depth);
+
+/// Deepest achievable expansion for this N (how many times the middle size
+/// stays factorizable).
+[[nodiscard]] std::size_t max_recursion_depth(std::size_t N);
+
+/// The cheapest depth in [0, max_recursion_depth(N)] by crosspoints.
+[[nodiscard]] RecursiveDesign best_recursive_design(std::size_t N, std::size_t k,
+                                                    MulticastModel model);
+
+}  // namespace wdm

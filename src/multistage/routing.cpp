@@ -1,0 +1,287 @@
+#include "multistage/routing.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace wdm {
+
+namespace {
+
+/// Per-output-module delivery requirements of one request.
+struct ModuleDemand {
+  std::vector<WavelengthEndpoint> destinations;
+  /// Set when the output module cannot convert (MSW): the one link lane that
+  /// can feed it. kNoWavelength = any free lane acceptable.
+  Wavelength required_link_lane = kNoWavelength;
+};
+
+}  // namespace
+
+Router::Router(ThreeStageNetwork& network, RoutingPolicy policy)
+    : network_(&network), policy_(policy) {
+  if (policy_.max_spread == 0) {
+    throw std::invalid_argument("Router: max_spread must be >= 1");
+  }
+}
+
+RoutingPolicy Router::recommended_policy(const ClosParams& params,
+                                         Construction construction) {
+  const NonblockingBound bound =
+      construction == Construction::kMswDominant
+          ? theorem1_min_m(params.n, params.r)
+          : theorem2_min_m(params.n, params.r, params.k);
+  return {bound.x, RouteSearch::kExhaustive};
+}
+
+std::vector<std::size_t> Router::candidate_middles(std::size_t in_module,
+                                                   Wavelength lane) const {
+  const ClosParams& params = network_->params();
+  const SwitchModule& input = network_->input_module(in_module);
+  std::vector<std::size_t> candidates;
+  candidates.reserve(params.m);
+  for (std::size_t j = 0; j < params.m; ++j) {
+    const bool usable = network_->construction() == Construction::kMswDominant
+                            ? input.out_lane_free(j, lane)
+                            : input.free_out_lanes(j) > 0;
+    if (usable) candidates.push_back(j);
+  }
+  return candidates;
+}
+
+std::optional<Route> Router::find_route(const MulticastRequest& request) const {
+  const Construction construction = network_->construction();
+  const MulticastModel output_model = network_->network_model();
+  const std::size_t in_module = network_->input_module_of(request.input.port);
+  const Wavelength source_lane = request.input.lane;
+
+  // Group destinations by output module and work out each module's link-lane
+  // requirement.
+  std::map<std::size_t, ModuleDemand> demands;
+  for (const auto& out : request.outputs) {
+    demands[network_->output_module_of(out.port)].destinations.push_back(out);
+  }
+  for (auto& [module, demand] : demands) {
+    if (construction == Construction::kMswDominant) {
+      // Stages 1-2 hold the source lane, so every module is fed on it.
+      demand.required_link_lane = source_lane;
+    } else if (output_model == MulticastModel::kMSW) {
+      // MAW-dominant feeding an MSW output module: the module cannot
+      // convert, so the link must already carry the destination lane (all
+      // destinations in the module share it under an MSW network model).
+      const Wavelength lane = demand.destinations.front().lane;
+      for (const auto& dest : demand.destinations) {
+        if (dest.lane != lane) return std::nullopt;  // unsatisfiable demand
+      }
+      demand.required_link_lane = lane;
+    }
+  }
+
+  const std::vector<std::size_t> candidates =
+      candidate_middles(in_module, source_lane);
+  if (candidates.empty()) return std::nullopt;
+
+  // serves[c][t]: can candidate c feed target t (demands in map order)?
+  std::vector<std::size_t> target_modules;
+  target_modules.reserve(demands.size());
+  for (const auto& [module, demand] : demands) target_modules.push_back(module);
+
+  const std::size_t n_targets = target_modules.size();
+  std::vector<std::vector<bool>> serves(candidates.size(),
+                                        std::vector<bool>(n_targets, false));
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    const SwitchModule& middle = network_->middle_module(candidates[c]);
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      const ModuleDemand& demand = demands.at(target_modules[t]);
+      serves[c][t] = demand.required_link_lane == kNoWavelength
+                         ? middle.free_out_lanes(target_modules[t]) > 0
+                         : middle.out_lane_free(target_modules[t],
+                                                demand.required_link_lane);
+    }
+  }
+
+  // --- cover search: at most max_spread candidates covering all targets ---
+  std::vector<std::size_t> chosen;  // indices into `candidates`
+  std::vector<bool> covered(n_targets, false);
+  std::size_t uncovered = n_targets;
+
+  auto coverage_gain = [&](std::size_t c) {
+    std::size_t gain = 0;
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      if (!covered[t] && serves[c][t]) ++gain;
+    }
+    return gain;
+  };
+  auto apply = [&](std::size_t c, std::vector<std::size_t>& newly) {
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      if (!covered[t] && serves[c][t]) {
+        covered[t] = true;
+        newly.push_back(t);
+        --uncovered;
+      }
+    }
+    chosen.push_back(c);
+  };
+  auto undo = [&](const std::vector<std::size_t>& newly) {
+    for (const std::size_t t : newly) {
+      covered[t] = false;
+      ++uncovered;
+    }
+    chosen.pop_back();
+  };
+
+  bool found = false;
+  if (policy_.search == RouteSearch::kGreedy) {
+    while (uncovered > 0 && chosen.size() < policy_.max_spread) {
+      std::size_t best = candidates.size();
+      std::size_t best_gain = 0;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (std::find(chosen.begin(), chosen.end(), c) != chosen.end()) continue;
+        const std::size_t gain = coverage_gain(c);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = c;
+        }
+      }
+      if (best == candidates.size()) break;
+      std::vector<std::size_t> newly;
+      apply(best, newly);
+    }
+    found = (uncovered == 0);
+  } else {
+    // Exhaustive: branch on the uncovered target with the fewest servers;
+    // complete because any cover must include one of that target's servers.
+    auto dfs = [&](auto&& self) -> bool {
+      if (uncovered == 0) return true;
+      if (chosen.size() >= policy_.max_spread) return false;
+      std::size_t pivot = n_targets;
+      std::size_t pivot_servers = candidates.size() + 1;
+      for (std::size_t t = 0; t < n_targets; ++t) {
+        if (covered[t]) continue;
+        std::size_t servers = 0;
+        for (std::size_t c = 0; c < candidates.size(); ++c) {
+          if (serves[c][t] &&
+              std::find(chosen.begin(), chosen.end(), c) == chosen.end()) {
+            ++servers;
+          }
+        }
+        if (servers == 0) return false;  // dead end
+        if (servers < pivot_servers) {
+          pivot_servers = servers;
+          pivot = t;
+        }
+      }
+      // Try the pivot's servers, highest additional coverage first.
+      std::vector<std::size_t> options;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (serves[c][pivot] &&
+            std::find(chosen.begin(), chosen.end(), c) == chosen.end()) {
+          options.push_back(c);
+        }
+      }
+      std::sort(options.begin(), options.end(), [&](std::size_t a, std::size_t b) {
+        return coverage_gain(a) > coverage_gain(b);
+      });
+      for (const std::size_t c : options) {
+        std::vector<std::size_t> newly;
+        apply(c, newly);
+        if (self(self)) return true;
+        undo(newly);
+      }
+      return false;
+    };
+    found = dfs(dfs);
+  }
+  if (!found) return std::nullopt;
+
+  // --- materialize the route: assign each target to its covering branch ---
+  // Re-derive the assignment: walk chosen in order, give each chosen middle
+  // the targets it serves that are still unassigned.
+  std::vector<bool> assigned(n_targets, false);
+  Route route;
+  const SwitchModule& input = network_->input_module(in_module);
+  for (const std::size_t c : chosen) {
+    RouteBranch branch;
+    branch.middle = candidates[c];
+    const SwitchModule& middle = network_->middle_module(branch.middle);
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      if (assigned[t] || !serves[c][t]) continue;
+      assigned[t] = true;
+      const std::size_t module = target_modules[t];
+      const ModuleDemand& demand = demands.at(module);
+      DeliveryLeg leg;
+      leg.out_module = module;
+      if (demand.required_link_lane != kNoWavelength) {
+        leg.link_lane = demand.required_link_lane;
+      } else {
+        // Preferred lane: the common destination lane when the module's
+        // destinations agree (saves the output module a conversion), else
+        // the source lane.
+        Wavelength preferred = demand.destinations.front().lane;
+        for (const auto& dest : demand.destinations) {
+          if (dest.lane != preferred) {
+            preferred = source_lane;
+            break;
+          }
+        }
+        const auto lane = pick_lane(middle, module, preferred);
+        if (!lane) return std::nullopt;  // should not happen: serves[] said free
+        leg.link_lane = *lane;
+      }
+      leg.destinations = demand.destinations;
+      branch.legs.push_back(std::move(leg));
+    }
+    if (branch.legs.empty()) continue;  // greedy may over-pick; drop idle branch
+    if (network_->construction() == Construction::kMswDominant) {
+      branch.link_lane = source_lane;
+    } else {
+      const auto lane = pick_lane(input, branch.middle, source_lane);
+      if (!lane) return std::nullopt;  // candidate check said a lane was free
+      branch.link_lane = *lane;
+    }
+    route.branches.push_back(std::move(branch));
+  }
+  return route;
+}
+
+std::optional<Wavelength> Router::pick_lane(const SwitchModule& module,
+                                            std::size_t out_port,
+                                            Wavelength preferred) const {
+  if (policy_.lanes == LanePolicy::kPreferSource &&
+      module.out_lane_free(out_port, preferred)) {
+    return preferred;
+  }
+  return module.lowest_free_out_lane(out_port);
+}
+
+std::size_t conversions_in_route(const MulticastRequest& request,
+                                 const Route& route) {
+  std::size_t conversions = 0;
+  for (const RouteBranch& branch : route.branches) {
+    if (branch.link_lane != request.input.lane) ++conversions;  // input module
+    for (const DeliveryLeg& leg : branch.legs) {
+      if (leg.link_lane != branch.link_lane) ++conversions;  // middle module
+      for (const auto& dest : leg.destinations) {
+        if (dest.lane != leg.link_lane) ++conversions;  // output module
+      }
+    }
+  }
+  return conversions;
+}
+
+std::optional<ConnectionId> Router::try_connect(const MulticastRequest& request) {
+  if (const auto error = network_->check_admissible(request)) {
+    last_error_ = *error;
+    return std::nullopt;
+  }
+  const auto route = find_route(request);
+  if (!route) {
+    last_error_ = ConnectError::kBlocked;
+    return std::nullopt;
+  }
+  return network_->install(request, *route);
+}
+
+void Router::disconnect(ConnectionId id) { network_->release(id); }
+
+}  // namespace wdm

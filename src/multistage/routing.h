@@ -1,0 +1,98 @@
+// The paper's routing strategy for three-stage WDM multicast networks.
+//
+// Each connection is realized through at most x middle modules (the spread;
+// §3.2). Routing therefore reduces to a small set-cover feasibility
+// question, which is exactly Lemma 4: x middle modules can carry the request
+// iff every required output module is *served* by at least one of them,
+// i.e. the intersection of their (restricted) destination sets is empty.
+//
+//   MSW-dominant: the connection stays on its source lane end-to-end through
+//   stages 1-2, so middle module j is a candidate iff lane lambda is free on
+//   the link in->j, and serves output module p iff lambda is free on j->p
+//   (the per-wavelength-plane reduction of §3.2).
+//
+//   MAW-dominant: stages 1-2 convert freely, so j is a candidate iff the
+//   link in->j has any free lane, and serves p iff the link j->p can carry
+//   one more connection on whichever lane the *output* module's model needs:
+//   any free lane for MSDW/MAW output modules, the destination lane itself
+//   for MSW output modules (they cannot convert).
+//
+// The default search is exhaustive (complete within the spread limit):
+// branch on the uncovered output module with the fewest serving candidates.
+// A greedy most-coverage-first variant exists for ablation; it can block
+// where the exhaustive search would not.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "multistage/network.h"
+#include "multistage/nonblocking.h"
+
+namespace wdm {
+
+enum class RouteSearch { kExhaustive, kGreedy };
+
+/// Which lane an MAW-dominant route picks on a link when several are free
+/// (MSW-dominant routes have no choice -- they hold the source lane).
+///   kFirstFit     - lowest-numbered free lane (packs low lanes first);
+///   kPreferSource - the connection's source lane when free, else first
+///                   fit: minimizes wavelength conversions performed by the
+///                   stage-1/2 MAW modules at no cost in routability.
+enum class LanePolicy { kFirstFit, kPreferSource };
+
+struct RoutingPolicy {
+  /// Maximum middle modules per connection (the x of Theorems 1-2).
+  std::size_t max_spread = 1;
+  RouteSearch search = RouteSearch::kExhaustive;
+  LanePolicy lanes = LanePolicy::kFirstFit;
+};
+
+class Router {
+ public:
+  Router(ThreeStageNetwork& network, RoutingPolicy policy);
+
+  /// Policy with the spread that optimizes the relevant theorem bound for
+  /// this geometry (Theorem 1 for MSW-dominant, Theorem 2 for MAW-dominant).
+  [[nodiscard]] static RoutingPolicy recommended_policy(const ClosParams& params,
+                                                        Construction construction);
+
+  [[nodiscard]] const RoutingPolicy& policy() const { return policy_; }
+  [[nodiscard]] ThreeStageNetwork& network() { return *network_; }
+
+  /// Find a route for an (assumed admissible) request under the current
+  /// network state. nullopt = blocked at the middle stage.
+  [[nodiscard]] std::optional<Route> find_route(const MulticastRequest& request) const;
+
+  /// Admission + routing + installation. nullopt on failure; the reason is
+  /// retained in last_error().
+  [[nodiscard]] std::optional<ConnectionId> try_connect(const MulticastRequest& request);
+
+  void disconnect(ConnectionId id);
+
+  [[nodiscard]] ConnectError last_error() const { return last_error_; }
+
+ private:
+  /// Lane choice on a module's output link honoring the lane policy.
+  [[nodiscard]] std::optional<Wavelength> pick_lane(const SwitchModule& module,
+                                                    std::size_t out_port,
+                                                    Wavelength preferred) const;
+  /// Which middle modules could carry one more branch from input module i on
+  /// source lane `lane`.
+  [[nodiscard]] std::vector<std::size_t> candidate_middles(std::size_t in_module,
+                                                           Wavelength lane) const;
+
+  ThreeStageNetwork* network_;
+  RoutingPolicy policy_;
+  ConnectError last_error_ = ConnectError::kBlocked;
+};
+
+/// Number of wavelength conversions the route performs inside the network:
+/// one whenever a link lane differs from the lane the signal arrived on
+/// (stages 1-2), plus one per destination whose lane differs from the last
+/// link lane (stage 3). Zero for any MSW-dominant route of an MSW request.
+[[nodiscard]] std::size_t conversions_in_route(const MulticastRequest& request,
+                                               const Route& route);
+
+}  // namespace wdm

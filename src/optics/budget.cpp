@@ -1,0 +1,80 @@
+#include "optics/budget.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wdm {
+
+namespace {
+
+// Loss of one a-in x b-out splitter/gate/combiner crossbar module traversal
+// (the Fig. 5 structure generalized): split to b outputs, one gate, combine
+// from a inputs. `wavelength_fabric` selects the Nk x Nk organization of
+// Figs. 6-7 where splitters/combiners span a*k / b*k wavelengths.
+double module_traversal_db(std::size_t a, std::size_t b, std::size_t k,
+                           MulticastModel model, const LossModel& losses) {
+  const bool wavelength_fabric = model != MulticastModel::kMSW;
+  const auto split_fan =
+      static_cast<std::uint32_t>(wavelength_fabric ? b * k : b);
+  const auto combine_fan =
+      static_cast<std::uint32_t>(wavelength_fabric ? a * k : a);
+  double loss = losses.splitter_loss_db(split_fan) + losses.gate_db +
+                losses.combiner_loss_db(combine_fan);
+  if (model != MulticastModel::kMSW) loss += losses.converter_db;
+  return loss;
+}
+
+}  // namespace
+
+std::string PowerBudget::to_string() const {
+  std::ostringstream os;
+  os << "loss=" << worst_path_loss_db << "dB gates=" << gate_stages
+     << " aggressors=" << crosstalk_aggressors;
+  return os.str();
+}
+
+PowerBudget crossbar_power_budget(std::size_t N, std::size_t k,
+                                  MulticastModel model, const LossModel& losses) {
+  PowerBudget budget;
+  budget.gate_stages = 1;
+  // Port shell: node mux -> network demux in, network mux -> node demux out.
+  const double shell = 2 * losses.mux_db + 2 * losses.demux_db;
+  budget.worst_path_loss_db = shell + module_traversal_db(N, N, k, model, losses);
+  // All other inputs of the combiner this beam exits through can leak.
+  budget.crosstalk_aggressors =
+      (model == MulticastModel::kMSW ? N : N * k) - 1;
+  return budget;
+}
+
+PowerBudget multistage_power_budget(const ClosParams& params,
+                                    Construction construction,
+                                    MulticastModel network_model,
+                                    const LossModel& losses) {
+  params.validate();
+  const MulticastModel inner = construction == Construction::kMswDominant
+                                   ? MulticastModel::kMSW
+                                   : MulticastModel::kMAW;
+  const auto [n, r, m, k] = params;
+
+  PowerBudget budget;
+  budget.gate_stages = 3;
+  // Node shell as in the crossbar, plus a demux/mux pair around each module
+  // (the inter-stage links are WDM fibers).
+  const double shell = 2 * losses.mux_db + 2 * losses.demux_db;
+  const double inter_module = 2 * (losses.mux_db + losses.demux_db);
+  budget.worst_path_loss_db = shell + inter_module +
+                              module_traversal_db(n, m, k, inner, losses) +
+                              module_traversal_db(r, r, k, inner, losses) +
+                              module_traversal_db(m, n, k, network_model, losses);
+
+  // Aggressors accumulate at each stage's exit combiner.
+  const auto combiner_inputs = [&](std::size_t a, MulticastModel model) {
+    return (model == MulticastModel::kMSW ? a : a * k) - 1;
+  };
+  budget.crosstalk_aggressors = combiner_inputs(n, inner) +
+                                combiner_inputs(r, inner) +
+                                combiner_inputs(m, network_model);
+  return budget;
+}
+
+}  // namespace wdm

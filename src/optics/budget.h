@@ -1,0 +1,51 @@
+// Optical power-budget and crosstalk projection (§2.3).
+//
+// The paper uses crosspoint count as a proxy for "the crosstalk and power
+// loss inside a WDM switch". This module makes the projection explicit:
+// closed-form worst-case insertion loss along a connection's path through
+// each fabric (splitting loss ~10 log10 F dominates), the number of SOA
+// gate stages a beam crosses (each leaking neighbor gate is a first-order
+// crosstalk contributor), and the worst-case count of those potential
+// leak sources. Crossbar closed forms are cross-validated against the
+// measured propagation results of a real gate-level fabric (see
+// tests/budget_test.cpp), multistage forms against per-module composition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "capacity/models.h"
+#include "multistage/clos_params.h"
+#include "optics/signal.h"
+
+namespace wdm {
+
+struct PowerBudget {
+  /// Worst-case end-to-end insertion loss, node transmitter to node
+  /// receiver, in dB (positive number = attenuation).
+  double worst_path_loss_db = 0.0;
+  /// SOA gate stages crossed by a beam (1 for any crossbar, one per stage
+  /// for multistage networks).
+  std::uint32_t gate_stages = 0;
+  /// Worst-case number of *other* gates that feed a combiner this beam
+  /// traverses -- the first-order crosstalk aggressor count.
+  std::uint64_t crosstalk_aggressors = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Closed-form budget of the N x N k-lane crossbar fabric (Figs. 4-7) under
+/// `model`, matching the loss accounting of the Circuit simulator exactly.
+[[nodiscard]] PowerBudget crossbar_power_budget(std::size_t N, std::size_t k,
+                                                MulticastModel model,
+                                                const LossModel& losses = {});
+
+/// Closed-form budget of a three-stage network: one module traversal per
+/// stage (each module is itself a splitter/gate/combiner crossbar with a
+/// link demux/mux on either side), worst case over stages.
+[[nodiscard]] PowerBudget multistage_power_budget(const ClosParams& params,
+                                                  Construction construction,
+                                                  MulticastModel network_model,
+                                                  const LossModel& losses = {});
+
+}  // namespace wdm

@@ -1,0 +1,371 @@
+#include "optics/circuit.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace wdm {
+
+std::string Violation::to_string() const {
+  const char* name = "?";
+  switch (type) {
+    case Type::kCombinerConflict: name = "combiner-conflict"; break;
+    case Type::kMuxCollision: name = "mux-collision"; break;
+    case Type::kSinkConflict: name = "sink-conflict"; break;
+    case Type::kSinkWrongWavelength: name = "sink-wrong-wavelength"; break;
+    case Type::kDemuxStrayWavelength: name = "demux-stray-wavelength"; break;
+  }
+  std::ostringstream os;
+  os << name << " at #" << component << ": " << detail;
+  return os.str();
+}
+
+double PropagationResult::min_power_dbm() const {
+  double minimum = std::numeric_limits<double>::infinity();
+  for (const auto& [sink, signals] : received) {
+    for (const auto& signal : signals) minimum = std::min(minimum, signal.power_dbm);
+  }
+  return minimum;
+}
+
+std::uint32_t PropagationResult::max_gates_crossed() const {
+  std::uint32_t maximum = 0;
+  for (const auto& [sink, signals] : received) {
+    for (const auto& signal : signals) maximum = std::max(maximum, signal.gates_crossed);
+  }
+  return maximum;
+}
+
+Circuit::Circuit(LossModel losses) : losses_(losses) {}
+
+namespace {
+Component make_component(ComponentKind kind, std::uint32_t fan_in,
+                         std::uint32_t fan_out, std::string label) {
+  Component component;
+  component.kind = kind;
+  component.fan_in = fan_in;
+  component.fan_out = fan_out;
+  component.label = std::move(label);
+  return component;
+}
+}  // namespace
+
+ComponentId Circuit::add_component(Component component) {
+  const auto id = static_cast<ComponentId>(components_.size());
+  edges_out_.emplace_back(component.fan_out, PortRef{});
+  in_wired_.emplace_back(component.fan_in, false);
+  fixed_lane_.push_back(kNoWavelength);
+  components_.push_back(std::move(component));
+  return id;
+}
+
+ComponentId Circuit::add_source(Wavelength lane, std::string label) {
+  const ComponentId id =
+      add_component(make_component(ComponentKind::kSource, 0, 1, std::move(label)));
+  fixed_lane_[id] = lane;
+  sources_.push_back(id);
+  return id;
+}
+
+ComponentId Circuit::add_sink(Wavelength lane, std::string label) {
+  const ComponentId id =
+      add_component(make_component(ComponentKind::kSink, 1, 0, std::move(label)));
+  fixed_lane_[id] = lane;
+  sinks_.push_back(id);
+  return id;
+}
+
+ComponentId Circuit::add_splitter(std::uint32_t fanout, std::string label) {
+  if (fanout == 0) throw std::invalid_argument("splitter fanout must be >= 1");
+  return add_component(make_component(ComponentKind::kSplitter, 1, fanout, std::move(label)));
+}
+
+ComponentId Circuit::add_combiner(std::uint32_t fan_in, std::string label) {
+  if (fan_in == 0) throw std::invalid_argument("combiner fan_in must be >= 1");
+  return add_component(make_component(ComponentKind::kCombiner, fan_in, 1, std::move(label)));
+}
+
+ComponentId Circuit::add_gate(std::string label) {
+  return add_component(make_component(ComponentKind::kSoaGate, 1, 1, std::move(label)));
+}
+
+ComponentId Circuit::add_converter(std::string label) {
+  return add_component(make_component(ComponentKind::kConverter, 1, 1, std::move(label)));
+}
+
+ComponentId Circuit::add_mux(std::uint32_t lanes, std::string label) {
+  if (lanes == 0) throw std::invalid_argument("mux lane count must be >= 1");
+  return add_component(make_component(ComponentKind::kMux, lanes, 1, std::move(label)));
+}
+
+ComponentId Circuit::add_demux(std::uint32_t lanes, std::string label) {
+  if (lanes == 0) throw std::invalid_argument("demux lane count must be >= 1");
+  return add_component(make_component(ComponentKind::kDemux, 1, lanes, std::move(label)));
+}
+
+void Circuit::connect(PortRef from, PortRef to) {
+  if (from.component >= components_.size() || to.component >= components_.size()) {
+    throw std::out_of_range("Circuit::connect: unknown component");
+  }
+  const Component& src = components_[from.component];
+  const Component& dst = components_[to.component];
+  if (from.port >= src.fan_out) {
+    throw std::out_of_range("Circuit::connect: source port out of range on " +
+                            src.describe(from.component));
+  }
+  if (to.port >= dst.fan_in) {
+    throw std::out_of_range("Circuit::connect: destination port out of range on " +
+                            dst.describe(to.component));
+  }
+  if (edges_out_[from.component][from.port].component != kNoComponent) {
+    throw std::logic_error("Circuit::connect: output port already wired on " +
+                           src.describe(from.component));
+  }
+  if (in_wired_[to.component][to.port]) {
+    throw std::logic_error("Circuit::connect: input port already wired on " +
+                           dst.describe(to.component));
+  }
+  edges_out_[from.component][from.port] = to;
+  in_wired_[to.component][to.port] = true;
+}
+
+void Circuit::set_gate(ComponentId gate, bool on) {
+  Component& component = components_.at(gate);
+  if (component.kind != ComponentKind::kSoaGate) {
+    throw std::invalid_argument("Circuit::set_gate: not a gate: " +
+                                component.describe(gate));
+  }
+  component.gate_on = on;
+}
+
+bool Circuit::gate_state(ComponentId gate) const {
+  const Component& component = components_.at(gate);
+  if (component.kind != ComponentKind::kSoaGate) {
+    throw std::invalid_argument("Circuit::gate_state: not a gate");
+  }
+  return component.gate_on;
+}
+
+void Circuit::set_converter(ComponentId converter, std::optional<Wavelength> to) {
+  Component& component = components_.at(converter);
+  if (component.kind != ComponentKind::kConverter) {
+    throw std::invalid_argument("Circuit::set_converter: not a converter: " +
+                                component.describe(converter));
+  }
+  component.convert_to = to;
+}
+
+void Circuit::reset_state() {
+  for (auto& component : components_) {
+    component.gate_on = false;
+    component.convert_to.reset();
+  }
+  injections_.clear();
+}
+
+void Circuit::inject(ComponentId source, std::int64_t tag, double power_dbm) {
+  if (components_.at(source).kind != ComponentKind::kSource) {
+    throw std::invalid_argument("Circuit::inject: not a source");
+  }
+  injections_[source] = {tag, power_dbm};
+}
+
+void Circuit::clear_injection(ComponentId source) { injections_.erase(source); }
+
+void Circuit::clear_all_injections() { injections_.clear(); }
+
+std::size_t Circuit::count_kind(ComponentKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(components_.begin(), components_.end(),
+                    [kind](const Component& c) { return c.kind == kind; }));
+}
+
+const Component& Circuit::component(ComponentId id) const {
+  return components_.at(id);
+}
+
+Wavelength Circuit::fixed_lane(ComponentId id) const { return fixed_lane_.at(id); }
+
+std::vector<std::pair<PortRef, PortRef>> Circuit::edges() const {
+  std::vector<std::pair<PortRef, PortRef>> result;
+  for (std::size_t id = 0; id < components_.size(); ++id) {
+    for (std::uint32_t port = 0; port < components_[id].fan_out; ++port) {
+      const PortRef target = edges_out_[id][port];
+      if (target.component != kNoComponent) {
+        result.push_back({{static_cast<ComponentId>(id), port}, target});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<ComponentId> Circuit::topological_order() const {
+  std::vector<std::uint32_t> pending(components_.size(), 0);
+  for (std::size_t id = 0; id < components_.size(); ++id) {
+    for (const PortRef& edge : edges_out_[id]) {
+      if (edge.component != kNoComponent) ++pending[edge.component];
+    }
+  }
+  std::queue<ComponentId> ready;
+  for (std::size_t id = 0; id < components_.size(); ++id) {
+    if (pending[id] == 0) ready.push(static_cast<ComponentId>(id));
+  }
+  std::vector<ComponentId> order;
+  order.reserve(components_.size());
+  while (!ready.empty()) {
+    const ComponentId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (const PortRef& edge : edges_out_[id]) {
+      if (edge.component != kNoComponent && --pending[edge.component] == 0) {
+        ready.push(edge.component);
+      }
+    }
+  }
+  if (order.size() != components_.size()) {
+    throw std::logic_error("Circuit: component graph contains a cycle");
+  }
+  return order;
+}
+
+PropagationResult Circuit::propagate() const {
+  PropagationResult result;
+  // in_signals[id][port] = beams arriving at that input port.
+  std::vector<std::vector<std::vector<Signal>>> in_signals(components_.size());
+  for (std::size_t id = 0; id < components_.size(); ++id) {
+    in_signals[id].resize(components_[id].fan_in);
+  }
+
+  auto forward = [&](ComponentId from, std::uint32_t port, Signal signal) {
+    const PortRef edge = edges_out_[from][port];
+    if (edge.component == kNoComponent) return;  // dangling port absorbs light
+    in_signals[edge.component][edge.port].push_back(std::move(signal));
+  };
+
+  for (const ComponentId id : topological_order()) {
+    const Component& component = components_[id];
+    switch (component.kind) {
+      case ComponentKind::kSource: {
+        const auto it = injections_.find(id);
+        if (it == injections_.end()) break;
+        Signal beam;
+        beam.source_tag = it->second.first;
+        beam.power_dbm = it->second.second;
+        beam.wavelength = fixed_lane_[id];
+        forward(id, 0, std::move(beam));
+        break;
+      }
+      case ComponentKind::kSink: {
+        auto& arrivals = in_signals[id][0];
+        if (arrivals.empty()) break;
+        if (arrivals.size() > 1) {
+          result.violations.push_back(
+              {Violation::Type::kSinkConflict, id,
+               std::to_string(arrivals.size()) + " beams at " +
+                   component.describe(id)});
+        }
+        for (const Signal& beam : arrivals) {
+          if (beam.wavelength != fixed_lane_[id]) {
+            result.violations.push_back(
+                {Violation::Type::kSinkWrongWavelength, id,
+                 "beam on " + wavelength_name(beam.wavelength) +
+                     ", receiver tuned to " + wavelength_name(fixed_lane_[id])});
+          }
+        }
+        result.received[id] = std::move(arrivals);
+        break;
+      }
+      case ComponentKind::kSplitter: {
+        for (const Signal& beam : in_signals[id][0]) {
+          Signal copy = beam;
+          copy.power_dbm -= losses_.splitter_loss_db(component.fan_out);
+          ++copy.splitters_crossed;
+          for (std::uint32_t port = 0; port < component.fan_out; ++port) {
+            forward(id, port, copy);
+          }
+        }
+        break;
+      }
+      case ComponentKind::kCombiner: {
+        std::uint32_t lit_inputs = 0;
+        for (std::uint32_t port = 0; port < component.fan_in; ++port) {
+          if (!in_signals[id][port].empty()) ++lit_inputs;
+        }
+        if (lit_inputs > 1) {
+          result.violations.push_back(
+              {Violation::Type::kCombinerConflict, id,
+               std::to_string(lit_inputs) + " lit inputs at " +
+                   component.describe(id)});
+        }
+        for (std::uint32_t port = 0; port < component.fan_in; ++port) {
+          for (const Signal& beam : in_signals[id][port]) {
+            Signal passed = beam;
+            passed.power_dbm -= losses_.combiner_loss_db(component.fan_in);
+            ++passed.combiners_crossed;
+            forward(id, 0, std::move(passed));
+          }
+        }
+        break;
+      }
+      case ComponentKind::kSoaGate: {
+        if (!component.gate_on) break;  // off: absorbs the beam
+        for (const Signal& beam : in_signals[id][0]) {
+          Signal passed = beam;
+          passed.power_dbm -= losses_.gate_db;
+          ++passed.gates_crossed;
+          forward(id, 0, std::move(passed));
+        }
+        break;
+      }
+      case ComponentKind::kConverter: {
+        for (const Signal& beam : in_signals[id][0]) {
+          Signal converted = beam;
+          converted.power_dbm -= losses_.converter_db;
+          if (component.convert_to && *component.convert_to != beam.wavelength) {
+            converted.wavelength = *component.convert_to;
+            ++converted.conversions;
+          }
+          forward(id, 0, std::move(converted));
+        }
+        break;
+      }
+      case ComponentKind::kMux: {
+        std::vector<Wavelength> seen;
+        for (std::uint32_t port = 0; port < component.fan_in; ++port) {
+          for (const Signal& beam : in_signals[id][port]) {
+            if (std::find(seen.begin(), seen.end(), beam.wavelength) != seen.end()) {
+              result.violations.push_back(
+                  {Violation::Type::kMuxCollision, id,
+                   "two beams on " + wavelength_name(beam.wavelength) + " at " +
+                       component.describe(id)});
+            }
+            seen.push_back(beam.wavelength);
+            Signal passed = beam;
+            passed.power_dbm -= losses_.mux_db;
+            forward(id, 0, std::move(passed));
+          }
+        }
+        break;
+      }
+      case ComponentKind::kDemux: {
+        for (const Signal& beam : in_signals[id][0]) {
+          if (beam.wavelength >= component.fan_out) {
+            result.violations.push_back(
+                {Violation::Type::kDemuxStrayWavelength, id,
+                 "beam on " + wavelength_name(beam.wavelength) + " but demux has " +
+                     std::to_string(component.fan_out) + " lanes"});
+            continue;
+          }
+          Signal passed = beam;
+          passed.power_dbm -= losses_.demux_db;
+          forward(id, beam.wavelength, std::move(passed));
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace wdm

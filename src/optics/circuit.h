@@ -1,0 +1,123 @@
+// Component graph + wavelength-aware light propagation.
+//
+// A Circuit is a DAG of optical components; edges connect one output port to
+// one input port (a physical waveguide/fiber segment). Propagation pushes
+// every injected source beam through the graph in topological order, applying
+// each device's semantics (split, gate, convert, combine, mux, demux) and its
+// insertion loss, and detects physical-layer violations:
+//   * combiner conflict: two inputs of a passive combiner lit simultaneously
+//   * mux collision: two beams on the same lane entering a mux
+//   * sink conflict: a fixed-tuned receiver hit by more than one beam, or a
+//     beam on the wrong lane
+// The fabric module uses this to prove, signal-by-signal, that a routed
+// multicast assignment is physically realizable -- the simulation stand-in
+// for the hardware the paper assumes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "optics/components.h"
+#include "optics/signal.h"
+
+namespace wdm {
+
+struct Violation {
+  enum class Type {
+    kCombinerConflict,
+    kMuxCollision,
+    kSinkConflict,
+    kSinkWrongWavelength,
+    kDemuxStrayWavelength,
+  };
+  Type type;
+  ComponentId component;
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct PropagationResult {
+  /// Signals that reached each sink (keyed by sink component id).
+  std::map<ComponentId, std::vector<Signal>> received;
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+  /// Minimum power over all delivered signals (worst-case path loss).
+  [[nodiscard]] double min_power_dbm() const;
+  /// Maximum number of gates crossed by any delivered signal.
+  [[nodiscard]] std::uint32_t max_gates_crossed() const;
+};
+
+class Circuit {
+ public:
+  explicit Circuit(LossModel losses = {});
+
+  // -- construction ---------------------------------------------------------
+  /// A fixed-tuned transmitter emitting on `lane`. `tag` identifies the
+  /// stream in delivered signals.
+  ComponentId add_source(Wavelength lane, std::string label = {});
+  /// A fixed-tuned receiver expecting beams on `lane` only.
+  ComponentId add_sink(Wavelength lane, std::string label = {});
+  ComponentId add_splitter(std::uint32_t fanout, std::string label = {});
+  ComponentId add_combiner(std::uint32_t fan_in, std::string label = {});
+  ComponentId add_gate(std::string label = {});
+  ComponentId add_converter(std::string label = {});
+  ComponentId add_mux(std::uint32_t lanes, std::string label = {});
+  ComponentId add_demux(std::uint32_t lanes, std::string label = {});
+
+  /// Wire output port `from` to input port `to`. Each port may be wired at
+  /// most once; kinds/port ranges are validated eagerly.
+  void connect(PortRef from, PortRef to);
+
+  // -- device state ---------------------------------------------------------
+  void set_gate(ComponentId gate, bool on);
+  [[nodiscard]] bool gate_state(ComponentId gate) const;
+  /// Configure a converter's output lane (nullopt = transparent).
+  void set_converter(ComponentId converter, std::optional<Wavelength> to);
+  /// Turn every gate off and every converter transparent; sources unlit.
+  void reset_state();
+
+  // -- stimulus -------------------------------------------------------------
+  /// Light up a source with stream identity `tag` at `power_dbm`.
+  void inject(ComponentId source, std::int64_t tag, double power_dbm = 0.0);
+  /// Extinguish one source / all sources.
+  void clear_injection(ComponentId source);
+  void clear_all_injections();
+
+  // -- simulation -----------------------------------------------------------
+  [[nodiscard]] PropagationResult propagate() const;
+
+  // -- introspection --------------------------------------------------------
+  [[nodiscard]] std::size_t component_count() const { return components_.size(); }
+  [[nodiscard]] std::size_t count_kind(ComponentKind kind) const;
+  [[nodiscard]] const Component& component(ComponentId id) const;
+  /// Sinks in creation order (stable addressing for fabric layers).
+  [[nodiscard]] const std::vector<ComponentId>& sinks() const { return sinks_; }
+  [[nodiscard]] const std::vector<ComponentId>& sources() const { return sources_; }
+  /// Expected receive lane of a sink / emit lane of a source.
+  [[nodiscard]] Wavelength fixed_lane(ComponentId id) const;
+  /// All wired connections as (from, to) port pairs, for export/analysis.
+  [[nodiscard]] std::vector<std::pair<PortRef, PortRef>> edges() const;
+
+ private:
+  ComponentId add_component(Component component);
+  [[nodiscard]] std::vector<ComponentId> topological_order() const;
+
+  LossModel losses_;
+  std::vector<Component> components_;
+  /// Fixed lane of each source/sink (kNoWavelength otherwise).
+  std::vector<Wavelength> fixed_lane_;
+  /// edges_out_[id][port] = destination (or kNoComponent if dangling).
+  std::vector<std::vector<PortRef>> edges_out_;
+  /// Whether each input port is already wired (for validation only).
+  std::vector<std::vector<bool>> in_wired_;
+  std::vector<ComponentId> sources_;
+  std::vector<ComponentId> sinks_;
+  /// Active emissions: source id -> (tag, power).
+  std::map<ComponentId, std::pair<std::int64_t, double>> injections_;
+};
+
+}  // namespace wdm

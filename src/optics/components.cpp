@@ -1,0 +1,32 @@
+#include "optics/components.h"
+
+#include <sstream>
+
+namespace wdm {
+
+const char* component_kind_name(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kSource: return "source";
+    case ComponentKind::kSink: return "sink";
+    case ComponentKind::kSplitter: return "splitter";
+    case ComponentKind::kCombiner: return "combiner";
+    case ComponentKind::kSoaGate: return "gate";
+    case ComponentKind::kConverter: return "converter";
+    case ComponentKind::kMux: return "mux";
+    case ComponentKind::kDemux: return "demux";
+  }
+  return "?";
+}
+
+std::string Component::describe(ComponentId id) const {
+  std::ostringstream os;
+  os << component_kind_name(kind) << '#' << id;
+  if (!label.empty()) os << '(' << label << ')';
+  if (kind == ComponentKind::kSoaGate) os << (gate_on ? "[on]" : "[off]");
+  if (kind == ComponentKind::kConverter && convert_to) {
+    os << "[->" << wavelength_name(*convert_to) << ']';
+  }
+  return os.str();
+}
+
+}  // namespace wdm

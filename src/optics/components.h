@@ -1,0 +1,65 @@
+// Optical component taxonomy for the fabric simulator.
+//
+// These are the devices the paper builds crossbar fabrics from (§2.1, §2.3,
+// Figs. 3-7):
+//   * Splitter  - passive 1->F light splitter (copies a beam, ~10log10 F dB)
+//   * Combiner  - passive F->1 combiner; at most ONE input may carry light
+//                 at a time (unlike a mux), any wavelength
+//   * SoaGate   - semiconductor optical amplifier gate: the crosspoint;
+//                 on = pass, off = block. The paper's cost metric counts
+//                 exactly these.
+//   * Converter - all-optical wavelength converter, configurable output lane
+//   * Mux/Demux - WDM (de)multiplexers joining/separating the k lanes of a
+//                 fiber; a mux conflicts only if two beams share a lane
+//   * Source    - one fixed-tuned transmitter (input node, Fig. 1)
+//   * Sink      - one fixed-tuned receiver (output node, Fig. 1)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "optics/wavelength.h"
+
+namespace wdm {
+
+using ComponentId = std::uint32_t;
+inline constexpr ComponentId kNoComponent = 0xFFFFFFFFu;
+
+enum class ComponentKind : std::uint8_t {
+  kSource,
+  kSink,
+  kSplitter,
+  kCombiner,
+  kSoaGate,
+  kConverter,
+  kMux,
+  kDemux,
+};
+
+[[nodiscard]] const char* component_kind_name(ComponentKind kind);
+
+/// Where a beam enters or leaves a component.
+struct PortRef {
+  ComponentId component = kNoComponent;
+  std::uint32_t port = 0;
+
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+struct Component {
+  ComponentKind kind = ComponentKind::kSource;
+  std::uint32_t fan_in = 0;   // number of input ports
+  std::uint32_t fan_out = 0;  // number of output ports
+  std::string label;          // for diagnostics ("gate[in 3 -> out 7]")
+
+  // -- mutable device state -------------------------------------------------
+  /// SoaGate only: whether the crosspoint passes light.
+  bool gate_on = false;
+  /// Converter only: output lane; nullopt = transparent (no conversion).
+  std::optional<Wavelength> convert_to;
+
+  [[nodiscard]] std::string describe(ComponentId id) const;
+};
+
+}  // namespace wdm

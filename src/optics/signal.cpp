@@ -1,0 +1,25 @@
+#include "optics/signal.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace wdm {
+
+std::string Signal::to_string() const {
+  std::ostringstream os;
+  os << "Signal{src=" << source_tag << ", " << wavelength_name(wavelength)
+     << ", " << power_dbm << " dBm, gates=" << gates_crossed << "}";
+  return os.str();
+}
+
+double LossModel::splitter_loss_db(std::uint32_t fanout) const {
+  if (fanout <= 1) return excess_split_db;
+  return 10.0 * std::log10(static_cast<double>(fanout)) + excess_split_db;
+}
+
+double LossModel::combiner_loss_db(std::uint32_t fan_in) const {
+  if (fan_in <= 1) return excess_combine_db;
+  return 10.0 * std::log10(static_cast<double>(fan_in)) + excess_combine_db;
+}
+
+}  // namespace wdm

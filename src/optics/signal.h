@@ -1,0 +1,51 @@
+// Optical signals propagated through a component circuit.
+//
+// A signal is a light beam carrying one logical stream: the `source_tag`
+// identifies which transmitter (and hence which multicast connection)
+// produced it. Power and crosspoint counters ride along so that fabric-level
+// experiments can report worst-case insertion loss and a first-order
+// crosstalk proxy (the number of SOA gates a beam crosses, §2.3 of the
+// paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "optics/wavelength.h"
+
+namespace wdm {
+
+struct Signal {
+  /// Identity of the emitting transmitter; sinks use this to check they
+  /// received the stream they expect.
+  std::int64_t source_tag = -1;
+  /// Current wavelength (converters change this in flight).
+  Wavelength wavelength = kNoWavelength;
+  /// Optical power in dBm.
+  double power_dbm = 0.0;
+
+  // -- path metrics ---------------------------------------------------------
+  std::uint32_t gates_crossed = 0;
+  std::uint32_t splitters_crossed = 0;
+  std::uint32_t combiners_crossed = 0;
+  std::uint32_t conversions = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Default device insertion losses (dB), loosely based on published SOA /
+/// coupler figures; the absolute values only matter for relative
+/// comparisons between fabrics.
+struct LossModel {
+  double gate_db = 1.0;        // SOA gate insertion loss (net of gain)
+  double converter_db = 2.0;   // all-optical wavelength converter
+  double mux_db = 1.5;         // WDM multiplexer
+  double demux_db = 1.5;       // WDM demultiplexer
+  double excess_split_db = 0.5;   // splitter excess loss on top of 10log10(F)
+  double excess_combine_db = 0.5; // combiner excess loss on top of 10log10(F)
+
+  [[nodiscard]] double splitter_loss_db(std::uint32_t fanout) const;
+  [[nodiscard]] double combiner_loss_db(std::uint32_t fan_in) const;
+};
+
+}  // namespace wdm

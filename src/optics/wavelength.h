@@ -1,0 +1,23 @@
+// Wavelength identifiers.
+//
+// A WDM fiber carries k wavelengths lambda_1..lambda_k; internally they are
+// 0-based lane indices. kNoWavelength marks "not assigned yet".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace wdm {
+
+using Wavelength = std::uint32_t;
+
+inline constexpr Wavelength kNoWavelength = std::numeric_limits<Wavelength>::max();
+
+/// Human-readable name, 1-based as in the paper: lane 0 -> "λ1".
+inline std::string wavelength_name(Wavelength lane) {
+  if (lane == kNoWavelength) return "λ?";
+  return "λ" + std::to_string(lane + 1);
+}
+
+}  // namespace wdm

@@ -1,0 +1,94 @@
+// Multicast session scheduling: the electronic baseline of §1, quantified.
+//
+// The paper motivates WDM multicast with the scheduling problem electronic
+// switches face: "each destination node can receive at most one message at
+// a time[, so] to deal with multiple multicast connections with overlapped
+// destinations, a complex scheduling algorithm is necessary". Given a batch
+// of multicast *sessions* (source -> destination set) whose destinations
+// overlap, an electronic (1-wavelength) switch must serialize them into
+// rounds, each round a legal multicast assignment. A k-wavelength WDM
+// switch packs up to k overlapping sessions per node into one time slot --
+// under MAW freely (pure per-node capacity k), under MSW only if a common
+// wavelength works for every endpoint of each session (per-slot wavelength
+// coloring).
+//
+// Round minimization is graph coloring of the session conflict graph
+// (sessions conflict iff they share the source or a destination), so we
+// provide the standard greedy (largest-degree-first) heuristic, an exact
+// branch-and-bound for small batches to validate it, and the two WDM slot
+// packers. Expected shape (bench_wdm_vs_electronic): slots(MAW, k) <=
+// slots(MSW, k) <= slots(electronic), with slots(MAW, k) ~ ceil(rounds/k).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "capacity/models.h"
+#include "util/rng.h"
+
+namespace wdm {
+
+struct Session {
+  std::size_t source = 0;
+  std::vector<std::size_t> destinations;
+};
+
+/// Sessions conflict iff they share the source node or any destination node
+/// (an endpoint can carry one message at a time per wavelength).
+[[nodiscard]] bool sessions_conflict(const Session& a, const Session& b);
+
+/// The conflict graph as adjacency lists (index = session position).
+[[nodiscard]] std::vector<std::vector<std::size_t>> conflict_graph(
+    const std::vector<Session>& sessions);
+
+/// Greedy electronic rounds: color the conflict graph
+/// largest-degree-first. Returns rounds of session indices; every round is
+/// conflict-free.
+[[nodiscard]] std::vector<std::vector<std::size_t>> schedule_rounds_greedy(
+    const std::vector<Session>& sessions);
+
+/// Exact minimum round count by branch-and-bound (small batches only;
+/// `node_budget` caps the search). nullopt if the budget runs out.
+[[nodiscard]] std::optional<std::size_t> minimum_rounds_exact(
+    const std::vector<Session>& sessions, std::uint64_t node_budget = 2'000'000);
+
+/// One WDM time slot: the sessions scheduled in it and, for MSW, the
+/// wavelength each uses.
+struct WdmSlot {
+  std::vector<std::size_t> sessions;
+  /// Parallel to `sessions`; meaningful for the MSW packer (MAW slots set
+  /// kNoWavelengthLane).
+  std::vector<std::uint32_t> lanes;
+};
+
+inline constexpr std::uint32_t kNoWavelengthLane = 0xFFFFFFFFu;
+
+/// Pack sessions into WDM time slots for an N-node, k-wavelength switch
+/// under `model`:
+///   MAW : a session fits a slot iff its source and every destination have
+///         spare capacity (< k sessions touching them in the slot);
+///   MSW : additionally one common wavelength must be free at the source
+///         and at every destination (lane recorded in the slot);
+///   MSDW: destinations share a lane, source capacity is per-wavelength-
+///         transmitter, so the fit rule equals MSW at the destinations but
+///         the source only needs a free transmitter.
+/// Sessions are packed first-fit in the given order.
+[[nodiscard]] std::vector<WdmSlot> schedule_wdm_slots(
+    const std::vector<Session>& sessions, std::size_t N, std::size_t k,
+    MulticastModel model);
+
+/// Validate a slot schedule against the §2.1 rules; nullopt = consistent,
+/// otherwise a reason (used by tests and the bench's self-check).
+[[nodiscard]] std::optional<std::string> check_wdm_schedule(
+    const std::vector<Session>& sessions, std::size_t N, std::size_t k,
+    MulticastModel model, const std::vector<WdmSlot>& slots);
+
+/// Random session batch: `count` sessions over N nodes with fanout in
+/// [min_fanout, max_fanout]; destination overlap arises naturally.
+[[nodiscard]] std::vector<Session> random_sessions(Rng& rng, std::size_t N,
+                                                   std::size_t count,
+                                                   std::size_t min_fanout,
+                                                   std::size_t max_fanout);
+
+}  // namespace wdm

@@ -1,0 +1,128 @@
+#include "sim/converter_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wdm {
+
+ConverterPoolSwitch::ConverterPoolSwitch(std::size_t N, std::size_t k,
+                                         std::size_t pool_size)
+    : n_(N), k_(k), pool_(pool_size) {
+  if (N == 0 || k == 0) {
+    throw std::invalid_argument("ConverterPoolSwitch: N, k >= 1");
+  }
+}
+
+std::size_t ConverterPoolSwitch::converter_demand(const MulticastRequest& request) {
+  std::size_t demand = 0;
+  for (const auto& out : request.outputs) {
+    if (out.lane != request.input.lane) ++demand;
+  }
+  return demand;
+}
+
+std::optional<ConnectError> ConverterPoolSwitch::check_admissible(
+    const MulticastRequest& request) const {
+  if (const auto error =
+          check_request_shape(request, n_, k_, MulticastModel::kMAW)) {
+    return error;
+  }
+  if (busy_inputs_.contains(request.input)) return ConnectError::kInputBusy;
+  for (const auto& out : request.outputs) {
+    if (busy_outputs_.contains(out)) return ConnectError::kOutputBusy;
+  }
+  if (in_use_ + converter_demand(request) > pool_) return ConnectError::kBlocked;
+  return std::nullopt;
+}
+
+std::optional<ConnectionId> ConverterPoolSwitch::try_connect(
+    const MulticastRequest& request) {
+  if (const auto error = check_admissible(request)) {
+    last_error_ = *error;
+    return std::nullopt;
+  }
+  const std::size_t demand = converter_demand(request);
+  in_use_ += demand;
+  const ConnectionId id = next_id_++;
+  busy_inputs_[request.input] = id;
+  for (const auto& out : request.outputs) busy_outputs_[out] = id;
+  connections_.emplace(id, std::make_pair(request, demand));
+  return id;
+}
+
+void ConverterPoolSwitch::disconnect(ConnectionId id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) {
+    throw std::out_of_range("ConverterPoolSwitch: unknown connection id");
+  }
+  const auto& [request, demand] = it->second;
+  in_use_ -= demand;
+  busy_inputs_.erase(request.input);
+  for (const auto& out : request.outputs) busy_outputs_.erase(out);
+  connections_.erase(it);
+}
+
+std::vector<PoolSweepPoint> sweep_converter_pool(
+    std::size_t N, std::size_t k, const std::vector<std::size_t>& pool_sizes,
+    std::size_t steps, std::uint64_t seed) {
+  std::vector<PoolSweepPoint> points;
+  points.reserve(pool_sizes.size());
+  for (const std::size_t pool : pool_sizes) {
+    ConverterPoolSwitch sw(N, k, pool);
+    Rng rng(seed);  // identical workload stream for every pool size
+    PoolSweepPoint point;
+    point.pool_size = pool;
+    std::vector<ConnectionId> live;
+    for (std::size_t step = 0; step < steps; ++step) {
+      if (live.empty() || rng.next_bool(0.65)) {
+        // Random MAW request over currently free endpoints.
+        MulticastRequest request;
+        bool found = false;
+        const std::size_t start = rng.next_below(N * k);
+        for (std::size_t probe = 0; probe < N * k && !found; ++probe) {
+          const std::size_t index = (start + probe) % (N * k);
+          const WavelengthEndpoint candidate{index / k,
+                                             static_cast<Wavelength>(index % k)};
+          if (sw.check_admissible({candidate, {{0, 0}}}) !=
+              ConnectError::kInputBusy) {
+            request.input = candidate;
+            found = true;
+          }
+        }
+        if (!found) continue;
+        const std::size_t fanout = 1 + rng.next_below(std::min<std::size_t>(4, N));
+        for (const std::size_t port : rng.sample_without_replacement(N, fanout)) {
+          const WavelengthEndpoint out{port, static_cast<Wavelength>(rng.next_below(k))};
+          request.outputs.push_back(out);
+        }
+        // Drop outputs that are busy (keep the offered shape admissible in
+        // space so every recorded block is a converter block).
+        std::erase_if(request.outputs, [&](const WavelengthEndpoint& out) {
+          return sw.check_admissible({request.input, {out}}) ==
+                 ConnectError::kOutputBusy;
+        });
+        if (request.outputs.empty()) continue;
+        ++point.attempts;
+        if (const auto id = sw.try_connect(request)) {
+          live.push_back(*id);
+          point.peak_in_use = std::max(point.peak_in_use, sw.converters_in_use());
+        } else if (sw.last_error() == ConnectError::kBlocked) {
+          ++point.blocked_on_converters;
+        }
+      } else {
+        const std::size_t victim = rng.next_below(live.size());
+        sw.disconnect(live[victim]);
+        live[victim] = live.back();
+        live.pop_back();
+      }
+    }
+    point.peak_pool_utilization =
+        pool == 0 ? 0.0
+                  : static_cast<double>(point.peak_in_use) /
+                        static_cast<double>(pool);
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace wdm

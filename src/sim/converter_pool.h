@@ -1,0 +1,86 @@
+// Shared wavelength-converter pools: how many converters does a MAW switch
+// really need?
+//
+// The paper prices the MAW model at kN dedicated converters (one per output
+// wavelength, Fig. 3b) and repeatedly notes converters are the expensive
+// device. But a connection only *uses* a converter at destinations whose
+// lane differs from the source lane; same-lane deliveries pass through
+// transparently. If the kN dedicated devices are replaced by a shared bank
+// of C converters (reachable from any output, a standard share-per-node /
+// share-per-switch architecture), the switch stays crossbar-nonblocking in
+// space and blocks only when the bank runs dry.
+//
+// ConverterPoolSwitch models that admission discipline at the connection
+// level: demand(request) = #destinations on a lane != the source lane; a
+// request is admitted iff endpoints are free AND demand <= free converters.
+// C = kN reproduces the paper's full-MAW behaviour exactly (demand can
+// never exceed supply); C = 0 degenerates to the MSW-shaped subset of
+// traffic. The sweep quantifies the provisioning curve between them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/connection.h"
+#include "util/rng.h"
+
+namespace wdm {
+
+class ConverterPoolSwitch {
+ public:
+  /// An N x N k-lane crossbar under MAW semantics with a shared bank of
+  /// `pool_size` converters.
+  ConverterPoolSwitch(std::size_t N, std::size_t k, std::size_t pool_size);
+
+  [[nodiscard]] std::size_t port_count() const { return n_; }
+  [[nodiscard]] std::size_t lane_count() const { return k_; }
+  [[nodiscard]] std::size_t pool_size() const { return pool_; }
+  [[nodiscard]] std::size_t converters_in_use() const { return in_use_; }
+  [[nodiscard]] std::size_t active_connections() const { return connections_.size(); }
+
+  /// Conversions this request would consume from the bank.
+  [[nodiscard]] static std::size_t converter_demand(const MulticastRequest& request);
+
+  /// Admission check: request shape (MAW), endpoint availability, bank
+  /// capacity. nullopt = admissible. Bank exhaustion reports kBlocked.
+  [[nodiscard]] std::optional<ConnectError> check_admissible(
+      const MulticastRequest& request) const;
+
+  [[nodiscard]] std::optional<ConnectionId> try_connect(const MulticastRequest& request);
+  void disconnect(ConnectionId id);
+  [[nodiscard]] ConnectError last_error() const { return last_error_; }
+
+ private:
+  std::size_t n_, k_, pool_;
+  std::size_t in_use_ = 0;
+  std::map<ConnectionId, std::pair<MulticastRequest, std::size_t>> connections_;
+  std::map<WavelengthEndpoint, ConnectionId> busy_inputs_;
+  std::map<WavelengthEndpoint, ConnectionId> busy_outputs_;
+  ConnectionId next_id_ = 1;
+  ConnectError last_error_ = ConnectError::kBlocked;
+};
+
+struct PoolSweepPoint {
+  std::size_t pool_size = 0;
+  std::size_t attempts = 0;
+  std::size_t blocked_on_converters = 0;  // admissible in space, bank dry
+  double peak_pool_utilization = 0.0;     // max in-use / pool (0 if pool 0)
+  std::size_t peak_in_use = 0;
+
+  [[nodiscard]] double converter_blocking_probability() const {
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(blocked_on_converters) /
+                               static_cast<double>(attempts);
+  }
+};
+
+/// Random dynamic load against a ladder of pool sizes (same seeded workload
+/// per point). Requests are MAW-shaped with uniform lanes, so the mean
+/// demand per connection is fanout*(k-1)/k.
+[[nodiscard]] std::vector<PoolSweepPoint> sweep_converter_pool(
+    std::size_t N, std::size_t k, const std::vector<std::size_t>& pool_sizes,
+    std::size_t steps, std::uint64_t seed);
+
+}  // namespace wdm

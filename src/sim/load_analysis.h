@@ -1,0 +1,50 @@
+// Average-case load analysis and middle-stage provisioning.
+//
+// The paper's theorems size m for the adversarial worst case; a network
+// operator who tolerates a tiny blocking probability can provision fewer
+// middle modules. This module quantifies that trade: blocking/utilization
+// curves vs offered load, and a provisioner that finds the smallest m whose
+// observed blocking stays under a target at a given load -- reporting the
+// crosspoint saving relative to the theorem-sized design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/blocking_sim.h"
+
+namespace wdm {
+
+struct LoadPoint {
+  /// The arrival_fraction used (proxy for offered load).
+  double load = 0.0;
+  SimStats stats;
+  double mean_utilization = 0.0;  // of the N*k input wavelengths
+};
+
+/// Blocking and utilization vs offered load on a fixed geometry, aggregated
+/// over `trials` seeded runs per point.
+[[nodiscard]] std::vector<LoadPoint> blocking_vs_load(
+    const ClosParams& params, Construction construction,
+    MulticastModel network_model, const RoutingPolicy& policy,
+    const std::vector<double>& loads, const SimConfig& base_config,
+    std::size_t trials);
+
+struct ProvisioningResult {
+  std::size_t chosen_m = 0;
+  double observed_blocking = 0.0;
+  double blocking_ci95_upper = 0.0;
+  std::size_t theorem_m = 0;
+  /// Crosspoint cost at chosen_m / cost at theorem_m (< 1 = saving).
+  double crosspoint_ratio = 1.0;
+};
+
+/// Smallest m in [n, theorem bound] whose aggregated blocking probability
+/// over `trials` runs is <= `target_blocking` (the theorem bound always
+/// qualifies with blocking 0, so the search always succeeds).
+[[nodiscard]] ProvisioningResult provision_middle_stage(
+    std::size_t n, std::size_t r, std::size_t k, Construction construction,
+    MulticastModel network_model, const SimConfig& base_config,
+    double target_blocking, std::size_t trials);
+
+}  // namespace wdm

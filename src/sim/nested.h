@@ -1,0 +1,99 @@
+// Live validation of the §3 recursion claim.
+//
+// The recursive construction replaces each r x r middle module with a
+// (theorem-sized) three-stage network of the same size and model. That is
+// sound only if every traffic pattern the outer routing strategy offers a
+// middle module is itself routable by such an inner network. This validator
+// makes the claim empirical: it shadows an outer MultistageSwitch with m
+// inner MultistageSwitch instances (one per middle module) and mirrors
+// every middle-module transit onto the corresponding inner network as a
+// real routed connection. Any inner block is a counterexample to the
+// recursion (none is ever expected).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "multistage/builder.h"
+
+namespace wdm {
+
+class NestedRecursionValidator {
+ public:
+  /// Builds one inner switch per outer middle module. The inner geometry
+  /// factors r (outer middle size) as balanced n' x r' and sizes its own
+  /// middle stage by the matching theorem. Throws std::invalid_argument if
+  /// r is prime or < 4 (no inner decomposition exists).
+  explicit NestedRecursionValidator(MultistageSwitch& outer);
+
+  /// Mirror an accepted outer connection into the inner networks. Returns
+  /// false iff some inner network blocked (the recursion claim would be
+  /// falsified); on false the partially-mirrored branches are rolled back.
+  [[nodiscard]] bool on_connect(ConnectionId outer_id);
+
+  /// Mirror an outer disconnect. Must be called BEFORE the outer switch's
+  /// disconnect (the route is read from the outer connection table).
+  void on_disconnect(ConnectionId outer_id);
+
+  [[nodiscard]] std::size_t inner_count() const { return inner_.size(); }
+  [[nodiscard]] const MultistageSwitch& inner(std::size_t j) const {
+    return *inner_.at(j);
+  }
+  /// Total connections currently mirrored across all inner networks.
+  [[nodiscard]] std::size_t mirrored_connections() const;
+
+  /// Deep-check every inner network.
+  void self_check() const;
+
+ private:
+  MultistageSwitch* outer_;
+  std::vector<std::unique_ptr<MultistageSwitch>> inner_;  // [middle index]
+  /// outer connection -> per-branch (middle index, inner connection id).
+  std::map<ConnectionId, std::vector<std::pair<std::size_t, ConnectionId>>> mirror_;
+};
+
+/// A five-stage switch as a first-class object: a theorem-sized three-stage
+/// outer network whose r x r middle modules are genuinely operated as
+/// theorem-sized inner three-stage networks (stages 2-4 of the five-stage
+/// picture). Every connection is routed by the outer limited-spread
+/// strategy AND realized inside the touched inner networks; §3's recursion
+/// claim guarantees try_connect never fails for admissible requests (a
+/// std::logic_error is thrown if it ever would -- that would falsify the
+/// construction).
+class FiveStageSwitch {
+ public:
+  /// Geometry: outer (n, r) with k lanes; r must factor for the inner
+  /// networks. Both levels take their m from the matching theorem.
+  FiveStageSwitch(std::size_t n, std::size_t r, std::size_t k,
+                  Construction construction, MulticastModel network_model);
+
+  [[nodiscard]] std::size_t port_count() const { return outer_.port_count(); }
+  [[nodiscard]] std::size_t lane_count() const { return outer_.lane_count(); }
+  [[nodiscard]] std::size_t stage_count() const { return 5; }
+  [[nodiscard]] MultistageSwitch& outer() { return outer_; }
+  [[nodiscard]] const NestedRecursionValidator& nested() const { return nested_; }
+
+  [[nodiscard]] std::optional<ConnectError> check_admissible(
+      const MulticastRequest& request) const {
+    return outer_.check_admissible(request);
+  }
+  [[nodiscard]] std::optional<ConnectionId> try_connect(const MulticastRequest& request);
+  void disconnect(ConnectionId id);
+  [[nodiscard]] ConnectError last_error() const { return outer_.last_error(); }
+  [[nodiscard]] std::size_t active_connections() const {
+    return outer_.active_connections();
+  }
+
+  /// Total crosspoints of the five-stage realization (edge stages as
+  /// crossbar modules, middles expanded), for cost comparisons.
+  [[nodiscard]] std::uint64_t crosspoints() const;
+
+  void self_check() const;
+
+ private:
+  MultistageSwitch outer_;
+  NestedRecursionValidator nested_;
+};
+
+}  // namespace wdm

@@ -1,0 +1,71 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace wdm {
+
+std::vector<std::size_t> default_m_range(std::size_t n, std::size_t r, std::size_t k,
+                                         Construction construction) {
+  const NonblockingBound bound = construction == Construction::kMswDominant
+                                     ? theorem1_min_m(n, r)
+                                     : theorem2_min_m(n, r, k);
+  const std::size_t low = n;  // structural minimum (ClosParams requires m >= n)
+  const std::size_t high = bound.m + std::max<std::size_t>(2, bound.m / 4);
+  std::vector<std::size_t> values;
+  for (std::size_t m = low; m <= high; ++m) values.push_back(m);
+  return values;
+}
+
+std::vector<SweepPoint> sweep_middle_count(const SweepConfig& config) {
+  const std::vector<std::size_t> m_values =
+      config.m_values.empty()
+          ? default_m_range(config.n, config.r, config.k, config.construction)
+          : config.m_values;
+  const NonblockingBound bound =
+      config.construction == Construction::kMswDominant
+          ? theorem1_min_m(config.n, config.r)
+          : theorem2_min_m(config.n, config.r, config.k);
+
+  std::vector<SweepPoint> points(m_values.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].m = m_values[i];
+    points[i].spread = config.spread != 0 ? config.spread : bound.x;
+    points[i].theorem_bound_m = bound.m;
+  }
+
+  std::mutex merge_mutex;
+  const std::size_t total_tasks = points.size() * config.trials;
+  default_pool().parallel_for(total_tasks, [&](std::size_t task) {
+    const std::size_t point = task / config.trials;
+    const std::size_t trial = task % config.trials;
+    const std::size_t m = m_values[point];
+
+    const ClosParams params{config.n, config.r, std::max(m, config.n), config.k};
+    const RoutingPolicy policy{points[point].spread, config.search};
+
+    // Dynamic-load simulation.
+    MultistageSwitch dynamic_switch(params, config.construction,
+                                    config.network_model, policy);
+    SimConfig sim = config.sim;
+    sim.seed = Rng(config.sim.seed).split(task).next_u64();
+    const SimStats stats = run_dynamic_sim(dynamic_switch, sim);
+
+    // Structured adversary on a fresh network.
+    MultistageSwitch attack_switch(params, config.construction,
+                                   config.network_model, policy);
+    Rng attack_rng = Rng(config.sim.seed ^ 0xA77A).split(task);
+    const AttackResult attack = saturation_attack(attack_switch, attack_rng);
+
+    std::lock_guard lock(merge_mutex);
+    points[point].stats += stats;
+    if (attack.challenge_blocked) ++points[point].attack_blocked;
+    (void)trial;
+  });
+
+  return points;
+}
+
+}  // namespace wdm

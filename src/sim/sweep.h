@@ -1,0 +1,50 @@
+// Parallel parameter sweeps for blocking experiments.
+//
+// Sweeps the middle-stage size m (and optionally the routing spread x)
+// around the theorem bounds, running several independently-seeded dynamic
+// simulations per point. Trials fan out over the default thread pool; each
+// derives its RNG from (seed, point, trial) so results are bit-identical
+// regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/blocking_sim.h"
+
+namespace wdm {
+
+struct SweepConfig {
+  std::size_t n = 4;
+  std::size_t r = 4;
+  std::size_t k = 2;
+  Construction construction = Construction::kMswDominant;
+  MulticastModel network_model = MulticastModel::kMSW;
+  /// Middle-stage sizes to probe (empty = a default range around the bound).
+  std::vector<std::size_t> m_values;
+  /// Routing spread; 0 = theorem-optimal for each point.
+  std::size_t spread = 0;
+  RouteSearch search = RouteSearch::kExhaustive;
+  std::size_t trials = 8;
+  SimConfig sim;
+};
+
+struct SweepPoint {
+  std::size_t m = 0;
+  std::size_t spread = 0;
+  SimStats stats;             // aggregated over trials
+  std::size_t attack_blocked = 0;  // saturation_attack successes over trials
+  std::size_t theorem_bound_m = 0;
+};
+
+/// Blocking probability vs m. Each point runs `trials` dynamic sims plus
+/// `trials` saturation attacks on fresh networks.
+[[nodiscard]] std::vector<SweepPoint> sweep_middle_count(const SweepConfig& config);
+
+/// Default m-range for a geometry: from n (the structural minimum) to a bit
+/// past the theorem bound.
+[[nodiscard]] std::vector<std::size_t> default_m_range(std::size_t n, std::size_t r,
+                                                       std::size_t k,
+                                                       Construction construction);
+
+}  // namespace wdm

@@ -1,0 +1,70 @@
+// Continuous-time traffic models (Erlang framing).
+//
+// The step-based simulator (blocking_sim.h) is ideal for worst-case probing;
+// capacity planning speaks teletraffic instead: sessions arrive as a Poisson
+// process with rate lambda, hold for exponential time 1/mu, and the offered
+// load is a = lambda/mu Erlangs. run_erlang_sim drives a three-stage switch
+// from an event calendar, optionally with Zipf-skewed destination popularity
+// (hotspot content, the video-on-demand reality), and reports time-averaged
+// blocking and occupancy. Deterministic under the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "multistage/builder.h"
+#include "sim/request.h"
+#include "util/rng.h"
+
+namespace wdm {
+
+struct ErlangConfig {
+  double arrival_rate = 1.0;    // lambda, sessions per unit time
+  double mean_holding = 1.0;    // 1/mu
+  double duration = 1000.0;     // simulated time horizon
+  FanoutRange fanout = {};
+  /// Zipf exponent for destination-port popularity; 0 = uniform.
+  double zipf_exponent = 0.0;
+  std::uint64_t seed = 0xE51A;
+
+  [[nodiscard]] double offered_erlangs() const {
+    return arrival_rate * mean_holding;
+  }
+};
+
+struct ErlangStats {
+  std::size_t arrivals = 0;          // admissible offers to the router
+  std::size_t admitted = 0;
+  std::size_t blocked = 0;           // middle-stage routing blocks
+  std::size_t abandoned = 0;         // no free endpoints at arrival
+  double time_weighted_sessions = 0; // integral of live sessions over time
+  double duration = 0;
+
+  [[nodiscard]] double blocking_probability() const {
+    return arrivals == 0 ? 0.0 : static_cast<double>(blocked) /
+                                     static_cast<double>(arrivals);
+  }
+  /// Mean concurrent sessions (carried traffic in Erlangs).
+  [[nodiscard]] double carried_erlangs() const {
+    return duration == 0 ? 0.0 : time_weighted_sessions / duration;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Event-driven Poisson/exponential simulation on a multistage switch.
+[[nodiscard]] ErlangStats run_erlang_sim(MultistageSwitch& sw,
+                                         const ErlangConfig& config);
+
+/// Zipf(s) sampler over [0, n): P(i) proportional to 1/(i+1)^s. s = 0 is
+/// uniform. Deterministic per rng stream; O(n) setup, O(log n) per draw.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> cumulative_;  // normalized CDF
+};
+
+}  // namespace wdm

@@ -1,0 +1,78 @@
+// Blocking-witness search: empirical probe of the bounds' tightness.
+//
+// Theorems 1-2 are sufficient conditions; the paper notes (citing the
+// electronic lower-bound result) that matching *necessary* values of m can
+// be obtained. This module searches for concrete witnesses from below: a
+// strategy-compliant network state plus an admissible request that the
+// router cannot satisfy. Witness search combines random churn with
+// full-fanout probing and the structured saturation adversary; a found
+// witness is a constructive proof that the given m is NOT nonblocking, so
+// the largest m with a witness lower-bounds the true threshold.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/blocking_sim.h"
+
+namespace wdm {
+
+struct BlockingWitness {
+  /// The connections installed when the block occurred (request + route).
+  std::vector<std::pair<MulticastRequest, Route>> state;
+  /// The admissible request no route could satisfy.
+  MulticastRequest blocked_request;
+  std::size_t m = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct WitnessSearchConfig {
+  std::size_t churn_steps = 1500;
+  /// After every arrival, probe this many random admissible requests for
+  /// routability (without installing them).
+  std::size_t probes_per_step = 2;
+  std::size_t restarts = 4;
+  std::uint64_t seed = 0x517EC7;
+};
+
+/// Search for a blocking witness on a fresh network of the given geometry.
+/// Returns the first witness found, or nullopt if the budget is exhausted
+/// (which suggests -- but does not prove -- m is sufficient).
+[[nodiscard]] std::optional<BlockingWitness> find_blocking_witness(
+    const ClosParams& params, Construction construction,
+    MulticastModel network_model, const RoutingPolicy& policy,
+    const WitnessSearchConfig& config);
+
+/// Scan m downward from the theorem bound: the largest m for which a
+/// witness was found (0 if none anywhere). `max_probe_m` defaults to
+/// bound-1 (witnesses at or above the bound would falsify the theorem).
+struct TightnessReport {
+  std::size_t theorem_bound_m = 0;
+  std::size_t largest_blocking_m = 0;  // 0 = no witness found at all
+  /// Gap between the proven-sufficient m and the largest observed-blocking
+  /// m; 1 means the bound is empirically tight.
+  [[nodiscard]] std::size_t gap() const {
+    return theorem_bound_m - largest_blocking_m;
+  }
+};
+
+[[nodiscard]] TightnessReport probe_tightness(std::size_t n, std::size_t r,
+                                              std::size_t k,
+                                              Construction construction,
+                                              MulticastModel network_model,
+                                              const WitnessSearchConfig& config);
+
+/// Greedily shrink a witness: drop connections whose removal keeps the
+/// request blocked, until no single removal does. The result is a
+/// 1-minimal blocking core -- usually a handful of connections that make
+/// the counterexample human-readable. The witness must actually block
+/// (throws std::invalid_argument otherwise).
+[[nodiscard]] BlockingWitness shrink_witness(const BlockingWitness& witness,
+                                             const ClosParams& params,
+                                             Construction construction,
+                                             MulticastModel network_model,
+                                             const RoutingPolicy& policy);
+
+}  // namespace wdm

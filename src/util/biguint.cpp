@@ -1,0 +1,387 @@
+#include "util/biguint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace wdm {
+
+namespace {
+constexpr std::uint64_t kLimbBase = 1ULL << 32;
+}  // namespace
+
+BigUInt::BigUInt(std::uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<Limb>(value & 0xFFFFFFFFu));
+    if (value >> 32) limbs_.push_back(static_cast<Limb>(value >> 32));
+  }
+}
+
+BigUInt BigUInt::from_string(std::string_view decimal) {
+  if (decimal.empty()) throw std::invalid_argument("BigUInt: empty string");
+  BigUInt result;
+  for (char c : decimal) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("BigUInt: non-digit character in input");
+    }
+    // result = result * 10 + digit, fused into one limb pass.
+    WideLimb carry = static_cast<WideLimb>(c - '0');
+    for (Limb& limb : result.limbs_) {
+      WideLimb acc = static_cast<WideLimb>(limb) * 10 + carry;
+      limb = static_cast<Limb>(acc & 0xFFFFFFFFu);
+      carry = acc >> 32;
+    }
+    if (carry != 0) result.limbs_.push_back(static_cast<Limb>(carry));
+  }
+  return result;
+}
+
+void BigUInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+std::size_t BigUInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const std::size_t full = (limbs_.size() - 1) * kLimbBits;
+  return full + static_cast<std::size_t>(32 - __builtin_clz(limbs_.back()));
+}
+
+std::uint64_t BigUInt::to_uint64() const {
+  if (limbs_.size() > 2) throw std::overflow_error("BigUInt: value exceeds uint64_t");
+  std::uint64_t value = 0;
+  if (limbs_.size() > 1) value = static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) value |= limbs_[0];
+  return value;
+}
+
+double BigUInt::to_double() const {
+  double value = 0.0;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    value = value * static_cast<double>(kLimbBase) + static_cast<double>(*it);
+  }
+  return value;
+}
+
+double BigUInt::log10() const {
+  if (limbs_.empty()) return -std::numeric_limits<double>::infinity();
+  // Use the top (up to) three limbs for the mantissa; the rest only shift
+  // the exponent. 96 mantissa bits keep ~1e-12 relative accuracy in log10.
+  const std::size_t n = limbs_.size();
+  double mantissa = 0.0;
+  const std::size_t top = std::min<std::size_t>(n, 3);
+  for (std::size_t i = 0; i < top; ++i) {
+    mantissa = mantissa * static_cast<double>(kLimbBase) +
+               static_cast<double>(limbs_[n - 1 - i]);
+  }
+  const double shifted_limbs = static_cast<double>(n - top);
+  return std::log10(mantissa) +
+         shifted_limbs * kLimbBits * std::log10(2.0);
+}
+
+std::size_t BigUInt::digits10() const {
+  if (limbs_.empty()) return 1;
+  // log10() can land exactly on an integer for values one below a power of
+  // ten (double rounding), so verify the estimate with exact comparisons.
+  auto estimate = static_cast<std::size_t>(std::floor(log10())) + 1;
+  while (estimate > 1 && *this < BigUInt{10}.pow(estimate - 1)) --estimate;
+  while (*this >= BigUInt{10}.pow(estimate)) ++estimate;
+  return estimate;
+}
+
+BigUInt& BigUInt::operator+=(const BigUInt& rhs) {
+  if (limbs_.size() < rhs.limbs_.size()) limbs_.resize(rhs.limbs_.size(), 0);
+  WideLimb carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    WideLimb acc = static_cast<WideLimb>(limbs_[i]) + carry;
+    if (i < rhs.limbs_.size()) acc += rhs.limbs_[i];
+    limbs_[i] = static_cast<Limb>(acc & 0xFFFFFFFFu);
+    carry = acc >> 32;
+    if (carry == 0 && i >= rhs.limbs_.size()) break;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<Limb>(carry));
+  return *this;
+}
+
+BigUInt& BigUInt::operator-=(const BigUInt& rhs) {
+  if (*this < rhs) throw std::underflow_error("BigUInt: negative subtraction result");
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t acc = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < rhs.limbs_.size()) acc -= rhs.limbs_[i];
+    if (acc < 0) {
+      acc += static_cast<std::int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    limbs_[i] = static_cast<Limb>(acc);
+    if (borrow == 0 && i >= rhs.limbs_.size()) break;
+  }
+  normalize();
+  return *this;
+}
+
+BigUInt BigUInt::mul_schoolbook(const BigUInt& lhs, const BigUInt& rhs) {
+  if (lhs.limbs_.empty() || rhs.limbs_.empty()) return {};
+  BigUInt result;
+  result.limbs_.assign(lhs.limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < lhs.limbs_.size(); ++i) {
+    WideLimb carry = 0;
+    const WideLimb a = lhs.limbs_[i];
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      WideLimb acc = a * rhs.limbs_[j] + result.limbs_[i + j] + carry;
+      result.limbs_[i + j] = static_cast<Limb>(acc & 0xFFFFFFFFu);
+      carry = acc >> 32;
+    }
+    result.limbs_[i + rhs.limbs_.size()] = static_cast<Limb>(carry);
+  }
+  result.normalize();
+  return result;
+}
+
+BigUInt BigUInt::slice(std::size_t first, std::size_t count) const {
+  BigUInt result;
+  if (first >= limbs_.size()) return result;
+  const std::size_t end = std::min(limbs_.size(), first + count);
+  result.limbs_.assign(limbs_.begin() + static_cast<std::ptrdiff_t>(first),
+                       limbs_.begin() + static_cast<std::ptrdiff_t>(end));
+  result.normalize();
+  return result;
+}
+
+BigUInt& BigUInt::shift_left_limbs(std::size_t count) {
+  if (!limbs_.empty() && count > 0) {
+    limbs_.insert(limbs_.begin(), count, 0);
+  }
+  return *this;
+}
+
+BigUInt BigUInt::mul_karatsuba(const BigUInt& lhs, const BigUInt& rhs) {
+  const std::size_t n = std::max(lhs.limbs_.size(), rhs.limbs_.size());
+  if (n < kKaratsubaThreshold) return mul_schoolbook(lhs, rhs);
+  const std::size_t half = n / 2;
+  // lhs = a1*B^half + a0, rhs = b1*B^half + b0
+  BigUInt a0 = lhs.slice(0, half);
+  BigUInt a1 = lhs.slice(half, lhs.limbs_.size());
+  BigUInt b0 = rhs.slice(0, half);
+  BigUInt b1 = rhs.slice(half, rhs.limbs_.size());
+
+  BigUInt z0 = mul_karatsuba(a0, b0);
+  BigUInt z2 = mul_karatsuba(a1, b1);
+  BigUInt z1 = mul_karatsuba(a0 + a1, b0 + b1);
+  z1 -= z0;
+  z1 -= z2;
+
+  z2.shift_left_limbs(2 * half);
+  z1.shift_left_limbs(half);
+  z2 += z1;
+  z2 += z0;
+  return z2;
+}
+
+BigUInt operator*(const BigUInt& lhs, const BigUInt& rhs) {
+  return BigUInt::mul_karatsuba(lhs, rhs);
+}
+
+BigUInt& BigUInt::operator*=(const BigUInt& rhs) {
+  *this = *this * rhs;
+  return *this;
+}
+
+BigUInt::Limb BigUInt::div_small(Limb divisor) {
+  WideLimb remainder = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    WideLimb acc = (remainder << 32) | limbs_[i];
+    limbs_[i] = static_cast<Limb>(acc / divisor);
+    remainder = acc % divisor;
+  }
+  normalize();
+  return static_cast<Limb>(remainder);
+}
+
+std::pair<BigUInt, BigUInt> BigUInt::divmod(const BigUInt& divisor) const {
+  if (divisor.is_zero()) throw std::domain_error("BigUInt: division by zero");
+  if (*this < divisor) return {BigUInt{}, *this};
+  if (divisor.limbs_.size() == 1) {
+    BigUInt quotient = *this;
+    Limb r = quotient.div_small(divisor.limbs_[0]);
+    return {std::move(quotient), BigUInt{r}};
+  }
+
+  // Knuth TAOCP vol. 2, algorithm D. Normalize so the top divisor limb has
+  // its high bit set, guaranteeing the quotient-digit estimate is off by at
+  // most 2.
+  const int shift = __builtin_clz(divisor.limbs_.back());
+  BigUInt u = *this << static_cast<std::size_t>(shift);
+  const BigUInt v = divisor << static_cast<std::size_t>(shift);
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+  u.limbs_.push_back(0);  // room for the virtual high limb u[m+n]
+
+  BigUInt quotient;
+  quotient.limbs_.assign(m + 1, 0);
+  const WideLimb v_top = v.limbs_[n - 1];
+  const WideLimb v_second = v.limbs_[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat from the top two dividend limbs.
+    WideLimb numerator =
+        (static_cast<WideLimb>(u.limbs_[j + n]) << 32) | u.limbs_[j + n - 1];
+    WideLimb q_hat = numerator / v_top;
+    WideLimb r_hat = numerator % v_top;
+    while (q_hat >= kLimbBase ||
+           q_hat * v_second > ((r_hat << 32) | u.limbs_[j + n - 2])) {
+      --q_hat;
+      r_hat += v_top;
+      if (r_hat >= kLimbBase) break;
+    }
+
+    // u[j..j+n] -= q_hat * v
+    std::int64_t borrow = 0;
+    WideLimb carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      WideLimb product = q_hat * v.limbs_[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u.limbs_[i + j]) -
+                          static_cast<std::int64_t>(product & 0xFFFFFFFFu) - borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u.limbs_[i + j] = static_cast<Limb>(diff);
+    }
+    std::int64_t top_diff = static_cast<std::int64_t>(u.limbs_[j + n]) -
+                            static_cast<std::int64_t>(carry) - borrow;
+    if (top_diff < 0) {
+      // q_hat was one too large: add v back once.
+      top_diff += static_cast<std::int64_t>(kLimbBase);
+      --q_hat;
+      WideLimb add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        WideLimb acc = static_cast<WideLimb>(u.limbs_[i + j]) + v.limbs_[i] + add_carry;
+        u.limbs_[i + j] = static_cast<Limb>(acc & 0xFFFFFFFFu);
+        add_carry = acc >> 32;
+      }
+      top_diff += static_cast<std::int64_t>(add_carry);
+      top_diff &= 0xFFFFFFFF;
+    }
+    u.limbs_[j + n] = static_cast<Limb>(top_diff);
+    quotient.limbs_[j] = static_cast<Limb>(q_hat);
+  }
+
+  quotient.normalize();
+  u.limbs_.resize(n);
+  u.normalize();
+  u >>= static_cast<std::size_t>(shift);
+  return {std::move(quotient), std::move(u)};
+}
+
+BigUInt& BigUInt::operator/=(const BigUInt& rhs) {
+  *this = divmod(rhs).first;
+  return *this;
+}
+
+BigUInt& BigUInt::operator%=(const BigUInt& rhs) {
+  *this = divmod(rhs).second;
+  return *this;
+}
+
+BigUInt BigUInt::pow(std::uint64_t exponent) const {
+  BigUInt result{1};
+  BigUInt base = *this;
+  while (exponent != 0) {
+    if (exponent & 1) result *= base;
+    exponent >>= 1;
+    if (exponent != 0) base *= base;
+  }
+  return result;
+}
+
+BigUInt& BigUInt::operator<<=(std::size_t bits) {
+  if (limbs_.empty() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / kLimbBits;
+  const int bit_shift = static_cast<int>(bits % kLimbBits);
+  if (bit_shift != 0) {
+    Limb carry = 0;
+    for (Limb& limb : limbs_) {
+      const Limb next_carry = limb >> (kLimbBits - bit_shift);
+      limb = (limb << bit_shift) | carry;
+      carry = next_carry;
+    }
+    if (carry != 0) limbs_.push_back(carry);
+  }
+  shift_left_limbs(limb_shift);
+  return *this;
+}
+
+BigUInt& BigUInt::operator>>=(std::size_t bits) {
+  if (limbs_.empty() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / kLimbBits;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    return *this;
+  }
+  limbs_.erase(limbs_.begin(), limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift));
+  const int bit_shift = static_cast<int>(bits % kLimbBits);
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+      limbs_[i] >>= bit_shift;
+      if (i + 1 < limbs_.size()) {
+        limbs_[i] |= limbs_[i + 1] << (kLimbBits - bit_shift);
+      }
+    }
+  }
+  normalize();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const BigUInt& lhs, const BigUInt& rhs) {
+  if (lhs.limbs_.size() != rhs.limbs_.size()) {
+    return lhs.limbs_.size() <=> rhs.limbs_.size();
+  }
+  for (std::size_t i = lhs.limbs_.size(); i-- > 0;) {
+    if (lhs.limbs_[i] != rhs.limbs_[i]) return lhs.limbs_[i] <=> rhs.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+std::string BigUInt::to_string() const {
+  if (limbs_.empty()) return "0";
+  // Peel off 9 decimal digits at a time.
+  BigUInt value = *this;
+  std::string out;
+  while (!value.is_zero()) {
+    const Limb chunk = value.div_small(1'000'000'000u);
+    if (value.is_zero()) {
+      out.insert(0, std::to_string(chunk));
+    } else {
+      std::string digits = std::to_string(chunk);
+      out.insert(0, std::string(9 - digits.size(), '0') + digits);
+    }
+  }
+  return out;
+}
+
+std::string BigUInt::to_sci(int significand_digits) const {
+  const std::string digits = to_string();
+  if (digits.size() <= static_cast<std::size_t>(significand_digits) + 2) {
+    return digits;
+  }
+  std::string out;
+  out += digits[0];
+  out += '.';
+  out.append(digits, 1, static_cast<std::size_t>(significand_digits) - 1);
+  out += "e+";
+  out += std::to_string(digits.size() - 1);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigUInt& value) {
+  return os << value.to_string();
+}
+
+}  // namespace wdm

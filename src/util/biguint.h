@@ -1,0 +1,113 @@
+// Arbitrary-precision unsigned integer arithmetic.
+//
+// The multicast capacities in Lemmas 1-3 of the paper (e.g. N^(Nk),
+// [P(Nk,k)]^N) overflow 64-bit integers for all but toy parameters, so the
+// capacity module computes them exactly with this type. The implementation
+// stores little-endian 32-bit limbs and provides schoolbook + Karatsuba
+// multiplication, Knuth algorithm-D division, exponentiation, and decimal
+// conversion. Values are always normalized: no high-order zero limbs, and
+// zero is represented by an empty limb vector.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wdm {
+
+class BigUInt {
+ public:
+  /// Zero.
+  BigUInt() = default;
+
+  /// Value-initialize from a built-in unsigned integer.
+  BigUInt(std::uint64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Parse a base-10 string of digits. Throws std::invalid_argument on any
+  /// non-digit character or an empty string.
+  static BigUInt from_string(std::string_view decimal);
+
+  /// True iff the value is zero.
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+
+  /// Number of decimal digits (1 for zero).
+  [[nodiscard]] std::size_t digits10() const;
+
+  /// Exact value as uint64_t; throws std::overflow_error if it does not fit.
+  [[nodiscard]] std::uint64_t to_uint64() const;
+
+  /// True iff the value fits in uint64_t.
+  [[nodiscard]] bool fits_uint64() const { return limbs_.size() <= 2; }
+
+  /// Closest double (may be +inf for huge values).
+  [[nodiscard]] double to_double() const;
+
+  /// log10 of the value, accurate to ~1e-12 relative error even for values
+  /// far beyond double range. Returns -inf for zero.
+  [[nodiscard]] double log10() const;
+
+  /// Base-10 representation.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Scientific-notation rendering "d.ddde+NN" with the given number of
+  /// significand digits; exact digits if the value is short enough.
+  [[nodiscard]] std::string to_sci(int significand_digits = 4) const;
+
+  // -- arithmetic -----------------------------------------------------------
+  BigUInt& operator+=(const BigUInt& rhs);
+  BigUInt& operator-=(const BigUInt& rhs);  // throws std::underflow_error
+  BigUInt& operator*=(const BigUInt& rhs);
+  BigUInt& operator/=(const BigUInt& rhs);  // throws std::domain_error on /0
+  BigUInt& operator%=(const BigUInt& rhs);
+
+  friend BigUInt operator+(BigUInt lhs, const BigUInt& rhs) { return lhs += rhs; }
+  friend BigUInt operator-(BigUInt lhs, const BigUInt& rhs) { return lhs -= rhs; }
+  friend BigUInt operator*(const BigUInt& lhs, const BigUInt& rhs);
+  friend BigUInt operator/(BigUInt lhs, const BigUInt& rhs) { return lhs /= rhs; }
+  friend BigUInt operator%(BigUInt lhs, const BigUInt& rhs) { return lhs %= rhs; }
+
+  /// Quotient and remainder in one pass (Knuth algorithm D).
+  /// Throws std::domain_error if divisor is zero.
+  [[nodiscard]] std::pair<BigUInt, BigUInt> divmod(const BigUInt& divisor) const;
+
+  /// this**exponent (0**0 == 1 by convention, matching the empty product).
+  [[nodiscard]] BigUInt pow(std::uint64_t exponent) const;
+
+  /// Shift left/right by whole bits.
+  BigUInt& operator<<=(std::size_t bits);
+  BigUInt& operator>>=(std::size_t bits);
+  friend BigUInt operator<<(BigUInt lhs, std::size_t bits) { return lhs <<= bits; }
+  friend BigUInt operator>>(BigUInt lhs, std::size_t bits) { return lhs >>= bits; }
+
+  // -- comparison -----------------------------------------------------------
+  friend bool operator==(const BigUInt& lhs, const BigUInt& rhs) = default;
+  friend std::strong_ordering operator<=>(const BigUInt& lhs, const BigUInt& rhs);
+
+  friend std::ostream& operator<<(std::ostream& os, const BigUInt& value);
+
+ private:
+  using Limb = std::uint32_t;
+  using WideLimb = std::uint64_t;
+  static constexpr int kLimbBits = 32;
+  /// Below this limb count, schoolbook multiplication beats Karatsuba.
+  static constexpr std::size_t kKaratsubaThreshold = 32;
+
+  void normalize();
+  [[nodiscard]] BigUInt slice(std::size_t first, std::size_t count) const;
+  BigUInt& shift_left_limbs(std::size_t count);
+  static BigUInt mul_schoolbook(const BigUInt& lhs, const BigUInt& rhs);
+  static BigUInt mul_karatsuba(const BigUInt& lhs, const BigUInt& rhs);
+
+  /// Divide in place by a single limb, returning the remainder.
+  Limb div_small(Limb divisor);
+
+  std::vector<Limb> limbs_;  // little-endian, normalized
+};
+
+}  // namespace wdm

@@ -1,0 +1,78 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace wdm {
+
+CliParser::CliParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+void CliParser::describe(const std::string& name, const std::string& help) {
+  descriptions_.emplace_back(name, help);
+}
+
+std::optional<std::string> CliParser::get_string(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto value = get_string(name);
+  if (!value) return fallback;
+  return std::stoll(*value);
+}
+
+double CliParser::get_double(const std::string& name, double fallback) const {
+  const auto value = get_string(name);
+  if (!value) return fallback;
+  return std::stod(*value);
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const auto value = get_string(name);
+  return value && *value != "false" && *value != "0";
+}
+
+std::string CliParser::help_text(const std::string& program_summary) const {
+  std::ostringstream os;
+  os << program_summary << "\n\nFlags:\n";
+  for (const auto& [name, help] : descriptions_) {
+    os << "  --" << name << "\n      " << help << "\n";
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+void CliParser::validate() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    const bool known = std::any_of(
+        descriptions_.begin(), descriptions_.end(),
+        [&name](const auto& description) { return description.first == name; });
+    if (!known) throw std::invalid_argument("unknown flag: --" + name);
+  }
+}
+
+}  // namespace wdm

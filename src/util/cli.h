@@ -1,0 +1,41 @@
+// Tiny command-line flag parser for the example and bench binaries.
+//
+// Supports --name=value, --name value, and boolean --name. Unknown flags are
+// an error so typos do not silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wdm {
+
+class CliParser {
+ public:
+  CliParser(int argc, const char* const* argv);
+
+  /// Register a flag so it appears in help and is not "unknown".
+  void describe(const std::string& name, const std::string& help);
+
+  [[nodiscard]] std::optional<std::string> get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// True if --help was passed.
+  [[nodiscard]] bool wants_help() const { return help_requested_; }
+  /// Render the registered flag descriptions.
+  [[nodiscard]] std::string help_text(const std::string& program_summary) const;
+
+  /// Throws std::invalid_argument if any parsed flag was never describe()d.
+  void validate() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> descriptions_;
+  bool help_requested_ = false;
+};
+
+}  // namespace wdm

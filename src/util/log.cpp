@@ -1,0 +1,53 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace wdm {
+
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+std::once_flag g_env_once;
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void init_from_env() {
+  const char* env = std::getenv("WDM_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) g_threshold = LogLevel::kDebug;
+  else if (std::strcmp(env, "info") == 0) g_threshold = LogLevel::kInfo;
+  else if (std::strcmp(env, "warn") == 0) g_threshold = LogLevel::kWarn;
+  else if (std::strcmp(env, "error") == 0) g_threshold = LogLevel::kError;
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  std::call_once(g_env_once, init_from_env);
+  return g_threshold.load(std::memory_order_relaxed);
+}
+
+void set_log_threshold(LogLevel level) {
+  std::call_once(g_env_once, init_from_env);
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  std::lock_guard lock(g_io_mutex);
+  std::cerr << "[wdm:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace wdm

@@ -1,0 +1,53 @@
+// Leveled logging to stderr.
+//
+// Kept deliberately small: the library is a computational artifact, not a
+// service, so logging exists for tracing simulator decisions (debug) and
+// surfacing misconfiguration (warn/error). Level comes from WDM_LOG
+// (debug|info|warn|error) and defaults to warn so tests and benches stay
+// quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wdm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace wdm
+
+#define WDM_LOG(level)                                  \
+  if (::wdm::LogLevel::level < ::wdm::log_threshold()) { \
+  } else                                                 \
+    ::wdm::detail::LogLine(::wdm::LogLevel::level)
+
+#define WDM_DEBUG WDM_LOG(kDebug)
+#define WDM_INFO WDM_LOG(kInfo)
+#define WDM_WARN WDM_LOG(kWarn)
+#define WDM_ERROR WDM_LOG(kError)

@@ -1,0 +1,66 @@
+// Console table / CSV rendering.
+//
+// Every bench binary reproduces a paper table or figure as rows of text;
+// this keeps them uniform: aligned ASCII output for humans plus optional
+// CSV for downstream plotting.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace wdm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: convert each argument with to_cell().
+  template <typename... Args>
+  void add(const Args&... args) {
+    add_row({to_cell(args)...});
+  }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Render with column alignment and a header rule.
+  [[nodiscard]] std::string to_text() const;
+  /// Render as RFC-4180-ish CSV (cells containing comma/quote get quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+  static std::string to_cell(const std::string& value) { return value; }
+  static std::string to_cell(const char* value) { return value; }
+  static std::string to_cell(bool value) { return value ? "yes" : "no"; }
+  static std::string to_cell(double value);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_cell(T value) {
+    return std::to_string(value);
+  }
+  template <typename T>
+    requires requires(const T& t) { t.to_string(); }
+  static std::string to_cell(const T& value) {
+    return value.to_string();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner (used by bench binaries between reproduced
+/// tables/figures).
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace wdm

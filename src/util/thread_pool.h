@@ -1,0 +1,52 @@
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// The simulation sweeps (blocking probability vs m over many seeds) are
+// embarrassingly parallel; this pool runs them across hardware threads while
+// keeping results deterministic: work items are indexed and each derives its
+// RNG from (master seed, index), so scheduling order cannot change results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace wdm {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 means read WDM_THREADS or use
+  /// hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run body(i) for i in [0, count), blocking until all complete.
+  /// Exceptions from the body are rethrown (first one wins).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide default pool (lazily constructed).
+ThreadPool& default_pool();
+
+}  // namespace wdm

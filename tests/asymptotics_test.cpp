@@ -1,0 +1,119 @@
+// Least-squares exponent recovery for the Table 2 asymptotics.
+#include "analysis/asymptotics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "capacity/cost.h"
+#include "multistage/nonblocking.h"
+
+namespace wdm {
+namespace {
+
+std::vector<std::size_t> square_ladder() {
+  return {16, 64, 256, 1024, 4096, 16384, 65536};
+}
+
+TEST(Asymptotics, RecoversPurePolynomial) {
+  const AsymptoticFit fit = fit_asymptotics(square_ladder(), [](std::size_t N) {
+    return 7.0 * static_cast<double>(N) * static_cast<double>(N);
+  });
+  EXPECT_NEAR(fit.poly_exponent, 2.0, 0.02);
+  EXPECT_NEAR(fit.log_factor, 0.0, 0.1);
+  EXPECT_LT(fit.max_relative_error, 0.02);
+}
+
+TEST(Asymptotics, RecoversLogFactor) {
+  const AsymptoticFit fit = fit_asymptotics(square_ladder(), [](std::size_t N) {
+    const double ln = std::log(static_cast<double>(N));
+    return 3.0 * std::pow(static_cast<double>(N), 1.5) * ln / std::log(ln);
+  });
+  EXPECT_NEAR(fit.poly_exponent, 1.5, 0.02);
+  EXPECT_NEAR(fit.log_factor, 1.0, 0.1);
+  EXPECT_LT(fit.max_relative_error, 0.02);
+}
+
+TEST(Asymptotics, EvaluateMatchesSamples) {
+  const auto cost = [](std::size_t N) {
+    return 2.0 * std::pow(static_cast<double>(N), 1.7);
+  };
+  const AsymptoticFit fit = fit_asymptotics(square_ladder(), cost);
+  for (const std::size_t N : square_ladder()) {
+    EXPECT_NEAR(evaluate_fit(fit, N) / cost(N), 1.0, 0.05) << N;
+  }
+}
+
+TEST(Asymptotics, InputValidation) {
+  EXPECT_THROW((void)fit_asymptotics({16, 64}, [](std::size_t) { return 1.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)fit_asymptotics({2, 16, 64}, [](std::size_t) { return 1.0; }),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)fit_asymptotics({16, 64, 256}, [](std::size_t) { return 0.0; }),
+      std::invalid_argument);
+}
+
+TEST(Asymptotics, CrossbarMeasuresAsNSquared) {
+  // Table 1's k N^2, measured: exponent 2, no log factor.
+  const AsymptoticFit fit = fit_asymptotics(square_ladder(), [](std::size_t N) {
+    return static_cast<double>(crossbar_cost(N, 2, MulticastModel::kMAW).crosspoints);
+  });
+  EXPECT_NEAR(fit.poly_exponent, 2.0, 0.02);
+  EXPECT_NEAR(fit.log_factor, 0.0, 0.1);
+}
+
+TEST(Asymptotics, MultistageMeasuresAsN15LogFactor) {
+  // Table 2's O(k N^1.5 logN/loglogN), measured from the theorem-sized
+  // balanced design. The discrete x optimization makes the curve lumpy, so
+  // tolerances are looser but the exponent must be ~1.5, clearly separated
+  // from 2, with a positive log-ish correction.
+  const AsymptoticFit fit = fit_asymptotics(square_ladder(), [](std::size_t N) {
+    return static_cast<double>(
+        balanced_multistage_cost(N, 2, Construction::kMswDominant,
+                                 MulticastModel::kMSW)
+            .crosspoints);
+  });
+  EXPECT_NEAR(fit.poly_exponent, 1.5, 0.15);
+  EXPECT_GT(fit.log_factor, 0.0);
+  EXPECT_LT(fit.poly_exponent + 0.2, 2.0);
+}
+
+TEST(AsymptoticsFixed, RecoversExponentWithPinnedFactor) {
+  const auto pure = [](std::size_t N) {
+    return 5.0 * std::pow(static_cast<double>(N), 1.5);
+  };
+  const AsymptoticFit fit = fit_with_fixed_log_factor(square_ladder(), pure, 0.0);
+  EXPECT_NEAR(fit.poly_exponent, 1.5, 1e-6);
+  EXPECT_LT(fit.max_relative_error, 1e-9);
+  // Pinning the wrong factor distorts the exponent and inflates the error.
+  const AsymptoticFit wrong = fit_with_fixed_log_factor(square_ladder(), pure, 1.0);
+  EXPECT_GT(wrong.max_relative_error, fit.max_relative_error);
+}
+
+TEST(AsymptoticsFixed, HypothesisSelectionPicksTrueForm) {
+  const auto log_form = [](std::size_t N) {
+    const double ln = std::log(static_cast<double>(N));
+    return std::pow(static_cast<double>(N), 1.5) * ln / std::log(ln);
+  };
+  const AsymptoticFit h0 = fit_with_fixed_log_factor(square_ladder(), log_form, 0.0);
+  const AsymptoticFit h1 = fit_with_fixed_log_factor(square_ladder(), log_form, 1.0);
+  EXPECT_LT(h1.max_relative_error, h0.max_relative_error);
+  EXPECT_NEAR(h1.poly_exponent, 1.5, 1e-6);
+}
+
+TEST(AsymptoticsFixed, Validation) {
+  EXPECT_THROW((void)fit_with_fixed_log_factor(
+                   {16}, [](std::size_t) { return 1.0; }, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_with_fixed_log_factor(
+                   {3, 16, 64}, [](std::size_t) { return 1.0; }, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_with_fixed_log_factor(
+                   {16, 64}, [](std::size_t) { return -1.0; }, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wdm

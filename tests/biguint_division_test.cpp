@@ -1,0 +1,140 @@
+// Deep-coverage tests for BigUInt's Knuth algorithm-D division: the rare
+// q-hat correction paths, normalization boundaries, and heavy randomized
+// reconstruction fuzzing. Division feeds binomial() (exact divisions) and
+// to_string(), so a silent off-by-one here would corrupt every capacity
+// table.
+#include <gtest/gtest.h>
+
+#include "util/biguint.h"
+#include "util/rng.h"
+
+namespace wdm {
+namespace {
+
+BigUInt from_limbs_base32(std::initializer_list<std::uint32_t> limbs_big_endian) {
+  // Build a value from explicit 32-bit limbs, most significant first.
+  BigUInt value;
+  for (const std::uint32_t limb : limbs_big_endian) {
+    value <<= 32;
+    value += BigUInt{limb};
+  }
+  return value;
+}
+
+void expect_divmod_identity(const BigUInt& a, const BigUInt& b) {
+  const auto [q, r] = a.divmod(b);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(r, b);
+}
+
+TEST(BigUIntDivision, QHatOverestimateCorrection) {
+  // Classic Knuth test shapes: dividend top limbs just below divisor*base
+  // force q_hat = base-1 with corrections.
+  const BigUInt divisor = from_limbs_base32({0x80000000u, 0x00000001u});
+  const BigUInt dividend = from_limbs_base32(
+      {0x7FFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu, 0x00000000u});
+  expect_divmod_identity(dividend, divisor);
+}
+
+TEST(BigUIntDivision, AddBackCase) {
+  // The infamous add-back branch (probability ~2/base): engineered inputs
+  // from Knuth's exercise family. b = base = 2^32.
+  // dividend = (b^4 + b^3 - b) , divisor = (b^2 + b - 1) style shapes.
+  const BigUInt b = BigUInt{1} << 32;
+  const BigUInt dividend = b.pow(4) + b.pow(3) - b;
+  const BigUInt divisor = b * b + b - BigUInt{1};
+  expect_divmod_identity(dividend, divisor);
+
+  // Another shape with a maximal second limb.
+  const BigUInt divisor2 = from_limbs_base32({0xFFFFFFFFu, 0xFFFFFFFEu});
+  const BigUInt dividend2 =
+      from_limbs_base32({0xFFFFFFFEu, 0x00000000u, 0x00000000u, 0x00000001u});
+  expect_divmod_identity(dividend2, divisor2);
+}
+
+TEST(BigUIntDivision, DivisorTopLimbBoundaries) {
+  // Top divisor limb at the normalization extremes: 1 (maximal shift) and
+  // 0xFFFFFFFF (no shift).
+  const BigUInt small_top = from_limbs_base32({0x00000001u, 0x00000000u});
+  const BigUInt large_top = from_limbs_base32({0xFFFFFFFFu, 0xFFFFFFFFu});
+  const BigUInt dividend = BigUInt{7}.pow(60);
+  expect_divmod_identity(dividend, small_top);
+  expect_divmod_identity(dividend, large_top);
+}
+
+TEST(BigUIntDivision, QuotientExactlyFitsOrOverflowsLimb) {
+  // Quotient digits of exactly 0xFFFFFFFF.
+  const BigUInt divisor = from_limbs_base32({0x00000001u, 0x00000000u});
+  const BigUInt quotient = from_limbs_base32({0xFFFFFFFFu, 0xFFFFFFFFu});
+  const BigUInt dividend = quotient * divisor + BigUInt{12345};
+  const auto [q, r] = dividend.divmod(divisor);
+  EXPECT_EQ(q, quotient);
+  EXPECT_EQ(r, BigUInt{12345});
+}
+
+TEST(BigUIntDivision, SelfDivision) {
+  const BigUInt value = BigUInt{3}.pow(200);
+  const auto [q, r] = value.divmod(value);
+  EXPECT_EQ(q, BigUInt{1});
+  EXPECT_TRUE(r.is_zero());
+  const auto [q2, r2] = (value - BigUInt{1}).divmod(value);
+  EXPECT_TRUE(q2.is_zero());
+  EXPECT_EQ(r2, value - BigUInt{1});
+}
+
+TEST(BigUIntDivision, PowersOfTwoBySmallOdd) {
+  // Exercises div_small repeatedly via to_string of a 1000-bit number.
+  const BigUInt value = BigUInt{1} << 1000;
+  const std::string decimal = value.to_string();
+  EXPECT_EQ(decimal.size(), 302u);  // 2^1000 has 302 digits
+  EXPECT_EQ(BigUInt::from_string(decimal), value);
+}
+
+class DivisionFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DivisionFuzz, ReconstructionAcrossSizes) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    // Random operand sizes from 1 to ~20 limbs.
+    const std::size_t a_limbs = 1 + rng.next_below(20);
+    const std::size_t b_limbs = 1 + rng.next_below(a_limbs);
+    BigUInt a, b;
+    for (std::size_t i = 0; i < a_limbs; ++i) {
+      a <<= 32;
+      a += BigUInt{rng.next_u64() & 0xFFFFFFFFu};
+    }
+    for (std::size_t i = 0; i < b_limbs; ++i) {
+      b <<= 32;
+      b += BigUInt{rng.next_u64() & 0xFFFFFFFFu};
+    }
+    if (b.is_zero()) b = BigUInt{1};
+    expect_divmod_identity(a, b);
+    // Exactness: (a*b + r0) / b reconstructs for random small r0 < b.
+    const BigUInt r0 = b > BigUInt{1} ? BigUInt{rng.next_u64()} % b : BigUInt{0};
+    const auto [q, r] = (a * b + r0).divmod(b);
+    EXPECT_EQ(q, a);
+    EXPECT_EQ(r, r0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DivisionFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+TEST(BigUIntDivision, DecimalRoundTripFuzz) {
+  Rng rng(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    BigUInt value;
+    const std::size_t digits = 1 + rng.next_below(120);
+    std::string decimal;
+    decimal += static_cast<char>('1' + rng.next_below(9));
+    for (std::size_t i = 1; i < digits; ++i) {
+      decimal += static_cast<char>('0' + rng.next_below(10));
+    }
+    value = BigUInt::from_string(decimal);
+    EXPECT_EQ(value.to_string(), decimal);
+    EXPECT_EQ(value.digits10(), decimal.size());
+  }
+}
+
+}  // namespace
+}  // namespace wdm

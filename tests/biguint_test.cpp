@@ -1,0 +1,206 @@
+// Unit and property tests for the arbitrary-precision integer substrate.
+#include "util/biguint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace wdm {
+namespace {
+
+TEST(BigUInt, DefaultIsZero) {
+  BigUInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.to_string(), "0");
+  EXPECT_EQ(zero.to_uint64(), 0u);
+  EXPECT_EQ(zero.bit_length(), 0u);
+}
+
+TEST(BigUInt, SmallValuesRoundTrip) {
+  for (const std::uint64_t value : {1ull, 2ull, 9ull, 10ull, 4294967295ull,
+                                    4294967296ull, 18446744073709551615ull}) {
+    const BigUInt big{value};
+    EXPECT_EQ(big.to_uint64(), value);
+    EXPECT_EQ(big.to_string(), std::to_string(value));
+  }
+}
+
+TEST(BigUInt, FromStringMatchesConstructor) {
+  EXPECT_EQ(BigUInt::from_string("0"), BigUInt{0});
+  EXPECT_EQ(BigUInt::from_string("18446744073709551615"),
+            BigUInt{18446744073709551615ull});
+  EXPECT_EQ(BigUInt::from_string("000123"), BigUInt{123});
+}
+
+TEST(BigUInt, FromStringRejectsGarbage) {
+  EXPECT_THROW((void)BigUInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW((void)BigUInt::from_string("12a3"), std::invalid_argument);
+  EXPECT_THROW((void)BigUInt::from_string("-5"), std::invalid_argument);
+}
+
+TEST(BigUInt, AdditionCarriesAcrossLimbs) {
+  const BigUInt a{0xFFFFFFFFFFFFFFFFull};
+  const BigUInt sum = a + BigUInt{1};
+  EXPECT_EQ(sum.to_string(), "18446744073709551616");
+}
+
+TEST(BigUInt, SubtractionBorrowsAcrossLimbs) {
+  const BigUInt big = BigUInt::from_string("18446744073709551616");
+  EXPECT_EQ(big - BigUInt{1}, BigUInt{0xFFFFFFFFFFFFFFFFull});
+}
+
+TEST(BigUInt, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUInt{3} - BigUInt{4}, std::underflow_error);
+}
+
+TEST(BigUInt, MultiplicationKnownValues) {
+  EXPECT_EQ(BigUInt{0} * BigUInt{12345}, BigUInt{0});
+  EXPECT_EQ(BigUInt{1000000007} * BigUInt{998244353},
+            BigUInt{1000000007ull * 998244353ull});
+}
+
+TEST(BigUInt, PowMatchesRepeatedMultiply) {
+  BigUInt product{1};
+  const BigUInt base{37};
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(base.pow(static_cast<std::uint64_t>(i)), product);
+    product *= base;
+  }
+}
+
+TEST(BigUInt, PowZeroToZeroIsOne) {
+  EXPECT_EQ(BigUInt{0}.pow(0), BigUInt{1});
+  EXPECT_EQ(BigUInt{0}.pow(5), BigUInt{0});
+}
+
+TEST(BigUInt, TwoToThe128) {
+  EXPECT_EQ(BigUInt{2}.pow(128).to_string(),
+            "340282366920938463463374607431768211456");
+}
+
+TEST(BigUInt, FactorialOf50HasKnownValue) {
+  BigUInt factorial{1};
+  for (std::uint64_t i = 2; i <= 50; ++i) factorial *= BigUInt{i};
+  EXPECT_EQ(factorial.to_string(),
+            "30414093201713378043612608166064768844377641568960512000000000000");
+}
+
+TEST(BigUInt, DivModSmallDivisors) {
+  const BigUInt value = BigUInt::from_string("123456789012345678901234567890");
+  const auto [quotient, remainder] = value.divmod(BigUInt{97});
+  EXPECT_EQ(quotient * BigUInt{97} + remainder, value);
+  EXPECT_LT(remainder, BigUInt{97});
+}
+
+TEST(BigUInt, DivModByZeroThrows) {
+  EXPECT_THROW((void)BigUInt{5}.divmod(BigUInt{0}), std::domain_error);
+}
+
+TEST(BigUInt, DivModLargeDivisor) {
+  const BigUInt a = BigUInt{2}.pow(300) + BigUInt{12345};
+  const BigUInt b = BigUInt{2}.pow(150) + BigUInt{999};
+  const auto [quotient, remainder] = a.divmod(b);
+  EXPECT_EQ(quotient * b + remainder, a);
+  EXPECT_LT(remainder, b);
+  EXPECT_FALSE(quotient.is_zero());
+}
+
+TEST(BigUInt, ShiftRoundTrip) {
+  const BigUInt value = BigUInt::from_string("987654321987654321987654321");
+  for (const std::size_t bits : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ((value << bits) >> bits, value) << "bits=" << bits;
+  }
+}
+
+TEST(BigUInt, ComparisonOrdering) {
+  const BigUInt small{42};
+  const BigUInt large = BigUInt{2}.pow(100);
+  EXPECT_LT(small, large);
+  EXPECT_GT(large, small);
+  EXPECT_EQ(large, BigUInt{2}.pow(100));
+  EXPECT_LE(small, small);
+}
+
+TEST(BigUInt, Log10MatchesDigitCount) {
+  const BigUInt value = BigUInt{10}.pow(100);
+  EXPECT_NEAR(value.log10(), 100.0, 1e-9);
+  EXPECT_EQ(value.digits10(), 101u);
+  EXPECT_EQ((value - BigUInt{1}).digits10(), 100u);
+}
+
+TEST(BigUInt, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(BigUInt{1234567}.to_double(), 1234567.0);
+  const double big = BigUInt{2}.pow(100).to_double();
+  EXPECT_NEAR(big, std::pow(2.0, 100.0), std::pow(2.0, 60.0));
+}
+
+TEST(BigUInt, ToSciFormatsLargeValues) {
+  EXPECT_EQ(BigUInt{12345}.to_sci(4), "12345");
+  EXPECT_EQ(BigUInt{10}.pow(100).to_sci(4), "1.000e+100");
+  EXPECT_EQ(BigUInt::from_string("123456789123456789").to_sci(3), "1.23e+17");
+}
+
+TEST(BigUInt, ToUint64OverflowThrows) {
+  EXPECT_THROW((void)BigUInt{2}.pow(64).to_uint64(), std::overflow_error);
+  EXPECT_EQ((BigUInt{2}.pow(64) - BigUInt{1}).to_uint64(),
+            0xFFFFFFFFFFFFFFFFull);
+}
+
+// --- randomized properties --------------------------------------------------
+
+class BigUIntProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigUIntProperty, AddSubRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const BigUInt a = BigUInt{rng.next_u64()} * BigUInt{rng.next_u64()};
+    const BigUInt b = BigUInt{rng.next_u64()};
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a + b) - a, b);
+  }
+}
+
+TEST_P(BigUIntProperty, MulDivRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const BigUInt a = BigUInt{rng.next_u64()} * BigUInt{rng.next_u64()} +
+                      BigUInt{rng.next_u64()};
+    const BigUInt b = BigUInt{rng.next_u64() | 1};
+    const auto [quotient, remainder] = a.divmod(b);
+    EXPECT_EQ(quotient * b + remainder, a);
+    EXPECT_LT(remainder, b);
+  }
+}
+
+TEST_P(BigUIntProperty, MultiplicationCommutesAndDistributes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    const BigUInt a{rng.next_u64()};
+    const BigUInt b{rng.next_u64()};
+    const BigUInt c{rng.next_u64()};
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST_P(BigUIntProperty, KaratsubaMatchesSchoolbookViaStringMath) {
+  // Build operands wide enough to trigger the Karatsuba path (>= 32 limbs)
+  // and check the multiplication against an independently computed square.
+  Rng rng(GetParam());
+  BigUInt wide{1};
+  for (int i = 0; i < 40; ++i) wide *= BigUInt{rng.next_u64() | 1};
+  const BigUInt square = wide * wide;
+  // (w+1)^2 - (w^2 + 2w + 1) == 0
+  const BigUInt expansion = square + wide + wide + BigUInt{1};
+  EXPECT_EQ((wide + BigUInt{1}) * (wide + BigUInt{1}), expansion);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigUIntProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 123456789u));
+
+}  // namespace
+}  // namespace wdm

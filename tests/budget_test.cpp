@@ -1,0 +1,117 @@
+// Power-budget projections: closed forms vs the gate-level simulator.
+#include "optics/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fabric/fabric_switch.h"
+#include "multistage/nonblocking.h"
+
+namespace wdm {
+namespace {
+
+TEST(PowerBudget, CrossbarClosedFormMatchesMeasuredPropagation) {
+  // For a unicast connection the beam takes exactly the worst-case path, so
+  // the measured delivered power must equal -(closed-form loss) given a
+  // 0 dBm transmitter.
+  for (const MulticastModel model : kAllModels) {
+    for (const auto& [N, k] :
+         std::vector<std::pair<std::size_t, std::size_t>>{{2, 2}, {4, 2}, {4, 3}}) {
+      FabricSwitch sw(N, k, model);
+      // MAW exercises a conversion on the path; keep lanes legal per model.
+      const MulticastRequest request =
+          model == MulticastModel::kMSW
+              ? MulticastRequest{{0, 0}, {{1, 0}}}
+              : MulticastRequest{{0, 1}, {{1, 0}}};
+      sw.connect(request);
+      const auto report = sw.verify();
+      ASSERT_TRUE(report.ok);
+      const PowerBudget budget = crossbar_power_budget(N, k, model);
+      EXPECT_NEAR(report.min_power_dbm, -budget.worst_path_loss_db, 1e-9)
+          << model_name(model) << " N=" << N << " k=" << k;
+      EXPECT_EQ(report.max_gates_crossed, budget.gate_stages);
+    }
+  }
+}
+
+TEST(PowerBudget, LossGrowsWithFabricSize) {
+  double previous = 0.0;
+  for (const std::size_t N : {2u, 4u, 8u, 16u, 32u}) {
+    const PowerBudget budget = crossbar_power_budget(N, 2, MulticastModel::kMAW);
+    EXPECT_GT(budget.worst_path_loss_db, previous);
+    previous = budget.worst_path_loss_db;
+  }
+}
+
+TEST(PowerBudget, MswCrossbarCheaperInLossThanWavelengthFabrics) {
+  // MSW splits N ways; MSDW/MAW split Nk ways and convert: strictly lossier.
+  for (const std::size_t k : {2u, 4u}) {
+    const PowerBudget msw = crossbar_power_budget(8, k, MulticastModel::kMSW);
+    const PowerBudget maw = crossbar_power_budget(8, k, MulticastModel::kMAW);
+    EXPECT_LT(msw.worst_path_loss_db, maw.worst_path_loss_db);
+    EXPECT_LT(msw.crosstalk_aggressors, maw.crosstalk_aggressors);
+  }
+}
+
+TEST(PowerBudget, MsdwAndMawHaveIdenticalLoss) {
+  // Same fan structure, converter on different ends of the same path.
+  const PowerBudget msdw = crossbar_power_budget(8, 4, MulticastModel::kMSDW);
+  const PowerBudget maw = crossbar_power_budget(8, 4, MulticastModel::kMAW);
+  EXPECT_DOUBLE_EQ(msdw.worst_path_loss_db, maw.worst_path_loss_db);
+  EXPECT_EQ(msdw.crosstalk_aggressors, maw.crosstalk_aggressors);
+}
+
+TEST(PowerBudget, MultistageSavesCrosstalkButPaysLoss) {
+  // The flip side of the Table 2 crosspoint saving, made quantitative: the
+  // three-stage network crosses 3 gates instead of 1 and -- because the
+  // theorem-sized middle stage has m >> n -- its input modules split m ways
+  // on top of the two other stages, so its worst-case insertion loss
+  // *exceeds* the monolithic crossbar's. What it wins is first-order
+  // crosstalk exposure: per-stage combiners are far narrower than the
+  // crossbar's Nk-way combiner.
+  const std::size_t N = 1024, k = 2;
+  const auto [n, r] = std::pair<std::size_t, std::size_t>{32, 32};
+  const ClosParams params{n, r, theorem1_min_m(n, r).m, k};
+  const PowerBudget crossbar = crossbar_power_budget(N, k, MulticastModel::kMAW);
+  const PowerBudget multistage = multistage_power_budget(
+      params, Construction::kMswDominant, MulticastModel::kMAW);
+  EXPECT_EQ(crossbar.gate_stages, 1u);
+  EXPECT_EQ(multistage.gate_stages, 3u);
+  EXPECT_GT(multistage.worst_path_loss_db, crossbar.worst_path_loss_db);
+  EXPECT_LT(multistage.crosstalk_aggressors, crossbar.crosstalk_aggressors);
+}
+
+TEST(PowerBudget, MultistageLossPenaltyHoldsAtSmallScaleToo) {
+  // The extra demux/mux pairs, three gate stages, and the m-way input split
+  // cost loss at every scale.
+  const ClosParams params{2, 2, theorem1_min_m(2, 2).m, 2};
+  const PowerBudget crossbar = crossbar_power_budget(4, 2, MulticastModel::kMSW);
+  const PowerBudget multistage = multistage_power_budget(
+      params, Construction::kMswDominant, MulticastModel::kMSW);
+  EXPECT_GT(multistage.worst_path_loss_db, crossbar.worst_path_loss_db);
+}
+
+TEST(PowerBudget, CustomLossModelPropagates) {
+  LossModel lossless;
+  lossless.gate_db = 0;
+  lossless.converter_db = 0;
+  lossless.mux_db = 0;
+  lossless.demux_db = 0;
+  lossless.excess_split_db = 0;
+  lossless.excess_combine_db = 0;
+  const PowerBudget budget =
+      crossbar_power_budget(4, 1, MulticastModel::kMSW, lossless);
+  // Only pure splitting/combining loss remains: 2 * 10log10(4).
+  EXPECT_NEAR(budget.worst_path_loss_db, 2 * 10.0 * std::log10(4.0), 1e-9);
+}
+
+TEST(PowerBudget, ToStringMentionsFields) {
+  const std::string text =
+      crossbar_power_budget(4, 2, MulticastModel::kMAW).to_string();
+  EXPECT_NE(text.find("loss="), std::string::npos);
+  EXPECT_NE(text.find("gates=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wdm

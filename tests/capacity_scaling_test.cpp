@@ -1,0 +1,100 @@
+// Scaling behaviour of the capacity formulas: monotonicity in N and k, the
+// gap to the electronic Nk x Nk envelope, and stability of the log-space
+// evaluation far beyond exact range.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "capacity/capacity.h"
+
+namespace wdm {
+namespace {
+
+TEST(CapacityScaling, MonotoneInN) {
+  for (const MulticastModel model : kAllModels) {
+    for (const auto kind : {AssignmentKind::kFull, AssignmentKind::kAny}) {
+      double previous = -1.0;
+      for (std::size_t N = 1; N <= 64; N *= 2) {
+        const double value = log10_multicast_capacity(N, 2, model, kind);
+        EXPECT_GT(value, previous) << model_name(model) << " N=" << N;
+        previous = value;
+      }
+    }
+  }
+}
+
+TEST(CapacityScaling, MonotoneInK) {
+  for (const MulticastModel model : kAllModels) {
+    double previous = -1.0;
+    for (std::size_t k = 1; k <= 16; k *= 2) {
+      const double value =
+          log10_multicast_capacity(8, k, model, AssignmentKind::kAny);
+      EXPECT_GT(value, previous) << model_name(model) << " k=" << k;
+      previous = value;
+    }
+  }
+}
+
+TEST(CapacityScaling, ElectronicEnvelopeGapGrowsWithK) {
+  // §2.2: no WDM model matches the Nk x Nk electronic network for k > 1,
+  // and the shortfall (in log10) must widen as k grows for the weakest
+  // model while MAW stays closest.
+  const std::size_t N = 8;
+  double previous_msw_gap = 0.0;
+  for (std::size_t k = 2; k <= 16; k *= 2) {
+    const double electronic =
+        static_cast<double>(N * k) * std::log10(static_cast<double>(N * k));
+    const double msw =
+        log10_multicast_capacity(N, k, MulticastModel::kMSW, AssignmentKind::kFull);
+    const double msdw = log10_multicast_capacity(N, k, MulticastModel::kMSDW,
+                                                 AssignmentKind::kFull);
+    const double maw =
+        log10_multicast_capacity(N, k, MulticastModel::kMAW, AssignmentKind::kFull);
+    EXPECT_LT(msw, msdw);
+    EXPECT_LT(msdw, maw);
+    EXPECT_LT(maw, electronic);
+    const double msw_gap = electronic - msw;
+    EXPECT_GT(msw_gap, previous_msw_gap) << "k=" << k;
+    previous_msw_gap = msw_gap;
+    // MAW's gap stays comparatively small: within 15% of the envelope.
+    EXPECT_LT(electronic - maw, 0.15 * electronic) << "k=" << k;
+  }
+}
+
+TEST(CapacityScaling, LogSpaceStableAtLargeParameters) {
+  // The MSDW log-space polynomial runs a k-fold power of a degree-N
+  // log-coefficient polynomial; make sure no NaN/inf sneaks in at scale and
+  // the ordering survives.
+  const std::size_t N = 512, k = 4;
+  const double msw =
+      log10_multicast_capacity(N, k, MulticastModel::kMSW, AssignmentKind::kFull);
+  const double msdw =
+      log10_multicast_capacity(N, k, MulticastModel::kMSDW, AssignmentKind::kFull);
+  const double maw =
+      log10_multicast_capacity(N, k, MulticastModel::kMAW, AssignmentKind::kFull);
+  ASSERT_TRUE(std::isfinite(msw));
+  ASSERT_TRUE(std::isfinite(msdw));
+  ASSERT_TRUE(std::isfinite(maw));
+  EXPECT_LT(msw, msdw);
+  EXPECT_LT(msdw, maw);
+  // MSW closed form is exactly Nk*log10(N): double-check the anchor.
+  EXPECT_NEAR(msw, static_cast<double>(N * k) * std::log10(512.0), 1e-6);
+}
+
+TEST(CapacityScaling, MsdwAnyExceedsFullByIdleChoices) {
+  // any/full ratio > 1 and grows with N (more idle subsets available).
+  double previous_ratio = 0.0;
+  for (std::size_t N = 2; N <= 32; N *= 2) {
+    const double any =
+        log10_multicast_capacity(N, 2, MulticastModel::kMSDW, AssignmentKind::kAny);
+    const double full = log10_multicast_capacity(N, 2, MulticastModel::kMSDW,
+                                                 AssignmentKind::kFull);
+    const double gap = any - full;
+    EXPECT_GT(gap, 0.0) << "N=" << N;
+    EXPECT_GT(gap, previous_ratio) << "N=" << N;
+    previous_ratio = gap;
+  }
+}
+
+}  // namespace
+}  // namespace wdm

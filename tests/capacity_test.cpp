@@ -1,0 +1,222 @@
+// Validation of Lemmas 1-3: the closed-form multicast capacities must equal
+// exhaustive enumeration straight from the §2.1 definitions.
+#include "capacity/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "capacity/enumerate.h"
+#include "combinatorics/combinatorics.h"
+
+namespace wdm {
+namespace {
+
+TEST(CapacityMsw, Lemma1KnownValues) {
+  // N = 2, k = 2: N^(Nk) = 2^4 = 16 full, (N+1)^(Nk) = 3^4 = 81 any.
+  EXPECT_EQ(multicast_capacity(2, 2, MulticastModel::kMSW, AssignmentKind::kFull),
+            BigUInt{16});
+  EXPECT_EQ(multicast_capacity(2, 2, MulticastModel::kMSW, AssignmentKind::kAny),
+            BigUInt{81});
+}
+
+TEST(CapacityMaw, Lemma2KnownValues) {
+  // N = 2, k = 2: full = P(4,2)^2 = 144;
+  // any = (P(4,2) + C(2,1) P(4,1) + C(2,2) P(4,0))^2 = (12+8+1)^2 = 441.
+  EXPECT_EQ(multicast_capacity(2, 2, MulticastModel::kMAW, AssignmentKind::kFull),
+            BigUInt{144});
+  EXPECT_EQ(multicast_capacity(2, 2, MulticastModel::kMAW, AssignmentKind::kAny),
+            BigUInt{441});
+}
+
+TEST(CapacityMsdw, Lemma3KnownValue) {
+  // N = 2, k = 2 full: generating polynomial per lane f(z) = z + z^2, so
+  // f^2 = z^2 + 2z^3 + z^4 and the capacity is
+  // P(4,2) + 2 P(4,3) + P(4,4) = 12 + 48 + 24 = 84.
+  EXPECT_EQ(multicast_capacity(2, 2, MulticastModel::kMSDW, AssignmentKind::kFull),
+            BigUInt{84});
+}
+
+TEST(Capacity, RejectsDegenerateParameters) {
+  EXPECT_THROW(
+      (void)multicast_capacity(0, 1, MulticastModel::kMSW, AssignmentKind::kAny),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)multicast_capacity(1, 0, MulticastModel::kMAW, AssignmentKind::kFull),
+      std::invalid_argument);
+}
+
+TEST(Capacity, K1ReducesToElectronicNetwork) {
+  // §2.2 sanity check: at k = 1 all three models collapse to N^N / (N+1)^N.
+  for (std::size_t N = 1; N <= 6; ++N) {
+    const BigUInt full = ipow(N, N);
+    const BigUInt any = ipow(N + 1, N);
+    for (const MulticastModel model : kAllModels) {
+      EXPECT_EQ(multicast_capacity(N, 1, model, AssignmentKind::kFull), full)
+          << model_name(model) << " N=" << N;
+      EXPECT_EQ(multicast_capacity(N, 1, model, AssignmentKind::kAny), any)
+          << model_name(model) << " N=" << N;
+    }
+  }
+}
+
+TEST(Capacity, ModelOrderingStrictForKGreaterThan1) {
+  // MSW < MSDW < MAW for k > 1 (paper §2.2), and all are below the
+  // equivalent electronic Nk x Nk network.
+  for (const auto kind : {AssignmentKind::kFull, AssignmentKind::kAny}) {
+    for (const auto& [N, k] :
+         std::vector<std::pair<std::size_t, std::size_t>>{{2, 2}, {3, 2}, {2, 3}, {4, 2}}) {
+      const BigUInt msw = multicast_capacity(N, k, MulticastModel::kMSW, kind);
+      const BigUInt msdw = multicast_capacity(N, k, MulticastModel::kMSDW, kind);
+      const BigUInt maw = multicast_capacity(N, k, MulticastModel::kMAW, kind);
+      const BigUInt electronic = electronic_equivalent_capacity(N, k, kind);
+      EXPECT_LT(msw, msdw) << "N=" << N << " k=" << k;
+      EXPECT_LT(msdw, maw) << "N=" << N << " k=" << k;
+      EXPECT_LT(maw, electronic) << "N=" << N << " k=" << k;
+    }
+  }
+}
+
+TEST(Capacity, AnyAlwaysExceedsFull) {
+  for (const MulticastModel model : kAllModels) {
+    for (std::size_t N = 1; N <= 4; ++N) {
+      for (std::size_t k = 1; k <= 3; ++k) {
+        EXPECT_GT(multicast_capacity(N, k, model, AssignmentKind::kAny),
+                  multicast_capacity(N, k, model, AssignmentKind::kFull))
+            << model_name(model) << " N=" << N << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Log10Capacity, MatchesExactValues) {
+  for (const MulticastModel model : kAllModels) {
+    for (const auto kind : {AssignmentKind::kFull, AssignmentKind::kAny}) {
+      for (const auto& [N, k] :
+           std::vector<std::pair<std::size_t, std::size_t>>{
+               {1, 1}, {2, 2}, {3, 2}, {4, 3}, {8, 2}, {5, 5}}) {
+        const double exact =
+            multicast_capacity(N, k, model, kind).log10();
+        const double approx = log10_multicast_capacity(N, k, model, kind);
+        EXPECT_NEAR(approx, exact, 1e-6 + std::abs(exact) * 1e-9)
+            << model_name(model) << " N=" << N << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Log10Capacity, ScalesToLargeParameters) {
+  // Must be finite and ordered for parameters far beyond exact evaluation.
+  const std::size_t N = 256;
+  const std::size_t k = 8;
+  const double msw =
+      log10_multicast_capacity(N, k, MulticastModel::kMSW, AssignmentKind::kAny);
+  const double msdw =
+      log10_multicast_capacity(N, k, MulticastModel::kMSDW, AssignmentKind::kAny);
+  const double maw =
+      log10_multicast_capacity(N, k, MulticastModel::kMAW, AssignmentKind::kAny);
+  EXPECT_TRUE(std::isfinite(msw));
+  EXPECT_TRUE(std::isfinite(msdw));
+  EXPECT_TRUE(std::isfinite(maw));
+  EXPECT_LT(msw, msdw);
+  EXPECT_LT(msdw, maw);
+}
+
+// --- the ground-truth comparison: formulas vs exhaustive enumeration --------
+
+struct BruteForceCase {
+  std::size_t N;
+  std::size_t k;
+};
+
+class CapacityBruteForce : public ::testing::TestWithParam<BruteForceCase> {};
+
+TEST_P(CapacityBruteForce, FormulasMatchEnumeration) {
+  const auto [N, k] = GetParam();
+  for (const MulticastModel model : kAllModels) {
+    for (const auto kind : {AssignmentKind::kFull, AssignmentKind::kAny}) {
+      const std::uint64_t enumerated =
+          count_assignments_bruteforce(N, k, model, kind);
+      const BigUInt formula = multicast_capacity(N, k, model, kind);
+      EXPECT_EQ(formula, BigUInt{enumerated})
+          << model_name(model) << ' ' << assignment_kind_name(kind) << " N=" << N
+          << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallNetworks, CapacityBruteForce,
+                         ::testing::Values(BruteForceCase{1, 1}, BruteForceCase{1, 2},
+                                           BruteForceCase{1, 3}, BruteForceCase{2, 1},
+                                           BruteForceCase{3, 1}, BruteForceCase{4, 1},
+                                           BruteForceCase{2, 2}, BruteForceCase{3, 2},
+                                           BruteForceCase{2, 3}),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param.N) + "k" +
+                                  std::to_string(info.param.k);
+                         });
+
+// --- assignment_legal itself -------------------------------------------------
+
+TEST(AssignmentLegal, EnforcesPerPortRule) {
+  // N = 2, k = 2: outputs (0,λ1) and (0,λ2) both fed by input wavelength 0
+  // would put two lanes of port 0 into one connection -> illegal everywhere.
+  AssignmentMap map = {0, 0, kUnconnected, kUnconnected};
+  for (const MulticastModel model : kAllModels) {
+    EXPECT_FALSE(assignment_legal(map, 2, 2, model)) << model_name(model);
+  }
+}
+
+TEST(AssignmentLegal, LaneDisciplinePerModel) {
+  // N = 2, k = 2. Output wavelength index = port*2 + lane; input index
+  // likewise. Connect output (1, λ2) [index 3] to input (0, λ1) [index 0]:
+  // cross-lane unicast.
+  AssignmentMap map = {kUnconnected, kUnconnected, kUnconnected, 0};
+  EXPECT_FALSE(assignment_legal(map, 2, 2, MulticastModel::kMSW));
+  EXPECT_TRUE(assignment_legal(map, 2, 2, MulticastModel::kMSDW));
+  EXPECT_TRUE(assignment_legal(map, 2, 2, MulticastModel::kMAW));
+
+  // Two destinations on different lanes from one source: MSDW forbids.
+  // outputs (0, λ1) [0] and (1, λ2) [3] from input 1.
+  AssignmentMap mixed = {1, kUnconnected, kUnconnected, 1};
+  EXPECT_FALSE(assignment_legal(mixed, 2, 2, MulticastModel::kMSW));
+  EXPECT_FALSE(assignment_legal(mixed, 2, 2, MulticastModel::kMSDW));
+  EXPECT_TRUE(assignment_legal(mixed, 2, 2, MulticastModel::kMAW));
+}
+
+TEST(AssignmentLegal, ModelStrictnessIsNested) {
+  // Every MSW-legal assignment is MSDW-legal; every MSDW-legal is MAW-legal.
+  const std::size_t N = 2, k = 2, nk = N * k;
+  AssignmentMap map(nk, kUnconnected);
+  // Enumerate all any-assignments and check the nesting on each.
+  std::size_t checked = 0;
+  for (;;) {
+    if (assignment_legal(map, N, k, MulticastModel::kMSW)) {
+      EXPECT_TRUE(assignment_legal(map, N, k, MulticastModel::kMSDW));
+    }
+    if (assignment_legal(map, N, k, MulticastModel::kMSDW)) {
+      EXPECT_TRUE(assignment_legal(map, N, k, MulticastModel::kMAW));
+    }
+    ++checked;
+    std::size_t position = 0;
+    while (position < nk) {
+      if (map[position] < static_cast<std::int32_t>(nk - 1)) {
+        ++map[position];
+        break;
+      }
+      map[position] = kUnconnected;
+      ++position;
+    }
+    if (position == nk) break;
+  }
+  EXPECT_EQ(checked, 625u);  // (Nk+1)^(Nk)
+}
+
+TEST(BruteForce, GuardsAgainstExplosion) {
+  EXPECT_THROW((void)count_assignments_bruteforce(4, 2, MulticastModel::kMSW,
+                                                  AssignmentKind::kAny),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wdm

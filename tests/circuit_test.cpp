@@ -1,0 +1,262 @@
+// Tests for the optical component graph and propagation engine.
+#include "optics/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wdm {
+namespace {
+
+TEST(Circuit, SourceToSinkDelivery) {
+  Circuit circuit;
+  const ComponentId tx = circuit.add_source(0, "tx");
+  const ComponentId rx = circuit.add_sink(0, "rx");
+  circuit.connect({tx, 0}, {rx, 0});
+  circuit.inject(tx, 42, -3.0);
+  const PropagationResult result = circuit.propagate();
+  ASSERT_TRUE(result.clean());
+  ASSERT_EQ(result.received.at(rx).size(), 1u);
+  EXPECT_EQ(result.received.at(rx).front().source_tag, 42);
+  EXPECT_DOUBLE_EQ(result.received.at(rx).front().power_dbm, -3.0);
+}
+
+TEST(Circuit, UnlitSourceDeliversNothing) {
+  Circuit circuit;
+  const ComponentId tx = circuit.add_source(0);
+  const ComponentId rx = circuit.add_sink(0);
+  circuit.connect({tx, 0}, {rx, 0});
+  const PropagationResult result = circuit.propagate();
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(result.received.empty());
+}
+
+TEST(Circuit, SplitterCopiesWithLoss) {
+  Circuit circuit;  // default losses: 10log10(4) + 0.5 excess for fanout 4
+  const ComponentId tx = circuit.add_source(0);
+  const ComponentId splitter = circuit.add_splitter(4);
+  circuit.connect({tx, 0}, {splitter, 0});
+  std::vector<ComponentId> sinks;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    sinks.push_back(circuit.add_sink(0));
+    circuit.connect({splitter, i}, {sinks.back(), 0});
+  }
+  circuit.inject(tx, 7, 0.0);
+  const PropagationResult result = circuit.propagate();
+  ASSERT_TRUE(result.clean());
+  for (const ComponentId rx : sinks) {
+    ASSERT_EQ(result.received.at(rx).size(), 1u);
+    const Signal& beam = result.received.at(rx).front();
+    EXPECT_EQ(beam.source_tag, 7);
+    EXPECT_NEAR(beam.power_dbm, -(10.0 * std::log10(4.0) + 0.5), 1e-9);
+    EXPECT_EQ(beam.splitters_crossed, 1u);
+  }
+}
+
+TEST(Circuit, GateBlocksWhenOff) {
+  Circuit circuit;
+  const ComponentId tx = circuit.add_source(0);
+  const ComponentId gate = circuit.add_gate();
+  const ComponentId rx = circuit.add_sink(0);
+  circuit.connect({tx, 0}, {gate, 0});
+  circuit.connect({gate, 0}, {rx, 0});
+  circuit.inject(tx, 1);
+
+  EXPECT_FALSE(circuit.gate_state(gate));
+  EXPECT_TRUE(circuit.propagate().received.empty());
+
+  circuit.set_gate(gate, true);
+  const PropagationResult result = circuit.propagate();
+  ASSERT_EQ(result.received.at(rx).size(), 1u);
+  EXPECT_EQ(result.received.at(rx).front().gates_crossed, 1u);
+}
+
+TEST(Circuit, ConverterRetunesWavelength) {
+  Circuit circuit;
+  const ComponentId tx = circuit.add_source(0);  // emits λ1
+  const ComponentId converter = circuit.add_converter();
+  const ComponentId rx = circuit.add_sink(2);  // tuned to λ3
+  circuit.connect({tx, 0}, {converter, 0});
+  circuit.connect({converter, 0}, {rx, 0});
+  circuit.inject(tx, 9);
+
+  // Transparent converter: wrong-wavelength violation at the sink.
+  PropagationResult result = circuit.propagate();
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations.front().type, Violation::Type::kSinkWrongWavelength);
+
+  circuit.set_converter(converter, 2);
+  result = circuit.propagate();
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.received.at(rx).front().wavelength, 2u);
+  EXPECT_EQ(result.received.at(rx).front().conversions, 1u);
+}
+
+TEST(Circuit, CombinerConflictDetected) {
+  Circuit circuit;
+  const ComponentId tx1 = circuit.add_source(0);
+  const ComponentId tx2 = circuit.add_source(1);
+  const ComponentId combiner = circuit.add_combiner(2);
+  const ComponentId rx = circuit.add_sink(0);
+  circuit.connect({tx1, 0}, {combiner, 0});
+  circuit.connect({tx2, 0}, {combiner, 1});
+  circuit.connect({combiner, 0}, {rx, 0});
+
+  circuit.inject(tx1, 1);
+  EXPECT_TRUE(circuit.propagate().clean());  // one lit input: fine
+
+  circuit.inject(tx2, 2);  // second lit input: physical conflict
+  const PropagationResult result = circuit.propagate();
+  ASSERT_FALSE(result.clean());
+  EXPECT_EQ(result.violations.front().type, Violation::Type::kCombinerConflict);
+}
+
+TEST(Circuit, MuxAcceptsDistinctLanesRejectsCollision) {
+  Circuit circuit;
+  const ComponentId tx1 = circuit.add_source(0);
+  const ComponentId tx2 = circuit.add_source(1);
+  const ComponentId mux = circuit.add_mux(2);
+  const ComponentId demux = circuit.add_demux(2);
+  const ComponentId rx1 = circuit.add_sink(0);
+  const ComponentId rx2 = circuit.add_sink(1);
+  circuit.connect({tx1, 0}, {mux, 0});
+  circuit.connect({tx2, 0}, {mux, 1});
+  circuit.connect({mux, 0}, {demux, 0});
+  circuit.connect({demux, 0}, {rx1, 0});
+  circuit.connect({demux, 1}, {rx2, 0});
+
+  circuit.inject(tx1, 1);
+  circuit.inject(tx2, 2);
+  const PropagationResult result = circuit.propagate();
+  ASSERT_TRUE(result.clean());
+  EXPECT_EQ(result.received.at(rx1).front().source_tag, 1);
+  EXPECT_EQ(result.received.at(rx2).front().source_tag, 2);
+}
+
+TEST(Circuit, MuxCollisionSameLane) {
+  Circuit circuit;
+  const ComponentId tx1 = circuit.add_source(0);
+  const ComponentId tx2 = circuit.add_source(0);  // same lane!
+  const ComponentId mux = circuit.add_mux(2);
+  circuit.connect({tx1, 0}, {mux, 0});
+  circuit.connect({tx2, 0}, {mux, 1});
+  circuit.inject(tx1, 1);
+  circuit.inject(tx2, 2);
+  const PropagationResult result = circuit.propagate();
+  ASSERT_FALSE(result.clean());
+  EXPECT_EQ(result.violations.front().type, Violation::Type::kMuxCollision);
+}
+
+TEST(Circuit, DemuxRoutesByLaneAndFlagsStrays) {
+  Circuit circuit;
+  const ComponentId tx = circuit.add_source(3);  // λ4
+  const ComponentId demux = circuit.add_demux(2);  // only 2 lanes
+  circuit.connect({tx, 0}, {demux, 0});
+  circuit.inject(tx, 5);
+  const PropagationResult result = circuit.propagate();
+  ASSERT_FALSE(result.clean());
+  EXPECT_EQ(result.violations.front().type,
+            Violation::Type::kDemuxStrayWavelength);
+}
+
+TEST(Circuit, SinkConflictOnDoubleDelivery) {
+  Circuit circuit;
+  const ComponentId tx1 = circuit.add_source(0);
+  const ComponentId tx2 = circuit.add_source(0);
+  const ComponentId combiner = circuit.add_combiner(2);
+  const ComponentId rx = circuit.add_sink(0);
+  circuit.connect({tx1, 0}, {combiner, 0});
+  circuit.connect({tx2, 0}, {combiner, 1});
+  circuit.connect({combiner, 0}, {rx, 0});
+  circuit.inject(tx1, 1);
+  circuit.inject(tx2, 2);
+  const PropagationResult result = circuit.propagate();
+  bool saw_sink_conflict = false;
+  for (const auto& violation : result.violations) {
+    if (violation.type == Violation::Type::kSinkConflict) saw_sink_conflict = true;
+  }
+  EXPECT_TRUE(saw_sink_conflict);
+}
+
+TEST(Circuit, WiringValidation) {
+  Circuit circuit;
+  const ComponentId tx = circuit.add_source(0);
+  const ComponentId rx = circuit.add_sink(0);
+  circuit.connect({tx, 0}, {rx, 0});
+  // Port reuse is rejected on both ends.
+  const ComponentId rx2 = circuit.add_sink(0);
+  EXPECT_THROW(circuit.connect({tx, 0}, {rx2, 0}), std::logic_error);
+  const ComponentId tx2 = circuit.add_source(0);
+  EXPECT_THROW(circuit.connect({tx2, 0}, {rx, 0}), std::logic_error);
+  // Out-of-range ports.
+  EXPECT_THROW(circuit.connect({tx2, 1}, {rx2, 0}), std::out_of_range);
+  EXPECT_THROW(circuit.connect({tx2, 0}, {rx2, 7}), std::out_of_range);
+  // Unknown component id.
+  EXPECT_THROW(circuit.connect({999, 0}, {rx2, 0}), std::out_of_range);
+}
+
+TEST(Circuit, StateValidation) {
+  Circuit circuit;
+  const ComponentId tx = circuit.add_source(0);
+  const ComponentId gate = circuit.add_gate();
+  EXPECT_THROW(circuit.set_gate(tx, true), std::invalid_argument);
+  EXPECT_THROW(circuit.set_converter(gate, 1), std::invalid_argument);
+  EXPECT_THROW(circuit.inject(gate, 1), std::invalid_argument);
+}
+
+TEST(Circuit, ResetStateClearsEverything) {
+  Circuit circuit;
+  const ComponentId tx = circuit.add_source(0);
+  const ComponentId gate = circuit.add_gate();
+  const ComponentId rx = circuit.add_sink(0);
+  circuit.connect({tx, 0}, {gate, 0});
+  circuit.connect({gate, 0}, {rx, 0});
+  circuit.set_gate(gate, true);
+  circuit.inject(tx, 1);
+  circuit.reset_state();
+  EXPECT_FALSE(circuit.gate_state(gate));
+  EXPECT_TRUE(circuit.propagate().received.empty());
+}
+
+TEST(Circuit, CountKindAndIntrospection) {
+  Circuit circuit;
+  circuit.add_source(0);
+  circuit.add_splitter(3);
+  circuit.add_gate();
+  circuit.add_gate();
+  circuit.add_sink(1, "my rx");
+  EXPECT_EQ(circuit.count_kind(ComponentKind::kSoaGate), 2u);
+  EXPECT_EQ(circuit.count_kind(ComponentKind::kSplitter), 1u);
+  EXPECT_EQ(circuit.count_kind(ComponentKind::kCombiner), 0u);
+  EXPECT_EQ(circuit.component_count(), 5u);
+  EXPECT_EQ(circuit.sources().size(), 1u);
+  EXPECT_EQ(circuit.sinks().size(), 1u);
+  EXPECT_EQ(circuit.fixed_lane(circuit.sinks().front()), 1u);
+  const std::string description =
+      circuit.component(circuit.sinks().front()).describe(circuit.sinks().front());
+  EXPECT_NE(description.find("my rx"), std::string::npos);
+}
+
+TEST(Circuit, LossModelFormulas) {
+  LossModel losses;
+  EXPECT_NEAR(losses.splitter_loss_db(1), losses.excess_split_db, 1e-12);
+  EXPECT_NEAR(losses.splitter_loss_db(8), 10.0 * std::log10(8.0) + 0.5, 1e-9);
+  EXPECT_NEAR(losses.combiner_loss_db(16), 10.0 * std::log10(16.0) + 0.5, 1e-9);
+}
+
+TEST(Circuit, DanglingOutputAbsorbsLight) {
+  Circuit circuit;
+  const ComponentId tx = circuit.add_source(0);
+  const ComponentId splitter = circuit.add_splitter(2);
+  const ComponentId rx = circuit.add_sink(0);
+  circuit.connect({tx, 0}, {splitter, 0});
+  circuit.connect({splitter, 0}, {rx, 0});
+  // splitter port 1 left dangling on purpose.
+  circuit.inject(tx, 3);
+  const PropagationResult result = circuit.propagate();
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.received.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,191 @@
+// Tests for the counting primitives behind Lemmas 1-3.
+#include "combinatorics/combinatorics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "combinatorics/polynomial.h"
+
+namespace wdm {
+namespace {
+
+TEST(FallingFactorial, BaseCases) {
+  EXPECT_EQ(falling_factorial(5, 0), BigUInt{1});
+  EXPECT_EQ(falling_factorial(0, 0), BigUInt{1});
+  EXPECT_EQ(falling_factorial(5, 1), BigUInt{5});
+  EXPECT_EQ(falling_factorial(5, 5), BigUInt{120});
+}
+
+TEST(FallingFactorial, ZeroWhenTooManyFactors) {
+  EXPECT_EQ(falling_factorial(3, 4), BigUInt{0});
+  EXPECT_EQ(falling_factorial(0, 1), BigUInt{0});
+}
+
+TEST(FallingFactorial, MatchesFactorialRatio) {
+  // P(n, i) = n! / (n-i)!
+  for (std::uint64_t n = 1; n <= 12; ++n) {
+    for (std::uint64_t i = 0; i <= n; ++i) {
+      EXPECT_EQ(falling_factorial(n, i) * factorial(n - i), factorial(n))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Binomial, KnownRow) {
+  const std::uint64_t row7[] = {1, 7, 21, 35, 35, 21, 7, 1};
+  for (std::uint64_t j = 0; j <= 7; ++j) {
+    EXPECT_EQ(binomial(7, j), BigUInt{row7[j]});
+  }
+}
+
+TEST(Binomial, OutOfRangeIsZero) {
+  EXPECT_EQ(binomial(3, 4), BigUInt{0});
+  EXPECT_EQ(binomial(0, 1), BigUInt{0});
+  EXPECT_EQ(binomial(0, 0), BigUInt{1});
+}
+
+TEST(Binomial, PascalRecurrence) {
+  for (std::uint64_t n = 1; n <= 30; ++n) {
+    for (std::uint64_t j = 1; j <= n; ++j) {
+      EXPECT_EQ(binomial(n, j), binomial(n - 1, j) + binomial(n - 1, j - 1));
+    }
+  }
+}
+
+TEST(Binomial, Symmetry) {
+  for (std::uint64_t j = 0; j <= 60; ++j) {
+    EXPECT_EQ(binomial(60, j), binomial(60, 60 - j));
+  }
+}
+
+TEST(Binomial, CentralBinomial100HasKnownLeadingDigits) {
+  // C(100, 50) = 100891344545564193334812497256
+  EXPECT_EQ(binomial(100, 50),
+            BigUInt::from_string("100891344545564193334812497256"));
+}
+
+TEST(Factorial, First10) {
+  const std::uint64_t expected[] = {1, 1, 2, 6, 24, 120, 720, 5040, 40320, 362880};
+  for (std::uint64_t n = 0; n < 10; ++n) EXPECT_EQ(factorial(n), BigUInt{expected[n]});
+}
+
+TEST(Ipow, MatchesBigUIntPow) {
+  EXPECT_EQ(ipow(3, 40), BigUInt{3}.pow(40));
+  EXPECT_EQ(ipow(0, 0), BigUInt{1});
+  EXPECT_EQ(ipow(0, 3), BigUInt{0});
+}
+
+TEST(Stirling, SmallTableKnownValues) {
+  // Classic S(n, j) values.
+  EXPECT_EQ(stirling2(0, 0), BigUInt{1});
+  EXPECT_EQ(stirling2(1, 1), BigUInt{1});
+  EXPECT_EQ(stirling2(4, 2), BigUInt{7});
+  EXPECT_EQ(stirling2(5, 3), BigUInt{25});
+  EXPECT_EQ(stirling2(6, 3), BigUInt{90});
+  EXPECT_EQ(stirling2(10, 5), BigUInt{42525});
+}
+
+TEST(Stirling, ZeroCases) {
+  EXPECT_EQ(stirling2(3, 0), BigUInt{0});
+  EXPECT_EQ(stirling2(3, 4), BigUInt{0});
+}
+
+TEST(Stirling, RowSumsAreBellNumbers) {
+  const std::uint64_t bell[] = {1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975};
+  StirlingTable table(10);
+  for (std::size_t n = 0; n <= 10; ++n) {
+    BigUInt sum;
+    for (std::size_t j = 0; j <= n; ++j) sum += table.get(n, j);
+    EXPECT_EQ(sum, BigUInt{bell[n]}) << "n=" << n;
+  }
+}
+
+TEST(Stirling, SurjectionIdentity) {
+  // sum_j S(N, j) * P(N', j) over j counts surjection-based mappings:
+  // sum_{j} S(N, j) * j! = ordered set partitions (Fubini numbers).
+  const std::uint64_t fubini5 = 541;  // a(5)
+  StirlingTable table(5);
+  BigUInt sum;
+  for (std::size_t j = 0; j <= 5; ++j) sum += table.get(5, j) * factorial(j);
+  EXPECT_EQ(sum, BigUInt{fubini5});
+}
+
+TEST(Stirling, TableThrowsBeyondNMax) {
+  StirlingTable table(4);
+  EXPECT_THROW((void)table.get(5, 2), std::out_of_range);
+  EXPECT_EQ(table.get(4, 5), BigUInt{0});  // j > n is just zero
+}
+
+TEST(Log10Variants, AgreeWithExactValues) {
+  EXPECT_NEAR(log10_falling_factorial(10, 3), falling_factorial(10, 3).log10(), 1e-9);
+  EXPECT_NEAR(log10_binomial(100, 50), binomial(100, 50).log10(), 1e-9);
+  EXPECT_EQ(log10_falling_factorial(3, 4),
+            -std::numeric_limits<double>::infinity());
+}
+
+// --- polynomial -------------------------------------------------------------
+
+Polynomial make_poly(std::initializer_list<std::uint64_t> coefficients) {
+  std::vector<BigUInt> c;
+  for (const auto value : coefficients) c.emplace_back(value);
+  return Polynomial{std::move(c)};
+}
+
+TEST(Polynomial, ZeroAndDegree) {
+  EXPECT_TRUE(Polynomial{}.is_zero());
+  EXPECT_EQ(Polynomial{}.degree(), -1);
+  EXPECT_EQ(make_poly({0, 0, 0}).degree(), -1);  // trimmed
+  EXPECT_EQ(make_poly({1, 2, 3}).degree(), 2);
+}
+
+TEST(Polynomial, AdditionAlignsDegrees) {
+  const Polynomial sum = make_poly({1, 2}) + make_poly({0, 0, 5});
+  EXPECT_EQ(sum, make_poly({1, 2, 5}));
+}
+
+TEST(Polynomial, MultiplicationConvolves) {
+  // (1 + x)^2 = 1 + 2x + x^2
+  EXPECT_EQ(make_poly({1, 1}) * make_poly({1, 1}), make_poly({1, 2, 1}));
+  // (2 + 3x) * (5 + 7x^2) = 10 + 15x + 14x^2 + 21x^3
+  EXPECT_EQ(make_poly({2, 3}) * make_poly({5, 0, 7}), make_poly({10, 15, 14, 21}));
+}
+
+TEST(Polynomial, MultiplicationByZero) {
+  EXPECT_TRUE((make_poly({1, 2, 3}) * Polynomial{}).is_zero());
+}
+
+TEST(Polynomial, PowBinomialTheorem) {
+  // (1 + x)^10 has binomial coefficients.
+  const Polynomial p = make_poly({1, 1}).pow(10);
+  EXPECT_EQ(p.degree(), 10);
+  for (std::size_t j = 0; j <= 10; ++j) {
+    EXPECT_EQ(p.coefficient(j), binomial(10, j)) << "j=" << j;
+  }
+}
+
+TEST(Polynomial, PowZeroIsOne) {
+  EXPECT_EQ(make_poly({5, 7}).pow(0), make_poly({1}));
+}
+
+TEST(Polynomial, EvaluateHorner) {
+  const Polynomial p = make_poly({3, 0, 2});  // 3 + 2x^2
+  EXPECT_EQ(p.evaluate(BigUInt{10}), BigUInt{203});
+  EXPECT_EQ(Polynomial{}.evaluate(BigUInt{7}), BigUInt{0});
+}
+
+TEST(Polynomial, CoefficientSumEqualsEvalAtOne) {
+  const Polynomial p = make_poly({1, 2, 3, 4}).pow(3);
+  EXPECT_EQ(p.coefficient_sum(), p.evaluate(BigUInt{1}));
+}
+
+TEST(Polynomial, SetCoefficientExtendsAndTrims) {
+  Polynomial p;
+  p.set_coefficient(4, BigUInt{9});
+  EXPECT_EQ(p.degree(), 4);
+  p.set_coefficient(4, BigUInt{0});
+  EXPECT_EQ(p.degree(), -1);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,86 @@
+// Shared wavelength-converter pools (the converter-count trade-off).
+#include "sim/converter_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace wdm {
+namespace {
+
+TEST(ConverterPool, DemandCountsCrossLaneDestinationsOnly) {
+  EXPECT_EQ(ConverterPoolSwitch::converter_demand({{0, 0}, {{1, 0}, {2, 0}}}), 0u);
+  EXPECT_EQ(ConverterPoolSwitch::converter_demand({{0, 0}, {{1, 1}, {2, 0}}}), 1u);
+  EXPECT_EQ(ConverterPoolSwitch::converter_demand({{0, 1}, {{1, 0}, {2, 0}}}), 2u);
+}
+
+TEST(ConverterPool, FullPoolBehavesLikeMaw) {
+  // C = kN: every MAW-legal admissible request connects (demand <= fanout
+  // <= N <= kN always leaves room when endpoints are free).
+  ConverterPoolSwitch sw(4, 2, 8);
+  EXPECT_TRUE(sw.try_connect({{0, 0}, {{0, 1}, {1, 1}, {2, 1}, {3, 1}}}).has_value());
+  EXPECT_EQ(sw.converters_in_use(), 4u);
+  EXPECT_TRUE(sw.try_connect({{0, 1}, {{0, 0}, {1, 0}, {2, 0}, {3, 0}}}).has_value());
+  EXPECT_EQ(sw.converters_in_use(), 8u);
+}
+
+TEST(ConverterPool, ZeroPoolAdmitsOnlySameLaneTraffic) {
+  ConverterPoolSwitch sw(4, 2, 0);
+  EXPECT_TRUE(sw.try_connect({{0, 0}, {{1, 0}, {2, 0}}}).has_value());
+  EXPECT_FALSE(sw.try_connect({{0, 1}, {{3, 0}}}).has_value());
+  EXPECT_EQ(sw.last_error(), ConnectError::kBlocked);
+  EXPECT_EQ(sw.converters_in_use(), 0u);
+}
+
+TEST(ConverterPool, BankExhaustionBlocksAndReleasesOnDisconnect) {
+  ConverterPoolSwitch sw(4, 2, 2);
+  const auto first = sw.try_connect({{0, 0}, {{1, 1}, {2, 1}}});  // demand 2
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(sw.converters_in_use(), 2u);
+  // Bank dry: cross-lane unicast blocked, same-lane fine.
+  EXPECT_FALSE(sw.try_connect({{1, 0}, {{3, 1}}}).has_value());
+  EXPECT_EQ(sw.last_error(), ConnectError::kBlocked);
+  EXPECT_TRUE(sw.try_connect({{1, 0}, {{3, 0}}}).has_value());
+  sw.disconnect(*first);
+  EXPECT_EQ(sw.converters_in_use(), 0u);
+  EXPECT_TRUE(sw.try_connect({{2, 1}, {{0, 0}}}).has_value());
+}
+
+TEST(ConverterPool, EndpointRulesStillEnforced) {
+  ConverterPoolSwitch sw(4, 2, 8);
+  ASSERT_TRUE(sw.try_connect({{0, 0}, {{1, 0}}}).has_value());
+  EXPECT_EQ(sw.check_admissible({{0, 0}, {{2, 0}}}), ConnectError::kInputBusy);
+  EXPECT_EQ(sw.check_admissible({{1, 0}, {{1, 0}}}), ConnectError::kOutputBusy);
+  EXPECT_EQ(sw.check_admissible({{1, 0}, {{1, 0}, {1, 1}}}),
+            ConnectError::kTwoLanesSamePort);
+  EXPECT_THROW(sw.disconnect(999), std::out_of_range);
+}
+
+TEST(ConverterPoolSweep, MonotoneInPoolSize) {
+  const std::size_t N = 8, k = 2;
+  const auto points =
+      sweep_converter_pool(N, k, {0, 2, 4, 8, 16}, /*steps=*/3000, /*seed=*/5);
+  ASSERT_EQ(points.size(), 5u);
+  double previous = 1.0;
+  for (const PoolSweepPoint& point : points) {
+    EXPECT_LE(point.converter_blocking_probability(), previous + 1e-12)
+        << "pool=" << point.pool_size;
+    previous = point.converter_blocking_probability();
+    EXPECT_LE(point.peak_in_use, point.pool_size);
+  }
+  // Tiny pools must visibly block under this load; the full pool never.
+  EXPECT_GT(points.front().converter_blocking_probability(), 0.05);
+  EXPECT_EQ(points.back().blocked_on_converters, 0u);
+}
+
+TEST(ConverterPoolSweep, FullPoolNeverNeedsMoreThanPeakDemand) {
+  // The observed peak tells how much of the paper's kN budget the load
+  // really used -- the provisioning headline.
+  const std::size_t N = 8, k = 2;
+  const auto points = sweep_converter_pool(N, k, {N * k}, 3000, 7);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points.front().blocked_on_converters, 0u);
+  EXPECT_LT(points.front().peak_in_use, N * k);  // never the full budget
+  EXPECT_GT(points.front().peak_in_use, 0u);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,111 @@
+// §2.3 crossbar cost formulas (Table 1 columns 3-4).
+#include "capacity/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace wdm {
+namespace {
+
+TEST(CrossbarCost, Table1Crosspoints) {
+  // MSW: k N^2; MSDW/MAW: k^2 N^2.
+  for (std::size_t N = 1; N <= 16; N *= 2) {
+    for (std::size_t k = 1; k <= 8; k *= 2) {
+      EXPECT_EQ(crossbar_cost(N, k, MulticastModel::kMSW).crosspoints, k * N * N);
+      EXPECT_EQ(crossbar_cost(N, k, MulticastModel::kMSDW).crosspoints,
+                k * k * N * N);
+      EXPECT_EQ(crossbar_cost(N, k, MulticastModel::kMAW).crosspoints,
+                k * k * N * N);
+    }
+  }
+}
+
+TEST(CrossbarCost, Table1Converters) {
+  // MSW: none; MSDW/MAW: Nk.
+  for (std::size_t N : {1u, 3u, 8u}) {
+    for (std::size_t k : {1u, 2u, 4u}) {
+      EXPECT_EQ(crossbar_cost(N, k, MulticastModel::kMSW).converters, 0u);
+      EXPECT_EQ(crossbar_cost(N, k, MulticastModel::kMSDW).converters, N * k);
+      EXPECT_EQ(crossbar_cost(N, k, MulticastModel::kMAW).converters, N * k);
+    }
+  }
+}
+
+TEST(CrossbarCost, PassivePartTallies) {
+  // MSW builds k planes with N splitters/combiners each; the wavelength
+  // crossbars build one splitter/combiner per input/output wavelength.
+  const CrossbarCost msw = crossbar_cost(4, 3, MulticastModel::kMSW);
+  EXPECT_EQ(msw.splitters, 3u * 4u);
+  EXPECT_EQ(msw.combiners, 3u * 4u);
+  const CrossbarCost maw = crossbar_cost(4, 3, MulticastModel::kMAW);
+  EXPECT_EQ(maw.splitters, 12u);
+  EXPECT_EQ(maw.combiners, 12u);
+  // Port shell: both ends of both fibers per port.
+  EXPECT_EQ(msw.muxes, 8u);
+  EXPECT_EQ(msw.demuxes, 8u);
+  EXPECT_EQ(maw.muxes, 8u);
+  EXPECT_EQ(maw.demuxes, 8u);
+}
+
+TEST(CrossbarCost, MswIsCheapestExactlyByFactorK) {
+  for (std::size_t k : {2u, 3u, 5u}) {
+    const auto msw = crossbar_cost(6, k, MulticastModel::kMSW);
+    const auto maw = crossbar_cost(6, k, MulticastModel::kMAW);
+    EXPECT_EQ(maw.crosspoints, msw.crosspoints * k);
+  }
+}
+
+TEST(CrossbarCost, K1CollapsesModels) {
+  // At k = 1 all models cost the same crosspoints and converters differ only
+  // by the (now useless) converter column.
+  const auto msw = crossbar_cost(8, 1, MulticastModel::kMSW);
+  const auto msdw = crossbar_cost(8, 1, MulticastModel::kMSDW);
+  const auto maw = crossbar_cost(8, 1, MulticastModel::kMAW);
+  EXPECT_EQ(msw.crosspoints, msdw.crosspoints);
+  EXPECT_EQ(msdw.crosspoints, maw.crosspoints);
+  EXPECT_EQ(msw.crosspoints, 64u);
+}
+
+TEST(CrossbarCost, ElectronicEquivalentComparison) {
+  // The Nk x Nk electronic crossbar has the same gate count as MSDW/MAW --
+  // the WDM versions add converters instead (and cannot match its capacity).
+  EXPECT_EQ(electronic_equivalent_crosspoints(4, 3),
+            crossbar_cost(4, 3, MulticastModel::kMAW).crosspoints);
+}
+
+TEST(CrossbarCost, RejectsDegenerate) {
+  EXPECT_THROW((void)crossbar_cost(0, 1, MulticastModel::kMSW),
+               std::invalid_argument);
+  EXPECT_THROW((void)crossbar_cost(1, 0, MulticastModel::kMAW),
+               std::invalid_argument);
+}
+
+TEST(CrossbarCost, CapacityPerCrosspointOrdersModels) {
+  // §2.4's trade-off metric: MSW buys the most capacity digits per gate;
+  // MSDW is dominated by MAW (same denominator, smaller numerator).
+  for (const auto& [N, k] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{4, 2}, {8, 4}, {16, 2}}) {
+    const double msw = capacity_per_crosspoint(N, k, MulticastModel::kMSW);
+    const double msdw = capacity_per_crosspoint(N, k, MulticastModel::kMSDW);
+    const double maw = capacity_per_crosspoint(N, k, MulticastModel::kMAW);
+    EXPECT_GT(msw, maw) << "N=" << N << " k=" << k;
+    EXPECT_LT(msdw, maw) << "N=" << N << " k=" << k;
+    EXPECT_GT(msw, 0.0);
+  }
+  // At k = 1 the three models tie exactly (same capacity, same fabric).
+  const double a = capacity_per_crosspoint(8, 1, MulticastModel::kMSW);
+  const double b = capacity_per_crosspoint(8, 1, MulticastModel::kMSDW);
+  const double c = capacity_per_crosspoint(8, 1, MulticastModel::kMAW);
+  // The three evaluation paths (closed form vs log-sum-exp) agree to float
+  // noise only.
+  EXPECT_NEAR(a, b, 1e-9);
+  EXPECT_NEAR(b, c, 1e-9);
+}
+
+TEST(CrossbarCost, ToStringMentionsAllFields) {
+  const std::string text = crossbar_cost(2, 2, MulticastModel::kMSDW).to_string();
+  EXPECT_NE(text.find("crosspoints=16"), std::string::npos);
+  EXPECT_NE(text.find("converters=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,136 @@
+// Design exploration facade (core/switch_design, core/report) and shared
+// connection vocabulary.
+#include "core/switch_design.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.h"
+
+namespace wdm {
+namespace {
+
+TEST(Connection, RequestToStringRoundTrip) {
+  const MulticastRequest request{{1, 0}, {{2, 1}, {3, 0}}};
+  const std::string text = request.to_string();
+  EXPECT_NE(text.find("(p1,λ1)"), std::string::npos);
+  EXPECT_NE(text.find("(p2,λ2)"), std::string::npos);
+  EXPECT_EQ(request.fanout(), 2u);
+}
+
+TEST(Connection, ErrorNamesAreStable) {
+  EXPECT_STREQ(connect_error_name(ConnectError::kBlocked), "blocked");
+  EXPECT_STREQ(connect_error_name(ConnectError::kInputBusy), "input-busy");
+}
+
+TEST(BalancedFactorization, PrefersSquareRoots) {
+  EXPECT_EQ(balanced_factorization(16), (std::pair<std::size_t, std::size_t>{4, 4}));
+  EXPECT_EQ(balanced_factorization(12), (std::pair<std::size_t, std::size_t>{3, 4}));
+  EXPECT_EQ(balanced_factorization(6), (std::pair<std::size_t, std::size_t>{2, 3}));
+  EXPECT_THROW((void)balanced_factorization(7), std::invalid_argument);   // prime
+  EXPECT_THROW((void)balanced_factorization(3), std::invalid_argument);   // tiny
+}
+
+TEST(EnumerateDesigns, CrossbarAlwaysPresent) {
+  const auto options = enumerate_designs(5, 2, MulticastModel::kMSW);
+  ASSERT_EQ(options.size(), 1u);  // 5 is prime: no multistage decomposition
+  EXPECT_EQ(options.front().name, "crossbar");
+  EXPECT_EQ(options.front().crosspoints,
+            crossbar_cost(5, 2, MulticastModel::kMSW).crosspoints);
+}
+
+TEST(EnumerateDesigns, MultistageOptionsForCompositeN) {
+  const auto options = enumerate_designs(16, 2, MulticastModel::kMAW);
+  ASSERT_EQ(options.size(), 3u);
+  EXPECT_TRUE(options[1].is_multistage);
+  EXPECT_TRUE(options[2].is_multistage);
+  EXPECT_EQ(options[1].construction, Construction::kMswDominant);
+  EXPECT_EQ(options[2].construction, Construction::kMawDominant);
+  // Geometry honors the theorem bound.
+  EXPECT_EQ(options[1].clos.m, theorem1_min_m(4, 4).m);
+  EXPECT_EQ(options[2].clos.m, theorem2_min_m(4, 4, 2).m);
+  // MAW-dominant never undercuts MSW-dominant (§3.4 conclusion).
+  EXPECT_GE(options[2].crosspoints, options[1].crosspoints);
+}
+
+TEST(RecommendDesign, PicksCrossbarForSmallN) {
+  const DesignOption best = recommend_design(4, 2, MulticastModel::kMSW);
+  EXPECT_FALSE(best.is_multistage);
+}
+
+TEST(RecommendDesign, PicksMultistageForLargeN) {
+  const DesignOption best = recommend_design(1024, 2, MulticastModel::kMSW);
+  EXPECT_TRUE(best.is_multistage);
+  EXPECT_EQ(best.construction, Construction::kMswDominant);
+}
+
+TEST(RecommendDesign, RecommendationIsActuallyCheapest) {
+  for (const MulticastModel model : kAllModels) {
+    for (const std::size_t N : {4u, 16u, 64u, 144u}) {
+      const DesignOption best = recommend_design(N, 2, model);
+      for (const DesignOption& option : enumerate_designs(N, 2, model)) {
+        EXPECT_LE(best.crosspoints, option.crosspoints)
+            << model_name(model) << " N=" << N;
+      }
+    }
+  }
+}
+
+TEST(BuildSwitch, MultistageOptionYieldsWorkingSwitch) {
+  const auto options = enumerate_designs(16, 2, MulticastModel::kMSW);
+  MultistageSwitch sw = build_switch(options[1], MulticastModel::kMSW);
+  EXPECT_EQ(sw.port_count(), 16u);
+  const auto id = sw.try_connect({{0, 0}, {{5, 0}, {9, 0}, {15, 0}}});
+  EXPECT_TRUE(id.has_value());
+  sw.network().self_check();
+}
+
+TEST(BuildSwitch, CrossbarOptionRejected) {
+  const auto options = enumerate_designs(16, 2, MulticastModel::kMSW);
+  EXPECT_THROW((void)build_switch(options[0], MulticastModel::kMSW),
+               std::invalid_argument);
+}
+
+TEST(Report, DesignTableHasRowPerOption) {
+  const auto options = enumerate_designs(16, 2, MulticastModel::kMAW);
+  const Table table = design_table(options);
+  EXPECT_EQ(table.row_count(), options.size());
+  EXPECT_NE(table.to_text().find("3-stage MSW-dominant"), std::string::npos);
+}
+
+TEST(Report, ModelComparisonTableMatchesLemmas) {
+  const Table table = model_comparison_table(2, 2);
+  ASSERT_EQ(table.row_count(), 3u);
+  // Row order MSW, MSDW, MAW; capacity column 1 = full.
+  EXPECT_EQ(table.row(0)[1], "16");
+  EXPECT_EQ(table.row(1)[1], "84");
+  EXPECT_EQ(table.row(2)[1], "144");
+  EXPECT_EQ(table.row(0)[3], "8");    // kN^2
+  EXPECT_EQ(table.row(2)[3], "16");   // k^2N^2
+  EXPECT_EQ(table.row(2)[4], "4");    // kN converters
+}
+
+TEST(Report, PrintDesignReportIsWellFormed) {
+  std::ostringstream os;
+  print_design_report(os, 16, 2);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("design report"), std::string::npos);
+  EXPECT_NE(text.find("MSW"), std::string::npos);
+  EXPECT_NE(text.find("recommended:"), std::string::npos);
+  // One recommendation per model.
+  std::size_t count = 0;
+  for (std::size_t pos = text.find("recommended:"); pos != std::string::npos;
+       pos = text.find("recommended:", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Report, LargeParametersFallBackToLog10Cells) {
+  const Table table = model_comparison_table(64, 8, /*exact_digit_limit=*/10);
+  EXPECT_NE(table.row(0)[2].find("10^"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,115 @@
+// Cross-implementation equivalence: the same workload replayed against the
+// gate-level crossbar, the logical three-stage network, and the gate-level
+// three-stage network must agree -- the crossbar is nonblocking by
+// construction, and at the theorem-sized middle stage so are both Clos
+// implementations, so all three admit exactly the same requests and all
+// physical variants verify optically.
+#include <gtest/gtest.h>
+
+#include "fabric/clos_fabric.h"
+#include "fabric/fabric_switch.h"
+#include "multistage/builder.h"
+#include "sim/request.h"
+#include "util/rng.h"
+
+namespace wdm {
+namespace {
+
+struct EquivalenceCase {
+  MulticastModel model;
+  Construction construction;
+  std::uint64_t seed;
+};
+
+class Equivalence : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(Equivalence, SameWorkloadSameOutcomeEverywhere) {
+  const auto param = GetParam();
+  const std::size_t n = 2, r = 3, k = 2, N = n * r;
+
+  FabricSwitch crossbar(N, k, param.model);
+  MultistageSwitch logical =
+      MultistageSwitch::nonblocking(n, r, k, param.construction, param.model);
+  ClosFabricSwitch photonic =
+      ClosFabricSwitch::nonblocking(n, r, k, param.construction, param.model);
+
+  // Identity maps between the three implementations' connection ids.
+  std::vector<std::tuple<FabricSwitch::ConnectionId, ConnectionId, ConnectionId>>
+      live;
+
+  Rng rng(param.seed);
+  for (int step = 0; step < 200; ++step) {
+    if (live.empty() || rng.next_bool(0.6)) {
+      // Generate against the logical switch's state (all three share the
+      // same endpoint occupancy by induction).
+      const auto request =
+          random_admissible_request(rng, logical.network(), {1, 4});
+      if (!request) continue;
+      // All three must agree the request is admissible...
+      ASSERT_EQ(crossbar.check_admissible(*request), std::nullopt)
+          << request->to_string();
+      // ...and all three must admit it (crossbar nonblocking by
+      // construction, the Clos pair by Theorem 1/2).
+      const auto crossbar_id = crossbar.try_connect(*request);
+      const auto logical_id = logical.try_connect(*request);
+      const auto photonic_id = photonic.try_connect(*request);
+      ASSERT_TRUE(crossbar_id.has_value());
+      ASSERT_TRUE(logical_id.has_value());
+      ASSERT_TRUE(photonic_id.has_value());
+      live.emplace_back(*crossbar_id, *logical_id, *photonic_id);
+    } else {
+      const std::size_t victim = rng.next_below(live.size());
+      const auto [crossbar_id, logical_id, photonic_id] = live[victim];
+      crossbar.disconnect(crossbar_id);
+      logical.disconnect(logical_id);
+      photonic.disconnect(photonic_id);
+      live[victim] = live.back();
+      live.pop_back();
+    }
+
+    ASSERT_EQ(crossbar.active_connections(), live.size());
+    ASSERT_EQ(logical.active_connections(), live.size());
+    ASSERT_EQ(photonic.active_connections(), live.size());
+    if (step % 25 == 0) {
+      const auto crossbar_report = crossbar.verify();
+      ASSERT_TRUE(crossbar_report.ok) << crossbar_report.to_string();
+      const auto photonic_report = photonic.verify();
+      ASSERT_TRUE(photonic_report.ok);
+      logical.network().self_check();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, Equivalence,
+    ::testing::Values(
+        EquivalenceCase{MulticastModel::kMSW, Construction::kMswDominant, 1},
+        EquivalenceCase{MulticastModel::kMSDW, Construction::kMswDominant, 2},
+        EquivalenceCase{MulticastModel::kMAW, Construction::kMswDominant, 3},
+        EquivalenceCase{MulticastModel::kMSW, Construction::kMawDominant, 4},
+        EquivalenceCase{MulticastModel::kMAW, Construction::kMawDominant, 5}),
+    [](const auto& info) {
+      return std::string(model_name(info.param.model)) +
+             (info.param.construction == Construction::kMswDominant ? "_mswdom"
+                                                                    : "_mawdom");
+    });
+
+TEST(Equivalence, BusyEndpointRejectedIdentically) {
+  const std::size_t n = 2, r = 2, k = 2, N = 4;
+  FabricSwitch crossbar(N, k, MulticastModel::kMAW);
+  MultistageSwitch logical = MultistageSwitch::nonblocking(
+      n, r, k, Construction::kMswDominant, MulticastModel::kMAW);
+  const MulticastRequest request{{0, 0}, {{2, 1}}};
+  ASSERT_TRUE(crossbar.try_connect(request).has_value());
+  ASSERT_TRUE(logical.try_connect(request).has_value());
+
+  const MulticastRequest clash_in{{0, 0}, {{3, 0}}};
+  EXPECT_EQ(crossbar.check_admissible(clash_in), ConnectError::kInputBusy);
+  EXPECT_EQ(logical.check_admissible(clash_in), ConnectError::kInputBusy);
+  const MulticastRequest clash_out{{1, 0}, {{2, 1}}};
+  EXPECT_EQ(crossbar.check_admissible(clash_out), ConnectError::kOutputBusy);
+  EXPECT_EQ(logical.check_admissible(clash_out), ConnectError::kOutputBusy);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,119 @@
+// Export formats: DOT structure and JSON well-formedness.
+#include "core/export.h"
+
+#include <gtest/gtest.h>
+
+#include <stack>
+
+#include "fabric/crossbar_builder.h"
+#include "multistage/builder.h"
+
+namespace wdm {
+namespace {
+
+// A tiny structural JSON validator: balanced braces/brackets outside
+// strings, no trailing garbage. Not a full parser, but catches every
+// emitter bug we care about (unescaped quotes, unbalanced nesting).
+bool json_balanced(const std::string& text) {
+  std::stack<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': stack.push(c); break;
+      case '}':
+        if (stack.empty() || stack.top() != '{') return false;
+        stack.pop();
+        break;
+      case ']':
+        if (stack.empty() || stack.top() != '[') return false;
+        stack.pop();
+        break;
+      default: break;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+TEST(JsonEscape, HandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(CircuitDot, ContainsNodesAndEdges) {
+  Circuit circuit;
+  const ComponentId tx = circuit.add_source(0, "tx");
+  const ComponentId gate = circuit.add_gate("g");
+  const ComponentId rx = circuit.add_sink(0, "rx");
+  circuit.connect({tx, 0}, {gate, 0});
+  circuit.connect({gate, 0}, {rx, 0});
+  circuit.set_gate(gate, true);
+
+  const std::string dot = circuit_to_dot(circuit);
+  EXPECT_NE(dot.find("digraph circuit"), std::string::npos);
+  EXPECT_NE(dot.find("c0 -> c1"), std::string::npos);
+  EXPECT_NE(dot.find("c1 -> c2"), std::string::npos);
+  EXPECT_NE(dot.find("color=green"), std::string::npos);  // gate on
+  EXPECT_NE(dot.find("color=blue"), std::string::npos);   // source
+  EXPECT_NE(dot.find("color=red"), std::string::npos);    // sink
+}
+
+TEST(CircuitDot, ActiveGatesOnlyPrunesIdleCrosspoints) {
+  const CrossbarFabric fabric(3, 2, MulticastModel::kMSW);
+  DotOptions options;
+  options.active_gates_only = true;
+  const std::string pruned = circuit_to_dot(fabric.circuit(), options);
+  const std::string full = circuit_to_dot(fabric.circuit());
+  EXPECT_LT(pruned.size(), full.size());
+  // 18 gates exist, none on: the pruned graph has no gate nodes.
+  EXPECT_EQ(pruned.find("gate#"), std::string::npos);
+  EXPECT_NE(full.find("gate#"), std::string::npos);
+}
+
+TEST(NetworkJson, SnapshotIsBalancedAndComplete) {
+  MultistageSwitch sw = MultistageSwitch::nonblocking(
+      2, 2, 2, Construction::kMswDominant, MulticastModel::kMSW);
+  const auto id = sw.try_connect({{0, 0}, {{1, 0}, {2, 0}}});
+  ASSERT_TRUE(id.has_value());
+
+  const std::string json = network_state_to_json(sw.network());
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"geometry\""), std::string::npos);
+  EXPECT_NE(json.find("\"construction\":\"MSW-dominant\""), std::string::npos);
+  EXPECT_NE(json.find("\"connections\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"route\":"), std::string::npos);
+  EXPECT_NE(json.find("\"middleDestinationMultisets\""), std::string::npos);
+}
+
+TEST(NetworkJson, EmptyNetworkStillValid) {
+  const ThreeStageNetwork network(ClosParams{2, 2, 2, 1},
+                                  Construction::kMawDominant,
+                                  MulticastModel::kMAW);
+  const std::string json = network_state_to_json(network);
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"connections\":[]"), std::string::npos);
+}
+
+TEST(DesignJson, RoundsTripAllOptions) {
+  const auto options = enumerate_designs(16, 2, MulticastModel::kMAW);
+  const std::string json = design_options_to_json(options);
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"name\":\"crossbar\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"3-stage MSW-dominant\""), std::string::npos);
+  EXPECT_NE(json.find("\"spread\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wdm

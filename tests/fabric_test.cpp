@@ -1,0 +1,241 @@
+// Gate-level crossbar fabrics (Figs. 4-7): construction audits against the
+// §2.3 cost formulas and full signal-level verification of multicast
+// assignments under every model.
+#include "fabric/fabric_switch.h"
+
+#include <gtest/gtest.h>
+
+#include "capacity/enumerate.h"
+#include "sim/request.h"
+#include "util/rng.h"
+
+namespace wdm {
+namespace {
+
+struct Geometry {
+  std::size_t N;
+  std::size_t k;
+};
+
+class FabricAudit
+    : public ::testing::TestWithParam<std::tuple<Geometry, MulticastModel>> {};
+
+TEST_P(FabricAudit, ComponentCountsMatchClosedForms) {
+  const auto [geometry, model] = GetParam();
+  const CrossbarFabric fabric(geometry.N, geometry.k, model);
+  EXPECT_EQ(fabric.audit(), crossbar_cost(geometry.N, geometry.k, model));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FabricAudit,
+    ::testing::Combine(::testing::Values(Geometry{1, 1}, Geometry{2, 2},
+                                         Geometry{3, 2}, Geometry{4, 3},
+                                         Geometry{5, 1}, Geometry{2, 4}),
+                       ::testing::Values(MulticastModel::kMSW,
+                                         MulticastModel::kMSDW,
+                                         MulticastModel::kMAW)),
+    [](const auto& info) {
+      const Geometry geometry = std::get<0>(info.param);
+      return std::string(model_name(std::get<1>(info.param))) + "_N" +
+             std::to_string(geometry.N) + "k" + std::to_string(geometry.k);
+    });
+
+TEST(CrossbarFabric, MswHasNoCrossLaneGates) {
+  const CrossbarFabric fabric(3, 2, MulticastModel::kMSW);
+  EXPECT_NO_THROW((void)fabric.gate(0, 1, 2, 1));
+  EXPECT_THROW((void)fabric.gate(0, 0, 2, 1), std::invalid_argument);
+}
+
+TEST(CrossbarFabric, ConverterAccessorsMatchModel) {
+  const CrossbarFabric msdw(2, 2, MulticastModel::kMSDW);
+  EXPECT_NO_THROW((void)msdw.input_converter(1, 1));
+  EXPECT_THROW((void)msdw.output_converter(1, 1), std::logic_error);
+  const CrossbarFabric maw(2, 2, MulticastModel::kMAW);
+  EXPECT_NO_THROW((void)maw.output_converter(1, 1));
+  EXPECT_THROW((void)maw.input_converter(1, 1), std::logic_error);
+  const CrossbarFabric msw(2, 2, MulticastModel::kMSW);
+  EXPECT_THROW((void)msw.input_converter(0, 0), std::logic_error);
+  EXPECT_THROW((void)msw.output_converter(0, 0), std::logic_error);
+}
+
+TEST(FabricSwitch, UnicastDeliversVerifiedSignal) {
+  FabricSwitch sw(3, 2, MulticastModel::kMSW);
+  const auto id = sw.connect({{0, 1}, {{2, 1}}});
+  const auto report = sw.verify();
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_GT(report.max_gates_crossed, 0u);
+  sw.disconnect(id);
+  EXPECT_TRUE(sw.verify().ok);
+  EXPECT_EQ(sw.active_connections(), 0u);
+}
+
+TEST(FabricSwitch, MulticastFanoutUnderEachModel) {
+  // MSW: same lane everywhere.
+  {
+    FabricSwitch sw(4, 2, MulticastModel::kMSW);
+    sw.connect({{1, 0}, {{0, 0}, {2, 0}, {3, 0}}});
+    EXPECT_TRUE(sw.verify().ok);
+  }
+  // MSDW: source λ2 -> all destinations λ1 (input-side conversion).
+  {
+    FabricSwitch sw(4, 2, MulticastModel::kMSDW);
+    sw.connect({{1, 1}, {{0, 0}, {2, 0}, {3, 0}}});
+    const auto report = sw.verify();
+    EXPECT_TRUE(report.ok) << report.to_string();
+  }
+  // MAW: per-destination lanes (output-side conversion).
+  {
+    FabricSwitch sw(4, 2, MulticastModel::kMAW);
+    sw.connect({{1, 1}, {{0, 0}, {2, 1}, {3, 0}}});
+    const auto report = sw.verify();
+    EXPECT_TRUE(report.ok) << report.to_string();
+  }
+}
+
+TEST(FabricSwitch, ModelLaneDisciplineEnforced) {
+  FabricSwitch msw(3, 2, MulticastModel::kMSW);
+  EXPECT_EQ(msw.check_request({{0, 0}, {{1, 1}}}),
+            ConnectError::kModelForbidsLanes);
+  FabricSwitch msdw(3, 2, MulticastModel::kMSDW);
+  EXPECT_EQ(msdw.check_request({{0, 0}, {{1, 1}, {2, 0}}}),
+            ConnectError::kModelForbidsLanes);
+  EXPECT_EQ(msdw.check_request({{0, 0}, {{1, 1}, {2, 1}}}), std::nullopt);
+  FabricSwitch maw(3, 2, MulticastModel::kMAW);
+  EXPECT_EQ(maw.check_request({{0, 0}, {{1, 1}, {2, 0}}}), std::nullopt);
+}
+
+TEST(FabricSwitch, GeometryValidation) {
+  FabricSwitch sw(3, 2, MulticastModel::kMAW);
+  EXPECT_EQ(sw.check_request({{0, 0}, {}}), ConnectError::kBadGeometry);
+  EXPECT_EQ(sw.check_request({{3, 0}, {{1, 0}}}), ConnectError::kBadGeometry);
+  EXPECT_EQ(sw.check_request({{0, 2}, {{1, 0}}}), ConnectError::kBadGeometry);
+  EXPECT_EQ(sw.check_request({{0, 0}, {{1, 0}, {1, 0}}}), ConnectError::kBadGeometry);
+  EXPECT_EQ(sw.check_request({{0, 0}, {{1, 0}, {1, 1}}}),
+            ConnectError::kTwoLanesSamePort);
+}
+
+TEST(FabricSwitch, EndpointExclusivity) {
+  FabricSwitch sw(3, 2, MulticastModel::kMSW);
+  sw.connect({{0, 0}, {{1, 0}}});
+  // Same input wavelength again.
+  EXPECT_EQ(sw.check_admissible({{0, 0}, {{2, 0}}}), ConnectError::kInputBusy);
+  EXPECT_THROW(sw.connect({{0, 0}, {{2, 0}}}), std::runtime_error);
+  // Same output wavelength again.
+  EXPECT_EQ(sw.check_admissible({{2, 0}, {{1, 0}}}), ConnectError::kOutputBusy);
+  // Same input port, different lane: fine (the WDM feature).
+  EXPECT_EQ(sw.check_admissible({{0, 1}, {{1, 1}}}), std::nullopt);
+  EXPECT_FALSE(sw.try_connect({{2, 0}, {{1, 0}}}).has_value());
+  EXPECT_TRUE(sw.try_connect({{0, 1}, {{1, 1}}}).has_value());
+}
+
+TEST(FabricSwitch, DisconnectUnknownIdThrows) {
+  FabricSwitch sw(2, 1, MulticastModel::kMSW);
+  EXPECT_THROW(sw.disconnect(123), std::out_of_range);
+}
+
+TEST(FabricSwitch, PowerBudgetScalesWithFabricSize) {
+  // A bigger crossbar splits wider, so worst-case delivered power drops.
+  FabricSwitch small(2, 2, MulticastModel::kMAW);
+  small.connect({{0, 0}, {{1, 0}}});
+  FabricSwitch large(8, 2, MulticastModel::kMAW);
+  large.connect({{0, 0}, {{1, 0}}});
+  const auto small_report = small.verify();
+  const auto large_report = large.verify();
+  ASSERT_TRUE(small_report.ok);
+  ASSERT_TRUE(large_report.ok);
+  EXPECT_LT(large_report.min_power_dbm, small_report.min_power_dbm);
+}
+
+// --- property: every legal full assignment is realizable and verifies -------
+
+struct AssignmentCase {
+  std::size_t N;
+  std::size_t k;
+  MulticastModel model;
+  std::uint64_t seed;
+};
+
+class FabricAssignment : public ::testing::TestWithParam<AssignmentCase> {};
+
+TEST_P(FabricAssignment, RandomAssignmentsRealizeAndVerify) {
+  const auto [N, k, model, seed] = GetParam();
+  Rng rng(seed);
+  FabricSwitch sw(N, k, model);
+
+  for (int round = 0; round < 8; ++round) {
+    // Build a random multicast assignment: pair every output wavelength with
+    // a random input wavelength, legality by construction.
+    std::vector<MulticastRequest> assignment;
+    std::map<std::pair<std::size_t, Wavelength>, MulticastRequest> by_source;
+    for (std::size_t port = 0; port < N; ++port) {
+      for (Wavelength lane = 0; lane < k; ++lane) {
+        if (rng.next_bool(0.3)) continue;  // leave some outputs idle
+        // Choose a source consistent with the model.
+        const std::size_t src_port = rng.next_below(N);
+        const Wavelength src_lane =
+            model == MulticastModel::kMSW
+                ? lane
+                : static_cast<Wavelength>(rng.next_below(k));
+        auto& request = by_source[{src_port, src_lane}];
+        request.input = {src_port, src_lane};
+        // Model/per-port constraints: skip conflicting additions.
+        bool port_taken = false;
+        bool lane_mismatch = false;
+        for (const auto& out : request.outputs) {
+          if (out.port == port) port_taken = true;
+          if (model == MulticastModel::kMSDW && out.lane != lane) {
+            lane_mismatch = true;
+          }
+        }
+        if (port_taken || lane_mismatch) continue;
+        request.outputs.push_back({port, lane});
+      }
+    }
+    std::vector<FabricSwitch::ConnectionId> ids;
+    for (auto& [source, request] : by_source) {
+      if (request.outputs.empty()) continue;
+      ids.push_back(sw.connect(request));
+    }
+    const auto report = sw.verify();
+    EXPECT_TRUE(report.ok) << report.to_string();
+    for (const auto id : ids) sw.disconnect(id);
+    EXPECT_EQ(sw.active_connections(), 0u);
+    EXPECT_TRUE(sw.verify().ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, FabricAssignment,
+    ::testing::Values(AssignmentCase{3, 2, MulticastModel::kMSW, 1},
+                      AssignmentCase{3, 2, MulticastModel::kMSDW, 2},
+                      AssignmentCase{3, 2, MulticastModel::kMAW, 3},
+                      AssignmentCase{4, 3, MulticastModel::kMSW, 4},
+                      AssignmentCase{4, 3, MulticastModel::kMSDW, 5},
+                      AssignmentCase{4, 3, MulticastModel::kMAW, 6},
+                      AssignmentCase{2, 4, MulticastModel::kMAW, 7}),
+    [](const auto& info) {
+      return std::string(model_name(info.param.model)) + "_N" +
+             std::to_string(info.param.N) + "k" + std::to_string(info.param.k);
+    });
+
+TEST(FabricSwitch, FullAssignmentSaturatesEveryOutput) {
+  // Pair every output wavelength with a distinct input wavelength (a
+  // permutation): the fabric must carry Nk simultaneous connections.
+  const std::size_t N = 3, k = 2;
+  FabricSwitch sw(N, k, MulticastModel::kMAW);
+  Rng rng(99);
+  std::vector<std::size_t> permutation(N * k);
+  for (std::size_t i = 0; i < permutation.size(); ++i) permutation[i] = i;
+  rng.shuffle(permutation);
+  for (std::size_t out = 0; out < N * k; ++out) {
+    const std::size_t in = permutation[out];
+    sw.connect({{in / k, static_cast<Wavelength>(in % k)},
+                {{out / k, static_cast<Wavelength>(out % k)}}});
+  }
+  EXPECT_EQ(sw.active_connections(), N * k);
+  const auto report = sw.verify();
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+}  // namespace
+}  // namespace wdm

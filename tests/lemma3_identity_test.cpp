@@ -1,0 +1,128 @@
+// Lemma 3 translation check: our generating-polynomial evaluation of the
+// MSDW capacity must equal the paper's literal nested sum
+//     sum_{1<=j_1..j_k<=N} P(Nk, sum j_i) * prod_i S(N, j_i)        (full)
+//     sum over (l_i, j_i)  P(Nk, sum j_i) * prod_i C(N,l_i) S(N-l_i,j_i)
+// computed term by term over all k-tuples (exponential, so small N, k --
+// exactly where transcription bugs would hide).
+#include <gtest/gtest.h>
+
+#include "capacity/capacity.h"
+#include "combinatorics/combinatorics.h"
+
+namespace wdm {
+namespace {
+
+BigUInt naive_msdw_full(std::size_t N, std::size_t k) {
+  const StirlingTable table(N);
+  const std::size_t nk = N * k;
+  // Odometer over (j_1..j_k), each in [1, N].
+  std::vector<std::size_t> j(k, 1);
+  BigUInt total;
+  for (;;) {
+    std::size_t sum = 0;
+    BigUInt product{1};
+    for (std::size_t i = 0; i < k; ++i) {
+      sum += j[i];
+      product *= table.get(N, j[i]);
+    }
+    total += falling_factorial(nk, sum) * product;
+    std::size_t position = 0;
+    while (position < k) {
+      if (j[position] < N) {
+        ++j[position];
+        break;
+      }
+      j[position] = 1;
+      ++position;
+    }
+    if (position == k) break;
+  }
+  return total;
+}
+
+BigUInt naive_msdw_any(std::size_t N, std::size_t k) {
+  const StirlingTable table(N);
+  const std::size_t nk = N * k;
+  // Odometer over pairs (l_i, j_i): l_i in [0, N], j_i in [1, N - l_i]
+  // (j_i fixed to 0 when l_i == N). Encode each lane's choice as an index
+  // into its option list.
+  struct Option {
+    std::size_t idle;
+    std::size_t groups;  // 0 when idle == N
+  };
+  std::vector<Option> options;
+  for (std::size_t l = 0; l <= N; ++l) {
+    if (l == N) {
+      options.push_back({l, 0});
+    } else {
+      for (std::size_t g = 1; g <= N - l; ++g) options.push_back({l, g});
+    }
+  }
+  std::vector<std::size_t> pick(k, 0);
+  BigUInt total;
+  for (;;) {
+    std::size_t sum = 0;
+    BigUInt product{1};
+    for (std::size_t i = 0; i < k; ++i) {
+      const Option& option = options[pick[i]];
+      sum += option.groups;
+      product *= binomial(N, option.idle) *
+                 table.get(N - option.idle, option.groups);
+    }
+    total += falling_factorial(nk, sum) * product;
+    std::size_t position = 0;
+    while (position < k) {
+      if (pick[position] + 1 < options.size()) {
+        ++pick[position];
+        break;
+      }
+      pick[position] = 0;
+      ++position;
+    }
+    if (position == k) break;
+  }
+  return total;
+}
+
+struct Lemma3Case {
+  std::size_t N;
+  std::size_t k;
+};
+
+class Lemma3Identity : public ::testing::TestWithParam<Lemma3Case> {};
+
+TEST_P(Lemma3Identity, FactorizationEqualsPaperSum) {
+  const auto [N, k] = GetParam();
+  EXPECT_EQ(multicast_capacity(N, k, MulticastModel::kMSDW, AssignmentKind::kFull),
+            naive_msdw_full(N, k))
+      << "full, N=" << N << " k=" << k;
+  EXPECT_EQ(multicast_capacity(N, k, MulticastModel::kMSDW, AssignmentKind::kAny),
+            naive_msdw_any(N, k))
+      << "any, N=" << N << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallParams, Lemma3Identity,
+                         ::testing::Values(Lemma3Case{1, 1}, Lemma3Case{2, 1},
+                                           Lemma3Case{5, 1}, Lemma3Case{2, 2},
+                                           Lemma3Case{3, 2}, Lemma3Case{4, 2},
+                                           Lemma3Case{2, 3}, Lemma3Case{3, 3},
+                                           Lemma3Case{5, 2}, Lemma3Case{2, 4}),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param.N) + "k" +
+                                  std::to_string(info.param.k);
+                         });
+
+TEST(Lemma3Identity, PaperK1VerificationIdentity) {
+  // The appendix's k = 1 reduction: sum_j P(N, j) S(N, j) == N^N.
+  for (std::size_t N = 1; N <= 8; ++N) {
+    BigUInt sum;
+    const StirlingTable table(N);
+    for (std::size_t j = 1; j <= N; ++j) {
+      sum += falling_factorial(N, j) * table.get(N, j);
+    }
+    EXPECT_EQ(sum, ipow(N, N)) << "N=" << N;
+  }
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,120 @@
+// Switching-module lane discipline and occupancy tracking (§3.1).
+#include "multistage/module.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace wdm {
+namespace {
+
+TEST(SwitchModule, ConstructionValidation) {
+  EXPECT_THROW(SwitchModule(0, 2, 1, MulticastModel::kMSW), std::invalid_argument);
+  EXPECT_THROW(SwitchModule(2, 0, 1, MulticastModel::kMSW), std::invalid_argument);
+  EXPECT_THROW(SwitchModule(2, 2, 0, MulticastModel::kMSW), std::invalid_argument);
+  const SwitchModule module(3, 5, 2, MulticastModel::kMAW, "x");
+  EXPECT_EQ(module.in_ports(), 3u);
+  EXPECT_EQ(module.out_ports(), 5u);
+  EXPECT_EQ(module.lanes(), 2u);
+  EXPECT_EQ(module.name(), "x");
+}
+
+TEST(SwitchModule, MswKeepsLane) {
+  SwitchModule module(2, 3, 2, MulticastModel::kMSW);
+  EXPECT_EQ(module.check_transit({0, 1}, {{0, 1}, {2, 1}}), std::nullopt);
+  EXPECT_TRUE(module.check_transit({0, 1}, {{0, 0}}).has_value());
+  EXPECT_TRUE(module.check_transit({0, 0}, {{0, 0}, {2, 1}}).has_value());
+}
+
+TEST(SwitchModule, MsdwSingleOutboundLane) {
+  SwitchModule module(2, 3, 2, MulticastModel::kMSDW);
+  // Conversion allowed, but one outbound lane per transit.
+  EXPECT_EQ(module.check_transit({0, 1}, {{0, 0}, {2, 0}}), std::nullopt);
+  EXPECT_TRUE(module.check_transit({0, 1}, {{0, 0}, {2, 1}}).has_value());
+}
+
+TEST(SwitchModule, MawUnrestrictedLanes) {
+  SwitchModule module(2, 3, 2, MulticastModel::kMAW);
+  EXPECT_EQ(module.check_transit({0, 1}, {{0, 0}, {1, 1}, {2, 0}}), std::nullopt);
+}
+
+TEST(SwitchModule, RejectsTwoLanesOnOneOutPort) {
+  SwitchModule module(2, 2, 2, MulticastModel::kMAW);
+  const auto reason = module.check_transit({0, 0}, {{1, 0}, {1, 1}});
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("two outbound lanes"), std::string::npos);
+}
+
+TEST(SwitchModule, OccupancyConflicts) {
+  SwitchModule module(2, 2, 2, MulticastModel::kMAW);
+  module.add_transit({0, 0}, {{1, 0}});
+  // Inbound wavelength reuse.
+  EXPECT_TRUE(module.check_transit({0, 0}, {{0, 0}}).has_value());
+  // Outbound wavelength reuse.
+  EXPECT_TRUE(module.check_transit({1, 0}, {{1, 0}}).has_value());
+  // Same out port, other lane: fine.
+  EXPECT_EQ(module.check_transit({1, 0}, {{1, 1}}), std::nullopt);
+  EXPECT_THROW(module.add_transit({0, 0}, {{0, 0}}), std::logic_error);
+}
+
+TEST(SwitchModule, RangeChecksInCheckTransit) {
+  SwitchModule module(2, 2, 2, MulticastModel::kMAW);
+  EXPECT_TRUE(module.check_transit({5, 0}, {{0, 0}}).has_value());
+  EXPECT_TRUE(module.check_transit({0, 5}, {{0, 0}}).has_value());
+  EXPECT_TRUE(module.check_transit({0, 0}, {{5, 0}}).has_value());
+  EXPECT_TRUE(module.check_transit({0, 0}, {{0, 5}}).has_value());
+  EXPECT_TRUE(module.check_transit({0, 0}, {}).has_value());
+}
+
+TEST(SwitchModule, FreeLaneQueries) {
+  SwitchModule module(1, 2, 3, MulticastModel::kMAW);
+  EXPECT_EQ(module.free_out_lanes(0), 3u);
+  EXPECT_EQ(module.lowest_free_out_lane(0), 0u);
+  module.add_transit({0, 0}, {{0, 0}});
+  EXPECT_EQ(module.free_out_lanes(0), 2u);
+  EXPECT_EQ(module.lowest_free_out_lane(0), 1u);
+  EXPECT_EQ(module.free_in_lanes(0), 2u);
+  module.add_transit({0, 1}, {{0, 1}});
+  module.add_transit({0, 2}, {{0, 2}});
+  EXPECT_EQ(module.free_out_lanes(0), 0u);
+  EXPECT_EQ(module.lowest_free_out_lane(0), std::nullopt);
+  EXPECT_EQ(module.free_out_lanes(1), 3u);
+}
+
+TEST(SwitchModule, RemoveTransitRestoresState) {
+  SwitchModule module(2, 2, 2, MulticastModel::kMSW);
+  const auto id = module.add_transit({1, 1}, {{0, 1}, {1, 1}});
+  EXPECT_FALSE(module.out_lane_free(0, 1));
+  EXPECT_FALSE(module.in_lane_free(1, 1));
+  module.remove_transit(id);
+  EXPECT_TRUE(module.out_lane_free(0, 1));
+  EXPECT_TRUE(module.in_lane_free(1, 1));
+  EXPECT_THROW(module.remove_transit(id), std::out_of_range);
+  module.self_check();
+}
+
+TEST(SwitchModule, SelfCheckPassesUnderChurn) {
+  Rng rng(7);
+  SwitchModule module(4, 4, 2, MulticastModel::kMAW);
+  std::vector<SwitchModule::TransitId> live;
+  for (int step = 0; step < 300; ++step) {
+    if (live.empty() || rng.next_bool(0.6)) {
+      const ModulePortLane in{rng.next_below(4),
+                              static_cast<Wavelength>(rng.next_below(2))};
+      const ModulePortLane out{rng.next_below(4),
+                               static_cast<Wavelength>(rng.next_below(2))};
+      if (!module.check_transit(in, {out})) {
+        live.push_back(module.add_transit(in, {out}));
+      }
+    } else {
+      const std::size_t victim = rng.next_below(live.size());
+      module.remove_transit(live[victim]);
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    module.self_check();
+  }
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,170 @@
+// Tests for the §3.3 destination-multiset algebra (paper eqs. 2-5).
+#include "combinatorics/multiset.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace wdm {
+namespace {
+
+TEST(DestinationMultiset, StartsEmptyAndNull) {
+  DestinationMultiset m(5, 3);
+  EXPECT_EQ(m.universe(), 5u);
+  EXPECT_EQ(m.max_multiplicity(), 3u);
+  EXPECT_EQ(m.saturated_count(), 0u);
+  EXPECT_TRUE(m.is_null());
+  EXPECT_EQ(m.total_occurrences(), 0u);
+  for (std::size_t p = 0; p < 5; ++p) EXPECT_TRUE(m.can_serve(p));
+}
+
+TEST(DestinationMultiset, CapZeroRejected) {
+  EXPECT_THROW(DestinationMultiset(3, 0), std::invalid_argument);
+}
+
+TEST(DestinationMultiset, AddUpToCapThenSaturates) {
+  DestinationMultiset m(4, 2);
+  m.add(1);
+  EXPECT_EQ(m.multiplicity(1), 1u);
+  EXPECT_TRUE(m.can_serve(1));
+  EXPECT_TRUE(m.is_null());
+  m.add(1);
+  EXPECT_EQ(m.multiplicity(1), 2u);
+  EXPECT_FALSE(m.can_serve(1));
+  EXPECT_EQ(m.saturated_count(), 1u);   // eq. (4): only saturated elements count
+  EXPECT_FALSE(m.is_null());            // eq. (5)
+  EXPECT_THROW(m.add(1), std::logic_error);
+}
+
+TEST(DestinationMultiset, RemoveUnsaturates) {
+  DestinationMultiset m(4, 2);
+  m.add(2);
+  m.add(2);
+  EXPECT_EQ(m.saturated_count(), 1u);
+  m.remove(2);
+  EXPECT_EQ(m.saturated_count(), 0u);
+  EXPECT_TRUE(m.can_serve(2));
+  m.remove(2);
+  EXPECT_THROW(m.remove(2), std::logic_error);
+}
+
+TEST(DestinationMultiset, CardinalityCountsOnlySaturated) {
+  // A multiset with many sub-saturated elements still has |M| == 0: the
+  // paper's cardinality measures *unusable* output modules only.
+  DestinationMultiset m(6, 3);
+  for (std::size_t p = 0; p < 6; ++p) {
+    m.add(p);
+    m.add(p);
+  }
+  EXPECT_EQ(m.total_occurrences(), 12u);
+  EXPECT_EQ(m.saturated_count(), 0u);
+  EXPECT_TRUE(m.is_null());
+}
+
+TEST(DestinationMultiset, IntersectTakesElementwiseMin) {
+  DestinationMultiset a(3, 2);
+  DestinationMultiset b(3, 2);
+  a.add(0); a.add(0);          // a = {0^2}
+  a.add(1);                    // a = {0^2, 1^1}
+  b.add(0);                    // b = {0^1}
+  b.add(1); b.add(1);          // b = {0^1, 1^2}
+  const DestinationMultiset met = a.intersect(b);
+  EXPECT_EQ(met.multiplicity(0), 1u);  // min(2, 1)
+  EXPECT_EQ(met.multiplicity(1), 1u);  // min(1, 2)
+  EXPECT_EQ(met.multiplicity(2), 0u);
+  EXPECT_TRUE(met.is_null());          // no element saturated in both
+}
+
+TEST(DestinationMultiset, IntersectDetectsCommonSaturation) {
+  DestinationMultiset a(3, 1);
+  DestinationMultiset b(3, 1);
+  a.add(2);
+  b.add(2);
+  const DestinationMultiset met = a.intersect(b);
+  EXPECT_EQ(met.saturated_count(), 1u);
+  EXPECT_FALSE(met.is_null());
+  EXPECT_EQ(met.saturated_elements(), std::vector<std::size_t>{2});
+}
+
+TEST(DestinationMultiset, IntersectMismatchedShapesThrow) {
+  DestinationMultiset a(3, 2);
+  DestinationMultiset b(4, 2);
+  DestinationMultiset c(3, 1);
+  EXPECT_THROW((void)a.intersect(b), std::invalid_argument);
+  EXPECT_THROW((void)a.intersect(c), std::invalid_argument);
+}
+
+TEST(DestinationMultiset, K1DegeneratesToOrdinarySets) {
+  // With multiplicity cap 1 (the electronic case), saturated == present.
+  DestinationMultiset m(4, 1);
+  m.add(0);
+  m.add(3);
+  EXPECT_EQ(m.saturated_count(), 2u);
+  EXPECT_FALSE(m.can_serve(0));
+  EXPECT_TRUE(m.can_serve(1));
+  const auto saturated = m.saturated_elements();
+  EXPECT_EQ(saturated, (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(DestinationMultiset, ToStringShowsMultiplicities) {
+  DestinationMultiset m(4, 3);
+  m.add(1);
+  m.add(1);
+  m.add(3);
+  EXPECT_EQ(m.to_string(), "{1^2, 3^1}");
+  EXPECT_EQ(DestinationMultiset(2, 1).to_string(), "{}");
+}
+
+// --- randomized properties ---------------------------------------------------
+
+class MultisetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultisetProperty, IntersectionIsCommutativeAndBoundedByOperands) {
+  Rng rng(GetParam());
+  const std::size_t universe = 8;
+  const std::uint32_t cap = 3;
+  for (int trial = 0; trial < 20; ++trial) {
+    DestinationMultiset a(universe, cap);
+    DestinationMultiset b(universe, cap);
+    for (int i = 0; i < 15; ++i) {
+      const std::size_t p = rng.next_below(universe);
+      if (a.can_serve(p) && rng.next_bool()) a.add(p);
+      const std::size_t q = rng.next_below(universe);
+      if (b.can_serve(q) && rng.next_bool()) b.add(q);
+    }
+    const DestinationMultiset ab = a.intersect(b);
+    const DestinationMultiset ba = b.intersect(a);
+    EXPECT_EQ(ab, ba);
+    for (std::size_t p = 0; p < universe; ++p) {
+      EXPECT_LE(ab.multiplicity(p), a.multiplicity(p));
+      EXPECT_LE(ab.multiplicity(p), b.multiplicity(p));
+    }
+    // |A ∩ B| <= min(|A|, |B|) (eq. 4 is monotone under intersection).
+    EXPECT_LE(ab.saturated_count(), std::min(a.saturated_count(), b.saturated_count()));
+    // Intersection with self is identity.
+    EXPECT_EQ(a.intersect(a), a);
+  }
+}
+
+TEST_P(MultisetProperty, AddRemoveIsInverse) {
+  Rng rng(GetParam());
+  DestinationMultiset m(6, 2);
+  const DestinationMultiset empty = m;
+  std::vector<std::size_t> added;
+  for (int i = 0; i < 9; ++i) {
+    const std::size_t p = rng.next_below(6);
+    if (m.can_serve(p)) {
+      m.add(p);
+      added.push_back(p);
+    }
+  }
+  for (auto it = added.rbegin(); it != added.rend(); ++it) m.remove(*it);
+  EXPECT_EQ(m, empty);
+  EXPECT_EQ(m.total_occurrences(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultisetProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace wdm

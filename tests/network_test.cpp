@@ -1,0 +1,190 @@
+// Three-stage network state: route validation, install/release, multiset
+// views (§3.3), and deep self-checks.
+#include "multistage/network.h"
+
+#include <gtest/gtest.h>
+
+namespace wdm {
+namespace {
+
+ClosParams small_params() { return {2, 2, 3, 2}; }  // n=2 r=2 m=3 k=2, N=4
+
+Route unicast_route(std::size_t middle, Wavelength branch_lane,
+                    std::size_t out_module, Wavelength leg_lane,
+                    WavelengthEndpoint destination) {
+  return Route{{RouteBranch{middle, branch_lane,
+                            {DeliveryLeg{out_module, leg_lane, {destination}}}}}};
+}
+
+TEST(ClosParams, Validation) {
+  EXPECT_THROW((ClosParams{0, 1, 1, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((ClosParams{2, 2, 1, 1}).validate(), std::invalid_argument);  // m < n
+  EXPECT_NO_THROW((ClosParams{2, 2, 2, 1}).validate());
+  EXPECT_EQ((ClosParams{3, 4, 5, 2}).port_count(), 12u);
+}
+
+TEST(ClosParams, BalancedFactoryRequiresPerfectSquare) {
+  const ClosParams params = balanced_params(16, 2, 4);
+  EXPECT_EQ(params.n, 4u);
+  EXPECT_EQ(params.r, 4u);
+  EXPECT_THROW((void)balanced_params(15, 2, 4), std::invalid_argument);
+}
+
+TEST(ThreeStageNetwork, ModuleModelsFollowConstruction) {
+  const ThreeStageNetwork msw(small_params(), Construction::kMswDominant,
+                              MulticastModel::kMAW);
+  EXPECT_EQ(msw.input_module(0).model(), MulticastModel::kMSW);
+  EXPECT_EQ(msw.middle_module(1).model(), MulticastModel::kMSW);
+  EXPECT_EQ(msw.output_module(1).model(), MulticastModel::kMAW);
+
+  const ThreeStageNetwork maw(small_params(), Construction::kMawDominant,
+                              MulticastModel::kMSW);
+  EXPECT_EQ(maw.input_module(0).model(), MulticastModel::kMAW);
+  EXPECT_EQ(maw.middle_module(2).model(), MulticastModel::kMAW);
+  EXPECT_EQ(maw.output_module(0).model(), MulticastModel::kMSW);
+}
+
+TEST(ThreeStageNetwork, PortToModuleMapping) {
+  const ThreeStageNetwork network(ClosParams{3, 2, 3, 1},
+                                  Construction::kMswDominant,
+                                  MulticastModel::kMSW);
+  EXPECT_EQ(network.input_module_of(0), 0u);
+  EXPECT_EQ(network.input_module_of(2), 0u);
+  EXPECT_EQ(network.input_module_of(3), 1u);
+  EXPECT_EQ(network.local_port(4), 1u);
+  EXPECT_EQ(network.port_count(), 6u);
+}
+
+TEST(ThreeStageNetwork, InstallReleaseRoundTrip) {
+  ThreeStageNetwork network(small_params(), Construction::kMswDominant,
+                            MulticastModel::kMSW);
+  const MulticastRequest request{{0, 1}, {{2, 1}}};
+  const auto id =
+      network.install(request, unicast_route(0, 1, 1, 1, {2, 1}));
+  EXPECT_EQ(network.active_connections(), 1u);
+  EXPECT_TRUE(network.input_busy({0, 1}));
+  EXPECT_TRUE(network.output_busy({2, 1}));
+  EXPECT_FALSE(network.middle_module(0).out_lane_free(1, 1));
+  network.self_check();
+
+  network.release(id);
+  EXPECT_EQ(network.active_connections(), 0u);
+  EXPECT_FALSE(network.input_busy({0, 1}));
+  EXPECT_TRUE(network.middle_module(0).out_lane_free(1, 1));
+  network.self_check();
+  EXPECT_THROW(network.release(id), std::out_of_range);
+}
+
+TEST(ThreeStageNetwork, CheckRouteCatchesStructuralErrors) {
+  ThreeStageNetwork network(small_params(), Construction::kMswDominant,
+                            MulticastModel::kMSW);
+  const MulticastRequest request{{0, 0}, {{0, 0}, {2, 0}}};
+
+  // Missing destination.
+  EXPECT_TRUE(
+      network.check_route(request, unicast_route(0, 0, 0, 0, {0, 0})).has_value());
+  // Destination outside the leg's module.
+  Route wrong_module = unicast_route(0, 0, 0, 0, {2, 0});
+  wrong_module.branches[0].legs[0].destinations = {{0, 0}, {2, 0}};
+  EXPECT_TRUE(network.check_route(request, wrong_module).has_value());
+  // Same middle twice.
+  Route doubled;
+  doubled.branches = {
+      RouteBranch{0, 0, {DeliveryLeg{0, 0, {{0, 0}}}}},
+      RouteBranch{0, 0, {DeliveryLeg{1, 0, {{2, 0}}}}},
+  };
+  EXPECT_TRUE(network.check_route(request, doubled).has_value());
+  // Out-of-range middle / lanes.
+  EXPECT_TRUE(
+      network.check_route(request, unicast_route(9, 0, 0, 0, {0, 0})).has_value());
+  EXPECT_TRUE(
+      network.check_route(request, unicast_route(0, 5, 0, 0, {0, 0})).has_value());
+  // A correct two-branch route passes.
+  Route good;
+  good.branches = {
+      RouteBranch{0, 0, {DeliveryLeg{0, 0, {{0, 0}}}}},
+      RouteBranch{1, 0, {DeliveryLeg{1, 0, {{2, 0}}}}},
+  };
+  EXPECT_EQ(network.check_route(request, good), std::nullopt);
+}
+
+TEST(ThreeStageNetwork, MswDominantRejectsLaneShiftInRoute) {
+  ThreeStageNetwork network(small_params(), Construction::kMswDominant,
+                            MulticastModel::kMSW);
+  const MulticastRequest request{{0, 0}, {{2, 0}}};
+  // Branch tries to leave the input module on λ2 while the source is λ1:
+  // the MSW input module cannot convert.
+  const auto reason = network.check_route(request, unicast_route(0, 1, 1, 0, {2, 0}));
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("input module"), std::string::npos);
+}
+
+TEST(ThreeStageNetwork, MawDominantAllowsLaneShift) {
+  ThreeStageNetwork network(small_params(), Construction::kMawDominant,
+                            MulticastModel::kMSW);
+  const MulticastRequest request{{0, 0}, {{2, 0}}};
+  // λ1 in, λ2 across the first hop, λ2 across the second... but the MSW
+  // output module must receive on the destination lane (λ1), so leg lane 0.
+  EXPECT_EQ(network.check_route(request, unicast_route(0, 1, 1, 0, {2, 0})),
+            std::nullopt);
+  // Feeding the MSW output module on λ2 for a λ1 destination must fail.
+  const auto reason = network.check_route(request, unicast_route(0, 1, 1, 1, {2, 0}));
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("output module"), std::string::npos);
+}
+
+TEST(ThreeStageNetwork, InstallRejectsBusyEndpointOrBadRoute) {
+  ThreeStageNetwork network(small_params(), Construction::kMswDominant,
+                            MulticastModel::kMSW);
+  const MulticastRequest request{{0, 0}, {{2, 0}}};
+  network.install(request, unicast_route(0, 0, 1, 0, {2, 0}));
+  // Same input wavelength.
+  EXPECT_THROW(network.install(request, unicast_route(1, 0, 1, 0, {2, 0})),
+               std::logic_error);
+  // Fresh request over an occupied link lane.
+  const MulticastRequest rival{{1, 0}, {{3, 0}}};
+  EXPECT_THROW(network.install(rival, unicast_route(0, 0, 1, 0, {3, 0})),
+               std::logic_error);
+  // Same route shape via the other middle is fine.
+  EXPECT_NO_THROW(network.install(rival, unicast_route(1, 0, 1, 0, {3, 0})));
+}
+
+TEST(ThreeStageNetwork, DestinationMultisetView) {
+  ThreeStageNetwork network(small_params(), Construction::kMawDominant,
+                            MulticastModel::kMAW);
+  // Two connections through middle 0 toward output module 1 on both lanes.
+  network.install({{0, 0}, {{2, 0}}}, unicast_route(0, 0, 1, 0, {2, 0}));
+  network.install({{0, 1}, {{2, 1}}}, unicast_route(0, 1, 1, 1, {2, 1}));
+  const DestinationMultiset multiset = network.middle_destination_multiset(0);
+  EXPECT_EQ(multiset.multiplicity(1), 2u);  // saturated: k = 2
+  EXPECT_EQ(multiset.multiplicity(0), 0u);
+  EXPECT_EQ(multiset.saturated_count(), 1u);
+  EXPECT_FALSE(multiset.is_null());
+
+  const auto plane0 = network.middle_plane_destinations(0, 0);
+  EXPECT_FALSE(plane0[0]);
+  EXPECT_TRUE(plane0[1]);
+}
+
+TEST(ThreeStageNetwork, MultiBranchMulticastInstall) {
+  // One connection fanned over two middles, destinations in both modules.
+  ThreeStageNetwork network(small_params(), Construction::kMswDominant,
+                            MulticastModel::kMSW);
+  const MulticastRequest request{{0, 0}, {{0, 0}, {1, 0}, {2, 0}}};
+  // §2.1 allows at most one wavelength per output port per connection, and
+  // ports 0,1 are both in output module 0 -> one leg with two destinations.
+  Route route;
+  route.branches = {
+      RouteBranch{0, 0, {DeliveryLeg{0, 0, {{0, 0}, {1, 0}}}}},
+      RouteBranch{2, 0, {DeliveryLeg{1, 0, {{2, 0}}}}},
+  };
+  EXPECT_EQ(network.check_route(request, route), std::nullopt);
+  const auto id = network.install(request, route);
+  network.self_check();
+  EXPECT_EQ(network.connections().at(id).second.spread(), 2u);
+  network.release(id);
+  network.self_check();
+}
+
+}  // namespace
+}  // namespace wdm

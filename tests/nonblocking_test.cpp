@@ -1,0 +1,205 @@
+// Theorems 1-2 and the §3.4 cost formulas.
+#include "multistage/nonblocking.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "capacity/cost.h"
+#include "multistage/builder.h"
+
+namespace wdm {
+namespace {
+
+TEST(Theorem1, RhsFormula) {
+  // (n-1)(x + r^(1/x))
+  EXPECT_DOUBLE_EQ(theorem1_rhs(4, 9, 1), 3.0 * (1 + 9));
+  EXPECT_DOUBLE_EQ(theorem1_rhs(4, 9, 2), 3.0 * (2 + 3));
+  EXPECT_THROW((void)theorem1_rhs(4, 9, 0), std::invalid_argument);
+}
+
+TEST(Theorem1, MinimizesOverSpread) {
+  // n = 4, r = 9: x=1 -> 30, x=2 -> 15, x=3 -> 3(3+9^(1/3)) ~ 15.24.
+  const NonblockingBound bound = theorem1_min_m(4, 9);
+  EXPECT_EQ(bound.x, 2u);
+  EXPECT_DOUBLE_EQ(bound.raw_bound, 15.0);
+  EXPECT_EQ(bound.m, 16u);  // strict inequality: m > 15
+}
+
+TEST(Theorem1, StrictInequalityAtIntegerBound) {
+  // n = 2, r = 4: x=1 -> 1*(1+4)=5; m must be 6? x is capped at
+  // min(n-1, r) = 1 so the bound is 5 and m = 6.
+  const NonblockingBound bound = theorem1_min_m(2, 4);
+  EXPECT_EQ(bound.x, 1u);
+  EXPECT_EQ(bound.m, 6u);
+}
+
+TEST(Theorem1, DegenerateSingleInput) {
+  EXPECT_EQ(theorem1_min_m(1, 8).m, 1u);
+}
+
+TEST(Theorem1, MonotoneInNandR) {
+  for (std::size_t n = 2; n <= 8; ++n) {
+    EXPECT_LE(theorem1_min_m(n, 8).m, theorem1_min_m(n + 1, 8).m);
+  }
+  for (std::size_t r = 2; r <= 32; r *= 2) {
+    EXPECT_LE(theorem1_min_m(4, r).m, theorem1_min_m(4, 2 * r).m);
+  }
+}
+
+TEST(Theorem1, K1MatchesYangMassonExamples) {
+  // Classic Yang-Masson numbers: n = r = sqrt(N).
+  // N = 256 (n = r = 16): x in [1,15]; bound = min_x 15(x + 16^(1/x)).
+  double best = 1e100;
+  for (std::size_t x = 1; x <= 15; ++x) best = std::min(best, theorem1_rhs(16, 16, x));
+  EXPECT_DOUBLE_EQ(theorem1_min_m(16, 16).raw_bound, best);
+}
+
+TEST(Theorem2, RhsFormula) {
+  // floor((nk-1)x/k) + (n-1) r^(1/x)
+  EXPECT_DOUBLE_EQ(theorem2_rhs(4, 9, 2, 1),
+                   std::floor(7.0 / 2.0) + 3.0 * 9.0);
+  EXPECT_DOUBLE_EQ(theorem2_rhs(4, 9, 2, 2), std::floor(14.0 / 2.0) + 3.0 * 3.0);
+  EXPECT_THROW((void)theorem2_rhs(4, 9, 0, 1), std::invalid_argument);
+}
+
+TEST(Theorem2, ReducesToTheorem1AtK1) {
+  // At k = 1, floor((n-1)x) + (n-1)r^(1/x) = (n-1)(x + r^(1/x)).
+  for (std::size_t n : {2u, 4u, 8u}) {
+    for (std::size_t r : {4u, 9u, 16u}) {
+      EXPECT_EQ(theorem2_min_m(n, r, 1).m, theorem1_min_m(n, r).m)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(Theorem2, NeverBelowTheorem1) {
+  // The MAW-dominant bound's unavailability term floor((nk-1)x/k) >= (n-1)x,
+  // so Theorem 2's m is at least Theorem 1's.
+  for (std::size_t n : {2u, 4u, 6u}) {
+    for (std::size_t r : {4u, 9u}) {
+      for (std::size_t k : {2u, 4u, 8u}) {
+        EXPECT_GE(theorem2_min_m(n, r, k).m, theorem1_min_m(n, r).m)
+            << "n=" << n << " r=" << r << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Theorem2, ApproachesCeilingWithK) {
+  // As k grows, floor((nk-1)x/k) -> nx - ceil(x/k) ~ nx: the MAW-dominant
+  // penalty grows by at most x versus (n-1)x.
+  const NonblockingBound k2 = theorem2_min_m(8, 8, 2);
+  const NonblockingBound k64 = theorem2_min_m(8, 8, 64);
+  EXPECT_GE(k64.m, k2.m);
+  EXPECT_LE(k64.m, theorem1_min_m(8, 8).m + k64.x + 1);
+}
+
+TEST(ClosedForm, XApproximatesOptimum) {
+  // The §3.4 closed form x = 2 log r / log log r should be within a couple
+  // of the true optimizer for moderate r.
+  for (std::size_t r : {16u, 64u, 256u, 1024u}) {
+    const NonblockingBound bound = theorem1_min_m(64, r);
+    const std::size_t closed = closed_form_x(r);
+    EXPECT_NEAR(static_cast<double>(closed), static_cast<double>(bound.x), 3.0)
+        << "r=" << r;
+  }
+}
+
+TEST(ClosedForm, MDominatesExactBound) {
+  // m = 3(n-1) log r / log log r is an upper envelope of the minimized bound
+  // for r where the closed form applies.
+  for (std::size_t r : {64u, 256u, 1024u, 4096u}) {
+    const double closed = closed_form_m(16, r);
+    const double exact = theorem1_min_m(16, r).raw_bound;
+    EXPECT_GE(closed * 1.02, exact) << "r=" << r;
+  }
+}
+
+TEST(MultistageCost, MswDominantMswModelFormula) {
+  // §3.4: r*knm + m*kr^2 + r*kmn = kmr(2n + r).
+  const ClosParams params{4, 4, 10, 3};
+  const MultistageCost cost = multistage_cost(params, Construction::kMswDominant,
+                                              MulticastModel::kMSW);
+  EXPECT_EQ(cost.crosspoints, 3u * 10u * 4u * (2 * 4 + 4));
+  EXPECT_EQ(cost.converters, 0u);
+}
+
+TEST(MultistageCost, MswDominantStrongerOutputStage) {
+  // §3.4: r*knm + m*kr^2 + r*k^2*mn = kmr[(k+1)n + r] for MSDW/MAW output.
+  const ClosParams params{4, 4, 10, 3};
+  for (const MulticastModel model : {MulticastModel::kMSDW, MulticastModel::kMAW}) {
+    const MultistageCost cost =
+        multistage_cost(params, Construction::kMswDominant, model);
+    EXPECT_EQ(cost.crosspoints, 3u * 10u * 4u * ((3 + 1) * 4 + 4))
+        << model_name(model);
+  }
+  // Converters: MSDW converts per output-module *input* (m k per module);
+  // MAW converts per output-module *output* (n k per module) = kN total.
+  EXPECT_EQ(multistage_cost(params, Construction::kMswDominant,
+                            MulticastModel::kMSDW)
+                .converters,
+            4u * 10u * 3u);  // r * m * k
+  EXPECT_EQ(multistage_cost(params, Construction::kMswDominant,
+                            MulticastModel::kMAW)
+                .converters,
+            4u * 4u * 3u);  // r * n * k = kN
+}
+
+TEST(MultistageCost, MawDominantCostsMore) {
+  const ClosParams params{4, 4, 10, 3};
+  for (const MulticastModel model : kAllModels) {
+    const MultistageCost msw_dom =
+        multistage_cost(params, Construction::kMswDominant, model);
+    const MultistageCost maw_dom =
+        multistage_cost(params, Construction::kMawDominant, model);
+    EXPECT_GT(maw_dom.crosspoints, msw_dom.crosspoints) << model_name(model);
+    EXPECT_GE(maw_dom.converters, msw_dom.converters) << model_name(model);
+  }
+}
+
+TEST(MultistageCost, BalancedBeatsCrossbarForLargeN) {
+  // Table 2's asymptotic claim, made concrete: for big enough N the
+  // three-stage MSW-dominant network undercuts the crossbar in crosspoints.
+  for (const MulticastModel model : kAllModels) {
+    const std::size_t N = 1024;
+    const MultistageCost multistage =
+        balanced_multistage_cost(N, 2, Construction::kMswDominant, model);
+    const CrossbarCost crossbar = crossbar_cost(N, 2, model);
+    EXPECT_LT(multistage.crosspoints, crossbar.crosspoints) << model_name(model);
+  }
+}
+
+TEST(MultistageCost, CrossoverExistsAndIsModest) {
+  for (const MulticastModel model : kAllModels) {
+    const std::size_t crossover = multistage_crossover_N(2, model, 1u << 16);
+    EXPECT_GT(crossover, 0u) << model_name(model);
+    EXPECT_LE(crossover, 4096u) << model_name(model);
+    // Just below the crossover (previous perfect square), crossbar wins.
+    const auto root = static_cast<std::size_t>(std::sqrt(crossover));
+    if (root > 2) {
+      const std::size_t below = (root - 1) * (root - 1);
+      EXPECT_GE(balanced_multistage_cost(below, 2, Construction::kMswDominant, model)
+                    .crosspoints,
+                crossbar_cost(below, 2, model).crosspoints)
+          << model_name(model);
+    }
+  }
+}
+
+TEST(NonblockingParams, FactoryProducesValidatedGeometry) {
+  const ClosParams params = nonblocking_params(4, 9, 2, Construction::kMswDominant);
+  EXPECT_EQ(params.n, 4u);
+  EXPECT_EQ(params.r, 9u);
+  EXPECT_EQ(params.m, theorem1_min_m(4, 9).m);
+  EXPECT_NO_THROW(params.validate());
+}
+
+TEST(NonblockingBoundStruct, ToStringContainsFields) {
+  const std::string text = theorem1_min_m(4, 9).to_string();
+  EXPECT_NE(text.find("m=16"), std::string::npos);
+  EXPECT_NE(text.find("x=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,71 @@
+// ConverterPlacement ablation (§3.4 remark) -- unit-level coverage for what
+// bench_converter_placement sweeps.
+#include <gtest/gtest.h>
+
+#include "multistage/nonblocking.h"
+
+namespace wdm {
+namespace {
+
+TEST(ConverterPlacement, InternalEqualsMawBudget) {
+  const ClosParams params{4, 4, 13, 2};
+  const auto naive =
+      multistage_cost(params, Construction::kMswDominant, MulticastModel::kMSDW,
+                      ConverterPlacement::kModuleInputs);
+  const auto internal =
+      multistage_cost(params, Construction::kMswDominant, MulticastModel::kMSDW,
+                      ConverterPlacement::kModuleInternal);
+  const auto maw =
+      multistage_cost(params, Construction::kMswDominant, MulticastModel::kMAW);
+  // Naive: r*m*k at the output modules; internal: r*n*k = kN = MAW.
+  EXPECT_EQ(naive.converters, 4u * 13u * 2u);
+  EXPECT_EQ(internal.converters, 4u * 4u * 2u);
+  EXPECT_EQ(internal.converters, maw.converters);
+  EXPECT_LT(internal.converters, naive.converters);
+}
+
+TEST(ConverterPlacement, CrosspointsUnaffected) {
+  const ClosParams params{4, 9, 16, 3};
+  for (const Construction construction :
+       {Construction::kMswDominant, Construction::kMawDominant}) {
+    for (const MulticastModel model : kAllModels) {
+      const auto a = multistage_cost(params, construction, model,
+                                     ConverterPlacement::kModuleInputs);
+      const auto b = multistage_cost(params, construction, model,
+                                     ConverterPlacement::kModuleInternal);
+      EXPECT_EQ(a.crosspoints, b.crosspoints)
+          << construction_name(construction) << "/" << model_name(model);
+    }
+  }
+}
+
+TEST(ConverterPlacement, MswAndMawInsensitive) {
+  // Only MSDW modules have a placement choice.
+  const ClosParams params{3, 3, 8, 2};
+  for (const MulticastModel model : {MulticastModel::kMSW, MulticastModel::kMAW}) {
+    const auto a = multistage_cost(params, Construction::kMswDominant, model,
+                                   ConverterPlacement::kModuleInputs);
+    const auto b = multistage_cost(params, Construction::kMswDominant, model,
+                                   ConverterPlacement::kModuleInternal);
+    EXPECT_EQ(a, b) << model_name(model);
+  }
+}
+
+TEST(ConverterPlacement, MawDominantMsdwOutputStage) {
+  // MAW-dominant with an MSDW output stage: internal placement trims only
+  // the output-stage converters; the MAW stage-1/2 budget stays.
+  const ClosParams params{4, 4, 14, 2};
+  const auto naive =
+      multistage_cost(params, Construction::kMawDominant, MulticastModel::kMSDW,
+                      ConverterPlacement::kModuleInputs);
+  const auto internal =
+      multistage_cost(params, Construction::kMawDominant, MulticastModel::kMSDW,
+                      ConverterPlacement::kModuleInternal);
+  const std::uint64_t inner_budget =
+      4u * 14u * 2u + 14u * 4u * 2u;  // r*m*k (input stage) + m*r*k (middle)
+  EXPECT_EQ(naive.converters, inner_budget + 4u * 14u * 2u);
+  EXPECT_EQ(internal.converters, inner_budget + 4u * 4u * 2u);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,210 @@
+// Electronic-baseline round scheduling and WDM slot packing (§1).
+#include "schedule/round_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wdm {
+namespace {
+
+Session make_session(std::size_t source, std::initializer_list<std::size_t> dests) {
+  Session session;
+  session.source = source;
+  session.destinations = dests;
+  return session;
+}
+
+TEST(Conflict, SharedSourceOrDestination) {
+  const Session a = make_session(0, {1, 2});
+  const Session b = make_session(0, {3});      // same source
+  const Session c = make_session(4, {2, 5});   // shares destination 2
+  const Session d = make_session(6, {7});      // disjoint
+  EXPECT_TRUE(sessions_conflict(a, b));
+  EXPECT_TRUE(sessions_conflict(a, c));
+  EXPECT_FALSE(sessions_conflict(a, d));
+  EXPECT_FALSE(sessions_conflict(b, c));
+}
+
+TEST(ConflictGraph, SymmetricAdjacency) {
+  const std::vector<Session> sessions = {make_session(0, {1}), make_session(0, {2}),
+                                         make_session(3, {2})};
+  const auto adjacency = conflict_graph(sessions);
+  EXPECT_EQ(adjacency[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(adjacency[1], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(adjacency[2], (std::vector<std::size_t>{1}));
+}
+
+TEST(GreedyRounds, RoundsAreConflictFreeAndComplete) {
+  Rng rng(3);
+  const std::vector<Session> sessions = random_sessions(rng, 10, 25, 1, 4);
+  const auto rounds = schedule_rounds_greedy(sessions);
+  std::set<std::size_t> seen;
+  for (const auto& round : rounds) {
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      EXPECT_TRUE(seen.insert(round[i]).second);
+      for (std::size_t j = i + 1; j < round.size(); ++j) {
+        EXPECT_FALSE(sessions_conflict(sessions[round[i]], sessions[round[j]]));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), sessions.size());
+}
+
+TEST(GreedyRounds, SingleRoundWhenNoConflicts) {
+  const std::vector<Session> sessions = {make_session(0, {1}), make_session(2, {3}),
+                                         make_session(4, {5})};
+  EXPECT_EQ(schedule_rounds_greedy(sessions).size(), 1u);
+}
+
+TEST(GreedyRounds, BroadcastChainNeedsOneRoundEach) {
+  // Every session broadcasts to node 9: pairwise conflicts -> N rounds.
+  std::vector<Session> sessions;
+  for (std::size_t s = 0; s < 5; ++s) sessions.push_back(make_session(s, {9}));
+  EXPECT_EQ(schedule_rounds_greedy(sessions).size(), 5u);
+}
+
+TEST(ExactRounds, MatchesKnownChromaticNumbers) {
+  // Triangle of conflicts: 3 rounds.
+  const std::vector<Session> triangle = {make_session(0, {1}), make_session(2, {1}),
+                                         make_session(0, {3})};
+  // 0-1 conflict (dest 1), 0-2 conflict (source 0), 1-2? source 2 vs 0,
+  // dests {1} vs {3}: no. So a path, chromatic number 2.
+  EXPECT_EQ(minimum_rounds_exact(triangle), 2u);
+
+  const std::vector<Session> clique = {make_session(0, {9}), make_session(1, {9}),
+                                       make_session(2, {9}), make_session(3, {9})};
+  EXPECT_EQ(minimum_rounds_exact(clique), 4u);
+  EXPECT_EQ(minimum_rounds_exact({}), 0u);
+}
+
+TEST(ExactRounds, GreedyNeverBeatsExact) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<Session> sessions = random_sessions(rng, 8, 10, 1, 3);
+    const auto exact = minimum_rounds_exact(sessions);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_GE(schedule_rounds_greedy(sessions).size(), *exact);
+  }
+}
+
+TEST(WdmSlots, K1MswEqualsElectronicRounds) {
+  // At k = 1 the MSW packer faces exactly the coloring constraints; its
+  // first-fit result can differ from greedy coloring but both must be valid
+  // and within each other's conflict structure.
+  Rng rng(7);
+  const std::vector<Session> sessions = random_sessions(rng, 8, 15, 1, 3);
+  const auto slots = schedule_wdm_slots(sessions, 8, 1, MulticastModel::kMSW);
+  EXPECT_EQ(check_wdm_schedule(sessions, 8, 1, MulticastModel::kMSW, slots),
+            std::nullopt);
+  // Each slot must be conflict-free at k = 1.
+  for (const WdmSlot& slot : slots) {
+    for (std::size_t i = 0; i < slot.sessions.size(); ++i) {
+      for (std::size_t j = i + 1; j < slot.sessions.size(); ++j) {
+        EXPECT_FALSE(sessions_conflict(sessions[slot.sessions[i]],
+                                       sessions[slot.sessions[j]]));
+      }
+    }
+  }
+}
+
+TEST(WdmSlots, AllModelsProduceValidSchedules) {
+  Rng rng(13);
+  const std::size_t N = 10, k = 3;
+  const std::vector<Session> sessions = random_sessions(rng, N, 40, 1, 5);
+  for (const MulticastModel model : kAllModels) {
+    const auto slots = schedule_wdm_slots(sessions, N, k, model);
+    EXPECT_EQ(check_wdm_schedule(sessions, N, k, model, slots), std::nullopt)
+        << model_name(model);
+  }
+}
+
+TEST(WdmSlots, ModelStrengthOrdersSlotCounts) {
+  // More wavelength freedom packs (weakly) tighter -- up to one slot of
+  // first-fit slack: first-fit is not monotone under constraint relaxation,
+  // since an extra placement the stronger model admits reshapes every later
+  // decision.
+  Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t N = 9, k = 2;
+    const std::vector<Session> sessions = random_sessions(rng, N, 30, 1, 4);
+    const std::size_t msw =
+        schedule_wdm_slots(sessions, N, k, MulticastModel::kMSW).size();
+    const std::size_t msdw =
+        schedule_wdm_slots(sessions, N, k, MulticastModel::kMSDW).size();
+    const std::size_t maw =
+        schedule_wdm_slots(sessions, N, k, MulticastModel::kMAW).size();
+    EXPECT_LE(maw, msdw + 1);
+    EXPECT_LE(msdw, msw + 1);
+  }
+}
+
+TEST(WdmSlots, MoreLanesNeverMoreSlots) {
+  Rng rng(19);
+  const std::size_t N = 8;
+  const std::vector<Session> sessions = random_sessions(rng, N, 24, 1, 4);
+  std::size_t previous = SIZE_MAX;
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    const std::size_t slots =
+        schedule_wdm_slots(sessions, N, k, MulticastModel::kMAW).size();
+    EXPECT_LE(slots, previous) << "k=" << k;
+    previous = slots;
+  }
+}
+
+TEST(WdmSlots, CapacityBoundIsRespectedTightly) {
+  // k identical broadcast-style sessions to one destination fit one slot
+  // under MAW; the (k+1)-th forces a second slot.
+  const std::size_t N = 8, k = 3;
+  std::vector<Session> sessions;
+  for (std::size_t s = 0; s < k; ++s) sessions.push_back(make_session(s, {7}));
+  EXPECT_EQ(schedule_wdm_slots(sessions, N, k, MulticastModel::kMAW).size(), 1u);
+  sessions.push_back(make_session(3, {7}));
+  EXPECT_EQ(schedule_wdm_slots(sessions, N, k, MulticastModel::kMAW).size(), 2u);
+}
+
+TEST(WdmSlots, InputValidation) {
+  EXPECT_THROW(
+      (void)schedule_wdm_slots({make_session(9, {1})}, 4, 1, MulticastModel::kMSW),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)schedule_wdm_slots({make_session(0, {9})}, 4, 1, MulticastModel::kMSW),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)schedule_wdm_slots({make_session(0, {})}, 4, 1, MulticastModel::kMSW),
+      std::invalid_argument);
+}
+
+TEST(CheckSchedule, CatchesViolations) {
+  const std::vector<Session> sessions = {make_session(0, {1}), make_session(2, {1})};
+  // Both in one slot at k = 1: destination capacity violated.
+  std::vector<WdmSlot> bad{{{0, 1}, {0, 0}}};
+  EXPECT_TRUE(check_wdm_schedule(sessions, 4, 1, MulticastModel::kMSW, bad)
+                  .has_value());
+  // Session missing.
+  std::vector<WdmSlot> partial{{{0}, {0}}};
+  EXPECT_TRUE(check_wdm_schedule(sessions, 4, 1, MulticastModel::kMSW, partial)
+                  .has_value());
+  // Duplicate scheduling.
+  std::vector<WdmSlot> duplicated{{{0}, {0}}, {{0, 1}, {0, 0}}};
+  EXPECT_TRUE(check_wdm_schedule(sessions, 4, 1, MulticastModel::kMSW, duplicated)
+                  .has_value());
+}
+
+TEST(RandomSessions, RespectsFanoutAndUniqueness) {
+  Rng rng(23);
+  const auto sessions = random_sessions(rng, 12, 50, 2, 5);
+  EXPECT_EQ(sessions.size(), 50u);
+  for (const Session& session : sessions) {
+    EXPECT_GE(session.destinations.size(), 2u);
+    EXPECT_LE(session.destinations.size(), 5u);
+    const std::set<std::size_t> unique(session.destinations.begin(),
+                                       session.destinations.end());
+    EXPECT_EQ(unique.size(), session.destinations.size());
+  }
+  EXPECT_THROW((void)random_sessions(rng, 4, 1, 0, 2), std::invalid_argument);
+  EXPECT_THROW((void)random_sessions(rng, 4, 1, 3, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wdm

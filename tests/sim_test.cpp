@@ -1,0 +1,221 @@
+// Blocking-simulation substrate: generators, the dynamic simulator, the
+// structured adversary, and the empirical validation of Theorems 1-2.
+#include "sim/blocking_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/sweep.h"
+#include "util/rng.h"
+
+namespace wdm {
+namespace {
+
+TEST(RandomRequest, RespectsModelLaneDiscipline) {
+  Rng rng(5);
+  for (const MulticastModel model : kAllModels) {
+    for (int i = 0; i < 50; ++i) {
+      const MulticastRequest request = random_request(rng, 6, 3, model, {1, 4});
+      EXPECT_EQ(check_request_shape(request, 6, 3, model), std::nullopt)
+          << model_name(model) << ": " << request.to_string();
+      EXPECT_GE(request.fanout(), 1u);
+      EXPECT_LE(request.fanout(), 4u);
+    }
+  }
+}
+
+TEST(RandomRequest, FanoutRangeValidation) {
+  Rng rng(5);
+  EXPECT_THROW((void)random_request(rng, 4, 2, MulticastModel::kMSW, {0, 2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)random_request(rng, 4, 2, MulticastModel::kMSW, {5, 2}),
+               std::invalid_argument);
+}
+
+TEST(RandomAdmissibleRequest, AvoidsBusyEndpoints) {
+  ThreeStageNetwork network(ClosParams{2, 2, 3, 2}, Construction::kMswDominant,
+                            MulticastModel::kMSW);
+  Rng rng(6);
+  // Occupy a few endpoints directly.
+  network.install({{0, 0}, {{0, 0}}},
+                  Route{{RouteBranch{0, 0, {DeliveryLeg{0, 0, {{0, 0}}}}}}});
+  for (int i = 0; i < 100; ++i) {
+    const auto request = random_admissible_request(rng, network, {1, 3});
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(network.check_admissible(*request), std::nullopt)
+        << request->to_string();
+  }
+}
+
+TEST(RandomAdmissibleRequest, ReturnsNulloptWhenInputsExhausted) {
+  ThreeStageNetwork network(ClosParams{1, 2, 2, 1}, Construction::kMswDominant,
+                            MulticastModel::kMSW);
+  network.install({{0, 0}, {{0, 0}}},
+                  Route{{RouteBranch{0, 0, {DeliveryLeg{0, 0, {{0, 0}}}}}}});
+  network.install({{1, 0}, {{1, 0}}},
+                  Route{{RouteBranch{1, 0, {DeliveryLeg{1, 0, {{1, 0}}}}}}});
+  Rng rng(7);
+  EXPECT_EQ(random_admissible_request(rng, network, {1, 2}), std::nullopt);
+}
+
+TEST(Fig10, ScenarioPriorsAreConstructionAgnostic) {
+  const Fig10Scenario scenario = fig10_scenario();
+  for (const Construction construction :
+       {Construction::kMswDominant, Construction::kMawDominant}) {
+    ThreeStageNetwork network(scenario.params, construction,
+                              scenario.network_model);
+    EXPECT_NO_THROW(install_scripted(network, scenario.prior));
+    network.self_check();
+    EXPECT_EQ(network.active_connections(), scenario.prior.size());
+  }
+}
+
+TEST(DynamicSim, StatsAreConsistent) {
+  MultistageSwitch sw = MultistageSwitch::nonblocking(
+      2, 2, 2, Construction::kMswDominant, MulticastModel::kMSW);
+  SimConfig config;
+  config.steps = 500;
+  config.seed = 11;
+  config.self_check_every = 100;
+  const SimStats stats = run_dynamic_sim(sw, config);
+  EXPECT_EQ(stats.attempts, stats.admitted + stats.blocked);
+  EXPECT_GT(stats.attempts, 0u);
+  EXPECT_GE(stats.max_concurrent, 1u);
+  EXPECT_LE(sw.active_connections(), stats.admitted);
+}
+
+TEST(DynamicSim, DeterministicUnderSeed) {
+  for (int run = 0; run < 2; ++run) {
+    static SimStats first;
+    MultistageSwitch sw(ClosParams{2, 2, 2, 2}, Construction::kMswDominant,
+                        MulticastModel::kMSW, RoutingPolicy{1});
+    SimConfig config;
+    config.steps = 400;
+    config.seed = 77;
+    const SimStats stats = run_dynamic_sim(sw, config);
+    if (run == 0) {
+      first = stats;
+    } else {
+      EXPECT_EQ(stats.attempts, first.attempts);
+      EXPECT_EQ(stats.admitted, first.admitted);
+      EXPECT_EQ(stats.blocked, first.blocked);
+    }
+  }
+}
+
+// --- the heart of the reproduction: empirical nonblocking validation --------
+
+struct TheoremCase {
+  std::size_t n;
+  std::size_t r;
+  std::size_t k;
+  Construction construction;
+  MulticastModel model;
+};
+
+class TheoremValidation : public ::testing::TestWithParam<TheoremCase> {};
+
+TEST_P(TheoremValidation, NoBlockingAtTheoremBound) {
+  const auto param = GetParam();
+  MultistageSwitch sw = MultistageSwitch::nonblocking(
+      param.n, param.r, param.k, param.construction, param.model);
+  SimConfig config;
+  config.steps = 3000;
+  config.arrival_fraction = 0.7;
+  config.seed = 0xB0B;
+  config.self_check_every = 500;
+  const SimStats stats = run_dynamic_sim(sw, config);
+  EXPECT_EQ(stats.blocked, 0u) << stats.to_string();
+  EXPECT_GT(stats.attempts, 100u);
+
+  // The structured adversary must not block the bound-sized network either.
+  MultistageSwitch fresh = MultistageSwitch::nonblocking(
+      param.n, param.r, param.k, param.construction, param.model);
+  Rng rng(0xF00D);
+  const AttackResult attack = saturation_attack(fresh, rng);
+  EXPECT_FALSE(attack.challenge_blocked) << attack.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TheoremValidation,
+    ::testing::Values(
+        TheoremCase{2, 2, 1, Construction::kMswDominant, MulticastModel::kMSW},
+        TheoremCase{2, 2, 2, Construction::kMswDominant, MulticastModel::kMSW},
+        TheoremCase{3, 3, 2, Construction::kMswDominant, MulticastModel::kMSW},
+        TheoremCase{3, 3, 2, Construction::kMswDominant, MulticastModel::kMSDW},
+        TheoremCase{3, 3, 2, Construction::kMswDominant, MulticastModel::kMAW},
+        TheoremCase{2, 4, 2, Construction::kMswDominant, MulticastModel::kMAW},
+        TheoremCase{2, 2, 2, Construction::kMawDominant, MulticastModel::kMSW},
+        TheoremCase{3, 3, 2, Construction::kMawDominant, MulticastModel::kMAW},
+        TheoremCase{3, 2, 3, Construction::kMawDominant, MulticastModel::kMSDW}),
+    [](const auto& info) {
+      const auto& param = info.param;
+      return std::string(param.construction == Construction::kMswDominant
+                             ? "mswdom"
+                             : "mawdom") +
+             "_" + model_name(param.model) + "_n" + std::to_string(param.n) +
+             "r" + std::to_string(param.r) + "k" + std::to_string(param.k);
+    });
+
+TEST(TheoremValidationNegative, BlockingAppearsWellBelowBound) {
+  // m = n (the structural minimum) is far below the Theorem 1 bound for
+  // these geometries; the adversary or random churn must find blocking.
+  bool any_blocked = false;
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    MultistageSwitch sw(ClosParams{3, 3, 3, 1}, Construction::kMswDominant,
+                        MulticastModel::kMSW, RoutingPolicy{1});
+    SimConfig config;
+    config.steps = 2000;
+    config.arrival_fraction = 0.8;
+    config.fanout = {2, 3};
+    config.seed = seed;
+    const SimStats stats = run_dynamic_sim(sw, config);
+    if (stats.blocked > 0) any_blocked = true;
+  }
+  EXPECT_TRUE(any_blocked);
+}
+
+TEST(TheoremValidationNegative, AttackBlocksUndersizedNetwork) {
+  // Fig. 10-sized network with m below the bound: the structured adversary
+  // must produce a block under the MSW-dominant construction.
+  MultistageSwitch sw(ClosParams{2, 2, 2, 2}, Construction::kMswDominant,
+                      MulticastModel::kMSW, RoutingPolicy{1});
+  Rng rng(3);
+  const AttackResult attack = saturation_attack(sw, rng);
+  EXPECT_TRUE(attack.challenge_blocked) << attack.to_string();
+  EXPECT_GT(attack.filler_connections, 0u);
+}
+
+TEST(Sweep, DefaultRangeBracketsTheBound) {
+  const auto range = default_m_range(4, 4, 2, Construction::kMswDominant);
+  const NonblockingBound bound = theorem1_min_m(4, 4);
+  ASSERT_FALSE(range.empty());
+  EXPECT_EQ(range.front(), 4u);
+  EXPECT_GT(range.back(), bound.m);
+}
+
+TEST(Sweep, BlockingVanishesAtTheBound) {
+  SweepConfig config;
+  config.n = 2;
+  config.r = 2;
+  config.k = 2;
+  config.trials = 2;
+  config.sim.steps = 800;
+  config.sim.fanout = {1, 2};
+  config.spread = 1;
+  const auto points = sweep_middle_count(config);
+  ASSERT_FALSE(points.empty());
+  for (const SweepPoint& point : points) {
+    EXPECT_EQ(point.stats.attempts,
+              point.stats.admitted + point.stats.blocked);
+    if (point.m >= point.theorem_bound_m) {
+      EXPECT_EQ(point.stats.blocked, 0u) << "m=" << point.m;
+      EXPECT_EQ(point.attack_blocked, 0u) << "m=" << point.m;
+    }
+  }
+  // The smallest m must show blocking from at least one probe.
+  const SweepPoint& weakest = points.front();
+  EXPECT_GT(weakest.stats.blocked + weakest.attack_blocked, 0u);
+}
+
+}  // namespace
+}  // namespace wdm

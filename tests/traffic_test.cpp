@@ -1,0 +1,136 @@
+// Continuous-time traffic models: Zipf sampler and the Erlang simulator.
+#include "sim/traffic_models.h"
+
+#include <gtest/gtest.h>
+
+namespace wdm {
+namespace {
+
+TEST(Zipf, UniformWhenExponentZero) {
+  ZipfSampler sampler(4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(sampler.probability(i), 0.25, 1e-12);
+  }
+  EXPECT_EQ(sampler.probability(9), 0.0);
+}
+
+TEST(Zipf, SkewOrdersProbabilities) {
+  ZipfSampler sampler(8, 1.2);
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_GT(sampler.probability(i - 1), sampler.probability(i));
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) total += sampler.probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, EmpiricalFrequenciesTrackTheory) {
+  ZipfSampler sampler(5, 1.0);
+  Rng rng(42);
+  std::size_t counts[5] = {};
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) ++counts[sampler.sample(rng)];
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / draws, sampler.probability(i),
+                0.01)
+        << "rank " << i;
+  }
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(ErlangSim, ValidatesConfig) {
+  MultistageSwitch sw = MultistageSwitch::nonblocking(
+      2, 2, 1, Construction::kMswDominant, MulticastModel::kMSW);
+  ErlangConfig bad;
+  bad.arrival_rate = 0;
+  EXPECT_THROW((void)run_erlang_sim(sw, bad), std::invalid_argument);
+}
+
+TEST(ErlangSim, NoBlockingAtTheoremBound) {
+  MultistageSwitch sw = MultistageSwitch::nonblocking(
+      2, 2, 2, Construction::kMswDominant, MulticastModel::kMSW);
+  ErlangConfig config;
+  config.arrival_rate = 4.0;
+  config.mean_holding = 1.0;
+  config.duration = 400.0;
+  config.seed = 7;
+  const ErlangStats stats = run_erlang_sim(sw, config);
+  EXPECT_GT(stats.arrivals, 500u);
+  EXPECT_EQ(stats.blocked, 0u);
+  EXPECT_EQ(stats.arrivals, stats.admitted);
+  sw.network().self_check();
+}
+
+TEST(ErlangSim, CarriedTracksOfferedAtLightLoad) {
+  // Light load, big network: almost everything is carried, so carried
+  // Erlangs ~ offered Erlangs.
+  MultistageSwitch sw = MultistageSwitch::nonblocking(
+      3, 3, 2, Construction::kMswDominant, MulticastModel::kMSW);
+  ErlangConfig config;
+  config.arrival_rate = 1.0;
+  config.mean_holding = 2.0;  // 2 Erlangs offered, 18 input wavelengths
+  config.duration = 2000.0;
+  config.seed = 11;
+  const ErlangStats stats = run_erlang_sim(sw, config);
+  EXPECT_EQ(stats.blocked, 0u);
+  EXPECT_NEAR(stats.carried_erlangs(), config.offered_erlangs(),
+              0.25 * config.offered_erlangs());
+}
+
+TEST(ErlangSim, HeavyLoadSaturatesAndAbandons) {
+  MultistageSwitch sw = MultistageSwitch::nonblocking(
+      2, 2, 1, Construction::kMswDominant, MulticastModel::kMSW);
+  ErlangConfig config;
+  config.arrival_rate = 40.0;  // far beyond the 4 input wavelengths
+  config.mean_holding = 1.0;
+  config.duration = 200.0;
+  config.seed = 13;
+  const ErlangStats stats = run_erlang_sim(sw, config);
+  EXPECT_GT(stats.abandoned, 0u);            // endpoint exhaustion
+  EXPECT_LE(stats.carried_erlangs(), 4.001);  // capacity ceiling
+  EXPECT_GT(stats.carried_erlangs(), 3.0);    // but well utilized
+}
+
+TEST(ErlangSim, DeterministicUnderSeed) {
+  ErlangConfig config;
+  config.arrival_rate = 3.0;
+  config.duration = 300.0;
+  config.seed = 99;
+  const auto run = [&] {
+    MultistageSwitch sw = MultistageSwitch::nonblocking(
+        2, 2, 2, Construction::kMswDominant, MulticastModel::kMAW);
+    return run_erlang_sim(sw, config);
+  };
+  const ErlangStats a = run();
+  const ErlangStats b = run();
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_DOUBLE_EQ(a.time_weighted_sessions, b.time_weighted_sessions);
+}
+
+TEST(ErlangSim, ZipfHotspotIncreasesAbandonment) {
+  // Skewing destinations toward a few hot ports exhausts their output
+  // wavelengths sooner: abandonment/blocking should not decrease.
+  ErlangConfig config;
+  config.arrival_rate = 12.0;
+  config.mean_holding = 1.0;
+  config.duration = 400.0;
+  config.fanout = {1, 2};
+  config.seed = 21;
+  const auto run = [&](double zipf) {
+    MultistageSwitch sw = MultistageSwitch::nonblocking(
+        3, 3, 1, Construction::kMswDominant, MulticastModel::kMSW);
+    ErlangConfig c = config;
+    c.zipf_exponent = zipf;
+    return run_erlang_sim(sw, c);
+  };
+  const ErlangStats uniform = run(0.0);
+  const ErlangStats hotspot = run(1.5);
+  EXPECT_GE(hotspot.abandoned + hotspot.blocked + 20,
+            uniform.abandoned + uniform.blocked)
+      << "hotspot traffic should not be easier to serve";
+  EXPECT_LE(hotspot.carried_erlangs(), uniform.carried_erlangs() + 0.5);
+}
+
+}  // namespace
+}  // namespace wdm

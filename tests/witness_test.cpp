@@ -1,0 +1,136 @@
+// Blocking-witness search and tightness probing.
+#include "sim/witness.h"
+
+#include <gtest/gtest.h>
+
+namespace wdm {
+namespace {
+
+WitnessSearchConfig quick_config() {
+  WitnessSearchConfig config;
+  config.churn_steps = 600;
+  config.restarts = 3;
+  config.probes_per_step = 2;
+  return config;
+}
+
+TEST(Witness, FindsBlockingBelowBound) {
+  // m = 2 on a 2x2x2 Fig. 10-sized geometry is well below Theorem 1's m=4:
+  // the search must find a witness quickly.
+  const ClosParams params{2, 2, 2, 2};
+  const auto witness =
+      find_blocking_witness(params, Construction::kMswDominant,
+                            MulticastModel::kMSW, RoutingPolicy{1}, quick_config());
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->m, 2u);
+  EXPECT_FALSE(witness->state.empty());
+  EXPECT_FALSE(witness->blocked_request.outputs.empty());
+  EXPECT_NE(witness->to_string().find("witness at m=2"), std::string::npos);
+}
+
+TEST(Witness, WitnessStateIsReplayable) {
+  // A witness is only a witness if replaying its state really blocks the
+  // request: rebuild the network, install the state, and re-route.
+  const ClosParams params{2, 2, 2, 2};
+  const RoutingPolicy policy{1};
+  const auto witness =
+      find_blocking_witness(params, Construction::kMswDominant,
+                            MulticastModel::kMSW, policy, quick_config());
+  ASSERT_TRUE(witness.has_value());
+
+  ThreeStageNetwork network(params, Construction::kMswDominant,
+                            MulticastModel::kMSW);
+  for (const auto& [request, route] : witness->state) {
+    network.install(request, route);
+  }
+  Router router(network, policy);
+  EXPECT_EQ(router.find_route(witness->blocked_request), std::nullopt);
+  EXPECT_EQ(network.check_admissible(witness->blocked_request), std::nullopt)
+      << "witness request must be admissible (a true routing block)";
+}
+
+TEST(Witness, NoWitnessAtTheoremBound) {
+  // At the bound the search must come up empty (a witness would falsify
+  // Theorem 1).
+  const NonblockingBound bound = theorem1_min_m(2, 2);
+  const ClosParams params{2, 2, bound.m, 2};
+  const auto witness = find_blocking_witness(
+      params, Construction::kMswDominant, MulticastModel::kMSW,
+      RoutingPolicy{bound.x}, quick_config());
+  EXPECT_EQ(witness, std::nullopt);
+}
+
+TEST(Witness, TightnessProbeBracketsTheBound) {
+  WitnessSearchConfig config = quick_config();
+  config.churn_steps = 800;
+  const TightnessReport report = probe_tightness(
+      2, 2, 2, Construction::kMswDominant, MulticastModel::kMSW, config);
+  EXPECT_EQ(report.theorem_bound_m, 4u);
+  // Blocking must be found strictly below the bound...
+  EXPECT_LT(report.largest_blocking_m, report.theorem_bound_m);
+  // ...and the search reliably finds one at m = 2. At m = 3 this toy
+  // geometry is in fact nonblocking: excluding all three middles needs
+  // three λ1 filler/poison connections, but only N - r = 2 output
+  // wavelengths remain outside the challenge -- the adversary of the
+  // necessity argument needs more ports than n = r = 2 provides. Hence the
+  // honest empirical statement is gap == 2 here, closing toward 1 only for
+  // larger geometries.
+  EXPECT_EQ(report.largest_blocking_m, 2u);
+  EXPECT_EQ(report.gap(), 2u);
+}
+
+TEST(Witness, ShrinkProducesMinimalBlockingCore) {
+  const ClosParams params{2, 2, 2, 2};
+  const RoutingPolicy policy{1};
+  const auto witness =
+      find_blocking_witness(params, Construction::kMswDominant,
+                            MulticastModel::kMSW, policy, quick_config());
+  ASSERT_TRUE(witness.has_value());
+  const BlockingWitness shrunk = shrink_witness(
+      *witness, params, Construction::kMswDominant, MulticastModel::kMSW, policy);
+  EXPECT_LE(shrunk.state.size(), witness->state.size());
+  // 1-minimality: removing any single remaining connection unblocks.
+  for (std::size_t i = 0; i < shrunk.state.size(); ++i) {
+    ThreeStageNetwork network(params, Construction::kMswDominant,
+                              MulticastModel::kMSW);
+    for (std::size_t j = 0; j < shrunk.state.size(); ++j) {
+      if (j == i) continue;
+      network.install(shrunk.state[j].first, shrunk.state[j].second);
+    }
+    Router router(network, policy);
+    const bool admissible = !network.check_admissible(shrunk.blocked_request);
+    const bool routable =
+        admissible && router.find_route(shrunk.blocked_request).has_value();
+    EXPECT_TRUE(!admissible || routable)
+        << "connection " << i << " was removable from the 'minimal' core";
+  }
+  // The full shrunk core still blocks.
+  ThreeStageNetwork network(params, Construction::kMswDominant,
+                            MulticastModel::kMSW);
+  for (const auto& [request, route] : shrunk.state) network.install(request, route);
+  Router router(network, policy);
+  EXPECT_EQ(router.find_route(shrunk.blocked_request), std::nullopt);
+  // For this geometry the minimal core is tiny (the Fig. 10 pattern).
+  EXPECT_LE(shrunk.state.size(), 4u);
+  EXPECT_GE(shrunk.state.size(), 1u);
+}
+
+TEST(Witness, ShrinkRejectsNonBlockingWitness) {
+  const ClosParams params{2, 2, 4, 2};  // at the bound: nothing blocks
+  BlockingWitness fake;
+  fake.blocked_request = {{0, 0}, {{1, 0}}};
+  EXPECT_THROW((void)shrink_witness(fake, params, Construction::kMswDominant,
+                                    MulticastModel::kMSW, RoutingPolicy{1}),
+               std::invalid_argument);
+}
+
+TEST(Witness, MawDominantTightnessProbe) {
+  WitnessSearchConfig config = quick_config();
+  const TightnessReport report = probe_tightness(
+      2, 2, 2, Construction::kMawDominant, MulticastModel::kMSW, config);
+  EXPECT_EQ(report.theorem_bound_m, theorem2_min_m(2, 2, 2).m);
+  EXPECT_LT(report.largest_blocking_m, report.theorem_bound_m);
+}
+
+}  // namespace
+}  // namespace wdm
