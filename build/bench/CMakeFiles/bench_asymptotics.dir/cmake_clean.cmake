@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asymptotics.dir/bench_asymptotics.cpp.o"
+  "CMakeFiles/bench_asymptotics.dir/bench_asymptotics.cpp.o.d"
+  "bench_asymptotics"
+  "bench_asymptotics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asymptotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

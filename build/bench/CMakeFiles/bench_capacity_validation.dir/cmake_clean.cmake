@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capacity_validation.dir/bench_capacity_validation.cpp.o"
+  "CMakeFiles/bench_capacity_validation.dir/bench_capacity_validation.cpp.o.d"
+  "bench_capacity_validation"
+  "bench_capacity_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capacity_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_converter_placement.dir/bench_converter_placement.cpp.o"
+  "CMakeFiles/bench_converter_placement.dir/bench_converter_placement.cpp.o.d"
+  "bench_converter_placement"
+  "bench_converter_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_converter_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_converter_pool.dir/bench_converter_pool.cpp.o"
+  "CMakeFiles/bench_converter_pool.dir/bench_converter_pool.cpp.o.d"
+  "bench_converter_pool"
+  "bench_converter_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_converter_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_converters.dir/bench_fig3_converters.cpp.o"
+  "CMakeFiles/bench_fig3_converters.dir/bench_fig3_converters.cpp.o.d"
+  "bench_fig3_converters"
+  "bench_fig3_converters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_converters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_msw_planes.dir/bench_fig4_msw_planes.cpp.o"
+  "CMakeFiles/bench_fig4_msw_planes.dir/bench_fig4_msw_planes.cpp.o.d"
+  "bench_fig4_msw_planes"
+  "bench_fig4_msw_planes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_msw_planes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_crossbar1w.dir/bench_fig5_crossbar1w.cpp.o"
+  "CMakeFiles/bench_fig5_crossbar1w.dir/bench_fig5_crossbar1w.cpp.o.d"
+  "bench_fig5_crossbar1w"
+  "bench_fig5_crossbar1w.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_crossbar1w.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

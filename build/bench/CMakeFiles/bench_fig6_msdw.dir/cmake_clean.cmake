@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_msdw.dir/bench_fig6_msdw.cpp.o"
+  "CMakeFiles/bench_fig6_msdw.dir/bench_fig6_msdw.cpp.o.d"
+  "bench_fig6_msdw"
+  "bench_fig6_msdw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_msdw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

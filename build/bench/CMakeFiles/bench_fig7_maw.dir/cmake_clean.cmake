@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_maw.dir/bench_fig7_maw.cpp.o"
+  "CMakeFiles/bench_fig7_maw.dir/bench_fig7_maw.cpp.o.d"
+  "bench_fig7_maw"
+  "bench_fig7_maw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_maw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

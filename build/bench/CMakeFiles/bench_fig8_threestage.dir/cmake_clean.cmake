@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_threestage.dir/bench_fig8_threestage.cpp.o"
+  "CMakeFiles/bench_fig8_threestage.dir/bench_fig8_threestage.cpp.o.d"
+  "bench_fig8_threestage"
+  "bench_fig8_threestage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_threestage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_constructions.dir/bench_fig9_constructions.cpp.o"
+  "CMakeFiles/bench_fig9_constructions.dir/bench_fig9_constructions.cpp.o.d"
+  "bench_fig9_constructions"
+  "bench_fig9_constructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_constructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gate_level_clos.dir/bench_gate_level_clos.cpp.o"
+  "CMakeFiles/bench_gate_level_clos.dir/bench_gate_level_clos.cpp.o.d"
+  "bench_gate_level_clos"
+  "bench_gate_level_clos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gate_level_clos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

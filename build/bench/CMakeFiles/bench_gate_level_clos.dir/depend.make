@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_gate_level_clos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multistage_capacity.dir/bench_multistage_capacity.cpp.o"
+  "CMakeFiles/bench_multistage_capacity.dir/bench_multistage_capacity.cpp.o.d"
+  "bench_multistage_capacity"
+  "bench_multistage_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multistage_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

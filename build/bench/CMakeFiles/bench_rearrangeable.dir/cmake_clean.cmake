@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rearrangeable.dir/bench_rearrangeable.cpp.o"
+  "CMakeFiles/bench_rearrangeable.dir/bench_rearrangeable.cpp.o.d"
+  "bench_rearrangeable"
+  "bench_rearrangeable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rearrangeable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorems_m.dir/bench_theorems_m.cpp.o"
+  "CMakeFiles/bench_theorems_m.dir/bench_theorems_m.cpp.o.d"
+  "bench_theorems_m"
+  "bench_theorems_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorems_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

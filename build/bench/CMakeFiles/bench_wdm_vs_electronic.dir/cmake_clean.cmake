@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wdm_vs_electronic.dir/bench_wdm_vs_electronic.cpp.o"
+  "CMakeFiles/bench_wdm_vs_electronic.dir/bench_wdm_vs_electronic.cpp.o.d"
+  "bench_wdm_vs_electronic"
+  "bench_wdm_vs_electronic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wdm_vs_electronic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

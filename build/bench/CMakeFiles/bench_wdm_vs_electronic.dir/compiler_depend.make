@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_wdm_vs_electronic.
+# This may be replaced when dependencies are built.

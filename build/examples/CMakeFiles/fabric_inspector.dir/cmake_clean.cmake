@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_inspector.dir/fabric_inspector.cpp.o"
+  "CMakeFiles/fabric_inspector.dir/fabric_inspector.cpp.o.d"
+  "fabric_inspector"
+  "fabric_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_designer.dir/network_designer.cpp.o"
+  "CMakeFiles/network_designer.dir/network_designer.cpp.o.d"
+  "network_designer"
+  "network_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

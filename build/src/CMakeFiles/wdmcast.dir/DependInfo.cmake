@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/asymptotics.cpp" "src/CMakeFiles/wdmcast.dir/analysis/asymptotics.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/analysis/asymptotics.cpp.o.d"
+  "/root/repo/src/capacity/capacity.cpp" "src/CMakeFiles/wdmcast.dir/capacity/capacity.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/capacity/capacity.cpp.o.d"
+  "/root/repo/src/capacity/cost.cpp" "src/CMakeFiles/wdmcast.dir/capacity/cost.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/capacity/cost.cpp.o.d"
+  "/root/repo/src/capacity/enumerate.cpp" "src/CMakeFiles/wdmcast.dir/capacity/enumerate.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/capacity/enumerate.cpp.o.d"
+  "/root/repo/src/combinatorics/combinatorics.cpp" "src/CMakeFiles/wdmcast.dir/combinatorics/combinatorics.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/combinatorics/combinatorics.cpp.o.d"
+  "/root/repo/src/combinatorics/multiset.cpp" "src/CMakeFiles/wdmcast.dir/combinatorics/multiset.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/combinatorics/multiset.cpp.o.d"
+  "/root/repo/src/combinatorics/polynomial.cpp" "src/CMakeFiles/wdmcast.dir/combinatorics/polynomial.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/combinatorics/polynomial.cpp.o.d"
+  "/root/repo/src/core/connection.cpp" "src/CMakeFiles/wdmcast.dir/core/connection.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/core/connection.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/CMakeFiles/wdmcast.dir/core/export.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/core/export.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/wdmcast.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/switch_design.cpp" "src/CMakeFiles/wdmcast.dir/core/switch_design.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/core/switch_design.cpp.o.d"
+  "/root/repo/src/fabric/clos_fabric.cpp" "src/CMakeFiles/wdmcast.dir/fabric/clos_fabric.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/fabric/clos_fabric.cpp.o.d"
+  "/root/repo/src/fabric/crossbar_builder.cpp" "src/CMakeFiles/wdmcast.dir/fabric/crossbar_builder.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/fabric/crossbar_builder.cpp.o.d"
+  "/root/repo/src/fabric/fabric_switch.cpp" "src/CMakeFiles/wdmcast.dir/fabric/fabric_switch.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/fabric/fabric_switch.cpp.o.d"
+  "/root/repo/src/fabric/module_builder.cpp" "src/CMakeFiles/wdmcast.dir/fabric/module_builder.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/fabric/module_builder.cpp.o.d"
+  "/root/repo/src/multistage/builder.cpp" "src/CMakeFiles/wdmcast.dir/multistage/builder.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/multistage/builder.cpp.o.d"
+  "/root/repo/src/multistage/clos_params.cpp" "src/CMakeFiles/wdmcast.dir/multistage/clos_params.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/multistage/clos_params.cpp.o.d"
+  "/root/repo/src/multistage/module.cpp" "src/CMakeFiles/wdmcast.dir/multistage/module.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/multistage/module.cpp.o.d"
+  "/root/repo/src/multistage/network.cpp" "src/CMakeFiles/wdmcast.dir/multistage/network.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/multistage/network.cpp.o.d"
+  "/root/repo/src/multistage/nonblocking.cpp" "src/CMakeFiles/wdmcast.dir/multistage/nonblocking.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/multistage/nonblocking.cpp.o.d"
+  "/root/repo/src/multistage/rearrange.cpp" "src/CMakeFiles/wdmcast.dir/multistage/rearrange.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/multistage/rearrange.cpp.o.d"
+  "/root/repo/src/multistage/recursive.cpp" "src/CMakeFiles/wdmcast.dir/multistage/recursive.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/multistage/recursive.cpp.o.d"
+  "/root/repo/src/multistage/routing.cpp" "src/CMakeFiles/wdmcast.dir/multistage/routing.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/multistage/routing.cpp.o.d"
+  "/root/repo/src/optics/budget.cpp" "src/CMakeFiles/wdmcast.dir/optics/budget.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/optics/budget.cpp.o.d"
+  "/root/repo/src/optics/circuit.cpp" "src/CMakeFiles/wdmcast.dir/optics/circuit.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/optics/circuit.cpp.o.d"
+  "/root/repo/src/optics/components.cpp" "src/CMakeFiles/wdmcast.dir/optics/components.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/optics/components.cpp.o.d"
+  "/root/repo/src/optics/signal.cpp" "src/CMakeFiles/wdmcast.dir/optics/signal.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/optics/signal.cpp.o.d"
+  "/root/repo/src/schedule/round_scheduler.cpp" "src/CMakeFiles/wdmcast.dir/schedule/round_scheduler.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/schedule/round_scheduler.cpp.o.d"
+  "/root/repo/src/sim/blocking_sim.cpp" "src/CMakeFiles/wdmcast.dir/sim/blocking_sim.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/sim/blocking_sim.cpp.o.d"
+  "/root/repo/src/sim/converter_pool.cpp" "src/CMakeFiles/wdmcast.dir/sim/converter_pool.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/sim/converter_pool.cpp.o.d"
+  "/root/repo/src/sim/load_analysis.cpp" "src/CMakeFiles/wdmcast.dir/sim/load_analysis.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/sim/load_analysis.cpp.o.d"
+  "/root/repo/src/sim/nested.cpp" "src/CMakeFiles/wdmcast.dir/sim/nested.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/sim/nested.cpp.o.d"
+  "/root/repo/src/sim/request.cpp" "src/CMakeFiles/wdmcast.dir/sim/request.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/sim/request.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/CMakeFiles/wdmcast.dir/sim/sweep.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/sim/sweep.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/wdmcast.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/traffic_models.cpp" "src/CMakeFiles/wdmcast.dir/sim/traffic_models.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/sim/traffic_models.cpp.o.d"
+  "/root/repo/src/sim/witness.cpp" "src/CMakeFiles/wdmcast.dir/sim/witness.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/sim/witness.cpp.o.d"
+  "/root/repo/src/util/biguint.cpp" "src/CMakeFiles/wdmcast.dir/util/biguint.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/util/biguint.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/wdmcast.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/wdmcast.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/wdmcast.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/wdmcast.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/wdmcast.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/wdmcast.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asymptotics_test.dir/asymptotics_test.cpp.o"
+  "CMakeFiles/asymptotics_test.dir/asymptotics_test.cpp.o.d"
+  "asymptotics_test"
+  "asymptotics_test.pdb"
+  "asymptotics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asymptotics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biguint_division_test.dir/biguint_division_test.cpp.o"
+  "CMakeFiles/biguint_division_test.dir/biguint_division_test.cpp.o.d"
+  "biguint_division_test"
+  "biguint_division_test.pdb"
+  "biguint_division_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biguint_division_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

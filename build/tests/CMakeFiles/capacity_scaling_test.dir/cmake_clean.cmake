@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_scaling_test.dir/capacity_scaling_test.cpp.o"
+  "CMakeFiles/capacity_scaling_test.dir/capacity_scaling_test.cpp.o.d"
+  "capacity_scaling_test"
+  "capacity_scaling_test.pdb"
+  "capacity_scaling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_scaling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clos_fabric_test.dir/clos_fabric_test.cpp.o"
+  "CMakeFiles/clos_fabric_test.dir/clos_fabric_test.cpp.o.d"
+  "clos_fabric_test"
+  "clos_fabric_test.pdb"
+  "clos_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clos_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

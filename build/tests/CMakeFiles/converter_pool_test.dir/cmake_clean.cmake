@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converter_pool_test.dir/converter_pool_test.cpp.o"
+  "CMakeFiles/converter_pool_test.dir/converter_pool_test.cpp.o.d"
+  "converter_pool_test"
+  "converter_pool_test.pdb"
+  "converter_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converter_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma3_identity_test.dir/lemma3_identity_test.cpp.o"
+  "CMakeFiles/lemma3_identity_test.dir/lemma3_identity_test.cpp.o.d"
+  "lemma3_identity_test"
+  "lemma3_identity_test.pdb"
+  "lemma3_identity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma3_identity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_test.dir/module_test.cpp.o"
+  "CMakeFiles/module_test.dir/module_test.cpp.o.d"
+  "module_test"
+  "module_test.pdb"
+  "module_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rearrange_test.dir/rearrange_test.cpp.o"
+  "CMakeFiles/rearrange_test.dir/rearrange_test.cpp.o.d"
+  "rearrange_test"
+  "rearrange_test.pdb"
+  "rearrange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rearrange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

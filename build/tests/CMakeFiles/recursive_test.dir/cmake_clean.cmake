@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_test.dir/recursive_test.cpp.o"
+  "CMakeFiles/recursive_test.dir/recursive_test.cpp.o.d"
+  "recursive_test"
+  "recursive_test.pdb"
+  "recursive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
