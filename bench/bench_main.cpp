@@ -1,0 +1,425 @@
+// Unified benchmark runner: the machine-readable perf trajectory.
+//
+// The per-figure bench binaries print human-readable reproductions; this
+// runner executes a curated set of *performance-bearing* workloads (router
+// search, dynamic blocking sims, parallel sweeps, the saturation adversary,
+// the shared-converter bank, trace replay), resets the metrics registry
+// around each one, and writes BENCH_results.json with a stable schema:
+//
+//   { "schema": "wdmcast-bench/1", "git": "<describe>", "generated_utc": ...,
+//     "threads": N, "tiny": bool, "benchmarks": [
+//       { "name", "params": {...}, "ok", "wall_ms",
+//         "metrics": { "counters": {...}, "gauges": {...}, "timers": {...} } } ] }
+//
+// CI diffs wall_ms and the counters across PRs; docs/BENCHMARKS.md documents
+// every field. After writing, the runner re-parses the file with
+// util/json_lite and checks the required keys -- the bench-smoke ctest runs
+// exactly this with --tiny.
+//
+// Flags: --tiny (smoke-sized parameters), --out=<path>, --filter=<substr>,
+//        --list, --include-zero (emit zero-valued instruments too).
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/export.h"
+#include "multistage/builder.h"
+#include "sim/blocking_sim.h"
+#include "sim/converter_pool.h"
+#include "sim/sweep.h"
+#include "sim/trace.h"
+#include "util/cli.h"
+#include "util/json_lite.h"
+#include "util/metrics.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+using namespace wdm;
+
+namespace {
+
+struct BenchResult {
+  std::string params_json = "{}";  // JSON object literal
+  bool ok = true;
+};
+
+struct BenchCase {
+  std::string name;
+  std::string summary;
+  std::function<BenchResult(bool tiny)> run;
+};
+
+std::string params_of(std::initializer_list<std::pair<const char*, std::size_t>>
+                          numbers,
+                      std::initializer_list<std::pair<const char*, const char*>>
+                          strings = {}) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [key, value] : numbers) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << key << "\":" << value;
+  }
+  for (const auto& [key, value] : strings) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << key << "\":\"" << json_escape(value) << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+// ---- curated workloads ----------------------------------------------------
+
+BenchResult bench_routing_msw(bool tiny) {
+  auto sw = MultistageSwitch::nonblocking(4, 4, 2, Construction::kMswDominant,
+                                          MulticastModel::kMSW);
+  SimConfig config;
+  config.steps = tiny ? 500 : 20000;
+  config.self_check_every = tiny ? 128 : 4096;
+  const SimStats stats = run_dynamic_sim(sw, config);
+  BenchResult result;
+  result.params_json = params_of({{"n", 4},
+                                  {"r", 4},
+                                  {"k", 2},
+                                  {"m", sw.network().params().m},
+                                  {"steps", config.steps}},
+                                 {{"construction", "msw-dominant"}});
+  result.ok = stats.blocked == 0;  // at the Theorem 1 bound: never blocks
+  return result;
+}
+
+BenchResult bench_routing_maw(bool tiny) {
+  auto sw = MultistageSwitch::nonblocking(4, 4, 2, Construction::kMawDominant,
+                                          MulticastModel::kMAW);
+  SimConfig config;
+  config.steps = tiny ? 500 : 20000;
+  config.self_check_every = tiny ? 128 : 4096;
+  const SimStats stats = run_dynamic_sim(sw, config);
+  BenchResult result;
+  result.params_json = params_of({{"n", 4},
+                                  {"r", 4},
+                                  {"k", 2},
+                                  {"m", sw.network().params().m},
+                                  {"steps", config.steps}},
+                                 {{"construction", "maw-dominant"}});
+  result.ok = stats.blocked == 0;  // at the Theorem 2 bound: never blocks
+  return result;
+}
+
+BenchResult bench_blocking_sweep(bool tiny) {
+  SweepConfig config;
+  config.n = tiny ? 2 : 4;
+  config.r = tiny ? 2 : 4;
+  config.k = 2;
+  config.trials = tiny ? 2 : 4;
+  config.sim.steps = tiny ? 200 : 1500;
+  const std::vector<SweepPoint> points = sweep_middle_count(config);
+  BenchResult result;
+  result.params_json = params_of({{"n", config.n},
+                                  {"r", config.r},
+                                  {"k", config.k},
+                                  {"trials", config.trials},
+                                  {"steps", config.sim.steps},
+                                  {"points", points.size()}});
+  for (const SweepPoint& point : points) {
+    if (point.m >= point.theorem_bound_m &&
+        (point.stats.blocked != 0 || point.attack_blocked != 0)) {
+      result.ok = false;  // a block at/above the bound would falsify Thm 1
+    }
+  }
+  return result;
+}
+
+BenchResult bench_saturation_attack(bool tiny) {
+  const std::size_t rounds = tiny ? 3 : 20;
+  bool any_blocked = false;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    auto sw = MultistageSwitch::nonblocking(4, 4, 2, Construction::kMswDominant,
+                                            MulticastModel::kMSW);
+    Rng rng(0xA77A + round);
+    any_blocked |= saturation_attack(sw, rng).challenge_blocked;
+  }
+  BenchResult result;
+  result.params_json =
+      params_of({{"n", 4}, {"r", 4}, {"k", 2}, {"rounds", rounds}});
+  result.ok = !any_blocked;
+  return result;
+}
+
+BenchResult bench_converter_pool(bool tiny) {
+  const std::size_t N = tiny ? 8 : 16;
+  const std::size_t k = tiny ? 2 : 4;
+  const std::size_t steps = tiny ? 400 : 4000;
+  std::vector<std::size_t> pools;
+  for (std::size_t pool = 0; pool <= N * k; pool += std::max<std::size_t>(1, N * k / 4)) {
+    pools.push_back(pool);
+  }
+  if (pools.back() != N * k) pools.push_back(N * k);
+  const auto points = sweep_converter_pool(N, k, pools, steps, 0x5EED);
+  BenchResult result;
+  result.params_json = params_of(
+      {{"N", N}, {"k", k}, {"steps", steps}, {"pool_sizes", pools.size()}});
+  // A full bank (C = kN, the paper's dedicated-converter MAW) can never run
+  // dry, so the last ladder point must show zero converter blocks.
+  result.ok = points.back().blocked_on_converters == 0;
+  return result;
+}
+
+BenchResult bench_routing_ablation(bool tiny) {
+  const ClosParams params =
+      nonblocking_params(4, 4, 2, Construction::kMswDominant);
+  const RoutingPolicy recommended = Router::recommended_policy(
+      {params.n, params.r, params.m, params.k}, Construction::kMswDominant);
+  SimConfig config;
+  config.steps = tiny ? 300 : 8000;
+
+  MultistageSwitch exhaustive(params, Construction::kMswDominant,
+                              MulticastModel::kMSW,
+                              RoutingPolicy{recommended.max_spread,
+                                            RouteSearch::kExhaustive});
+  const SimStats exhaustive_stats = run_dynamic_sim(exhaustive, config);
+
+  MultistageSwitch greedy(params, Construction::kMswDominant,
+                          MulticastModel::kMSW,
+                          RoutingPolicy{recommended.max_spread,
+                                        RouteSearch::kGreedy});
+  const SimStats greedy_stats = run_dynamic_sim(greedy, config);
+
+  BenchResult result;
+  result.params_json = params_of({{"n", params.n},
+                                  {"r", params.r},
+                                  {"m", params.m},
+                                  {"k", params.k},
+                                  {"spread", recommended.max_spread},
+                                  {"steps", config.steps}});
+  // The greedy cover can block where the complete search cannot; never the
+  // other way around on the same workload.
+  result.ok = exhaustive_stats.blocked <= greedy_stats.blocked;
+  return result;
+}
+
+BenchResult bench_trace_replay(bool tiny) {
+  const ClosParams params = nonblocking_params(4, 4, 2, Construction::kMswDominant);
+  SimConfig config;
+  config.steps = tiny ? 200 : 5000;
+  const std::vector<TraceEvent> events = record_random_workload(
+      params, Construction::kMswDominant, MulticastModel::kMSW, config);
+  MultistageSwitch sw(params, Construction::kMswDominant, MulticastModel::kMSW);
+  const ReplayResult replay = replay_trace(sw, events);
+  BenchResult result;
+  result.params_json = params_of({{"n", params.n},
+                                  {"r", params.r},
+                                  {"m", params.m},
+                                  {"k", params.k},
+                                  {"events", events.size()}});
+  // Same geometry + same offered load => the replay admits everything the
+  // recording admitted (nonblocking m), with no orphaned disconnects.
+  result.ok = replay.blocked == 0 && replay.unmatched_disconnects == 0;
+  return result;
+}
+
+const std::vector<BenchCase>& bench_cases() {
+  static const std::vector<BenchCase> cases = {
+      {"routing_msw_dominant",
+       "dynamic churn on the Theorem 1 design point (MSW-dominant)",
+       bench_routing_msw},
+      {"routing_maw_dominant",
+       "dynamic churn on the Theorem 2 design point (MAW-dominant)",
+       bench_routing_maw},
+      {"blocking_sweep", "parallel m-sweep around the Theorem 1 bound",
+       bench_blocking_sweep},
+      {"saturation_attack", "structured worst-case adversary rounds",
+       bench_saturation_attack},
+      {"converter_pool", "shared converter bank provisioning ladder",
+       bench_converter_pool},
+      {"routing_ablation", "exhaustive vs greedy cover search, same workload",
+       bench_routing_ablation},
+      {"trace_replay", "record a churn workload, replay it bit-identically",
+       bench_trace_replay},
+  };
+  return cases;
+}
+
+// ---- emission -------------------------------------------------------------
+
+std::string git_describe() {
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  std::string out;
+  char buffer[256];
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) out += buffer;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out.empty() ? "unknown" : out;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+/// Re-parse the emitted file and check the schema contract the docs promise.
+bool validate_results_file(const std::string& path, std::size_t expected_entries) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "validate: cannot open " << path << "\n";
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue root;
+  try {
+    root = parse_json(buffer.str());
+  } catch (const std::exception& error) {
+    std::cerr << "validate: " << error.what() << "\n";
+    return false;
+  }
+  try {
+    if (root.at("schema").as_string() != "wdmcast-bench/1") {
+      std::cerr << "validate: unexpected schema id\n";
+      return false;
+    }
+    (void)root.at("git").as_string();
+    (void)root.at("generated_utc").as_string();
+    (void)root.at("threads").as_number();
+    const JsonArray& benchmarks = root.at("benchmarks").as_array();
+    if (benchmarks.size() < expected_entries) {
+      std::cerr << "validate: expected >= " << expected_entries
+                << " benchmark entries, found " << benchmarks.size() << "\n";
+      return false;
+    }
+    for (const JsonValue& entry : benchmarks) {
+      (void)entry.at("name").as_string();
+      (void)entry.at("ok").as_bool();
+      (void)entry.at("wall_ms").as_number();
+      (void)entry.at("params").as_object();
+      const JsonObject& counters =
+          entry.at("metrics").at("counters").as_object();
+      bool has_hot_path_counter = false;
+      for (const auto& [name, value] : counters) {
+        (void)value;
+        if (name.starts_with("routing.") || name.starts_with("sim.") ||
+            name.starts_with("sweep.") || name.starts_with("converter_pool.")) {
+          has_hot_path_counter = true;
+          break;
+        }
+      }
+      if (!has_hot_path_counter) {
+        std::cerr << "validate: entry \"" << entry.at("name").as_string()
+                  << "\" carries no routing/sim counter\n";
+        return false;
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "validate: " << error.what() << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(argc, argv);
+  cli.describe("tiny", "smoke-sized parameters (the bench-smoke ctest)");
+  cli.describe("out", "output path (default BENCH_results.json)");
+  cli.describe("filter", "only run benchmarks whose name contains this");
+  cli.describe("list", "list benchmark names and exit");
+  cli.describe("include-zero", "emit zero-valued instruments too");
+  if (cli.wants_help()) {
+    std::cout << cli.help_text(
+        "run_benches: unified benchmark runner -> BENCH_results.json");
+    return 0;
+  }
+  try {
+    cli.validate();
+  } catch (const std::exception& error) {
+    std::cerr << "run_benches: " << error.what() << " (see --help)\n";
+    return 2;
+  }
+
+  const bool tiny = cli.get_bool("tiny");
+  const bool include_zero = cli.get_bool("include-zero");
+  const std::string out_path =
+      cli.get_string("out").value_or("BENCH_results.json");
+  const std::string filter = cli.get_string("filter").value_or("");
+
+  if (cli.get_bool("list")) {
+    for (const BenchCase& bench : bench_cases()) {
+      std::cout << bench.name << "  -  " << bench.summary << "\n";
+    }
+    return 0;
+  }
+
+  // The runner exists to collect telemetry: override WDM_METRICS=0.
+  set_metrics_enabled(true);
+
+  print_banner(std::cout, tiny ? "run_benches (tiny smoke parameters)"
+                               : "run_benches");
+
+  std::ostringstream body;
+  Table table({"benchmark", "wall ms", "ok"});
+  std::size_t entries = 0;
+  bool all_ok = true;
+  for (const BenchCase& bench : bench_cases()) {
+    if (!filter.empty() && bench.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    metrics().reset();
+    const auto start = std::chrono::steady_clock::now();
+    const BenchResult result = bench.run(tiny);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const std::string snapshot = metrics().snapshot_json(include_zero);
+
+    if (entries != 0) body << ",\n";
+    body << "    {\"name\":\"" << json_escape(bench.name) << "\",\"params\":"
+         << result.params_json << ",\"ok\":" << (result.ok ? "true" : "false")
+         << ",\"wall_ms\":" << wall_ms << ",\"metrics\":" << snapshot << "}";
+    ++entries;
+    all_ok = all_ok && result.ok;
+    table.add(bench.name, wall_ms, result.ok ? "yes" : "NO");
+  }
+  table.print(std::cout);
+
+  if (entries == 0) {
+    std::cerr << "no benchmark matches --filter=" << filter << "\n";
+    return 1;
+  }
+
+  std::ostringstream document;
+  document << "{\n  \"schema\":\"wdmcast-bench/1\",\n  \"git\":\""
+           << json_escape(git_describe()) << "\",\n  \"generated_utc\":\""
+           << utc_timestamp() << "\",\n  \"threads\":"
+           << default_pool().thread_count() << ",\n  \"tiny\":"
+           << (tiny ? "true" : "false") << ",\n  \"benchmarks\":[\n"
+           << body.str() << "\n  ]\n}\n";
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << document.str();
+  }
+  std::cout << "\nwrote " << out_path << " (" << entries << " benchmarks)\n";
+
+  const bool valid = validate_results_file(out_path, entries);
+  std::cout << "schema validation: " << (valid ? "ok" : "FAILED") << "\n";
+  if (!all_ok) std::cout << "NOTE: at least one benchmark reported ok=false\n";
+  return (valid && all_ok) ? 0 : 1;
+}

@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/metrics.h"
+
 namespace wdm {
 
 namespace {
@@ -14,6 +16,23 @@ struct ModuleDemand {
   /// Set when the output module cannot convert (MSW): the one link lane that
   /// can feed it. kNoWavelength = any free lane acceptable.
   Wavelength required_link_lane = kNoWavelength;
+};
+
+/// Router hot-path instruments (see docs/BENCHMARKS.md for definitions).
+struct RouterMetrics {
+  Counter& attempts = metrics().counter("routing.route_attempts");
+  Counter& found = metrics().counter("routing.routes_found");
+  Counter& blocked = metrics().counter("routing.route_blocked");
+  Counter& middle_probes = metrics().counter("routing.middle_probes");
+  Counter& spread_expansions = metrics().counter("routing.spread_expansions");
+  Counter& connects = metrics().counter("routing.connects");
+  Counter& disconnects = metrics().counter("routing.disconnects");
+  TimerStat& find_route = metrics().timer("routing.find_route");
+
+  static RouterMetrics& get() {
+    static RouterMetrics instance;
+    return instance;
+  }
 };
 
 }  // namespace
@@ -40,6 +59,7 @@ std::vector<std::size_t> Router::candidate_middles(std::size_t in_module,
   const SwitchModule& input = network_->input_module(in_module);
   std::vector<std::size_t> candidates;
   candidates.reserve(params.m);
+  RouterMetrics::get().middle_probes.add(params.m);
   for (std::size_t j = 0; j < params.m; ++j) {
     const bool usable = network_->construction() == Construction::kMswDominant
                             ? input.out_lane_free(j, lane)
@@ -50,6 +70,16 @@ std::vector<std::size_t> Router::candidate_middles(std::size_t in_module,
 }
 
 std::optional<Route> Router::find_route(const MulticastRequest& request) const {
+  RouterMetrics& counters = RouterMetrics::get();
+  counters.attempts.add();
+  ScopedTimer timer(counters.find_route);
+  auto route = find_route_impl(request);
+  (route ? counters.found : counters.blocked).add();
+  return route;
+}
+
+std::optional<Route> Router::find_route_impl(
+    const MulticastRequest& request) const {
   const Construction construction = network_->construction();
   const MulticastModel output_model = network_->network_model();
   const std::size_t in_module = network_->input_module_of(request.input.port);
@@ -113,6 +143,7 @@ std::optional<Route> Router::find_route(const MulticastRequest& request) const {
     return gain;
   };
   auto apply = [&](std::size_t c, std::vector<std::size_t>& newly) {
+    RouterMetrics::get().spread_expansions.add();
     for (std::size_t t = 0; t < n_targets; ++t) {
       if (!covered[t] && serves[c][t]) {
         covered[t] = true;
@@ -279,9 +310,13 @@ std::optional<ConnectionId> Router::try_connect(const MulticastRequest& request)
     last_error_ = ConnectError::kBlocked;
     return std::nullopt;
   }
+  RouterMetrics::get().connects.add();
   return network_->install(request, *route);
 }
 
-void Router::disconnect(ConnectionId id) { network_->release(id); }
+void Router::disconnect(ConnectionId id) {
+  RouterMetrics::get().disconnects.add();
+  network_->release(id);
+}
 
 }  // namespace wdm

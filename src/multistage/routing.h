@@ -74,6 +74,10 @@ class Router {
   [[nodiscard]] ConnectError last_error() const { return last_error_; }
 
  private:
+  /// The uninstrumented search; find_route wraps it with the route-attempt
+  /// counters and the "routing.find_route" timer (see docs/BENCHMARKS.md).
+  [[nodiscard]] std::optional<Route> find_route_impl(
+      const MulticastRequest& request) const;
   /// Lane choice on a module's output link honoring the lane policy.
   [[nodiscard]] std::optional<Wavelength> pick_lane(const SwitchModule& module,
                                                     std::size_t out_port,

@@ -4,7 +4,32 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/metrics.h"
+
 namespace wdm {
+
+namespace {
+
+/// Simulator instruments (see docs/BENCHMARKS.md for definitions).
+struct SimMetrics {
+  Counter& arrivals = metrics().counter("sim.arrivals");
+  Counter& admitted = metrics().counter("sim.admitted");
+  Counter& blocked = metrics().counter("sim.blocked");
+  Counter& departures = metrics().counter("sim.departures");
+  Counter& self_checks = metrics().counter("sim.self_checks");
+  Counter& attacks = metrics().counter("sim.attacks");
+  Counter& attack_blocked = metrics().counter("sim.attack_blocked");
+  Counter& attack_fillers = metrics().counter("sim.attack_fillers");
+  TimerStat& self_check = metrics().timer("sim.self_check");
+  TimerStat& dynamic_sim = metrics().timer("sim.dynamic_sim");
+
+  static SimMetrics& get() {
+    static SimMetrics instance;
+    return instance;
+  }
+};
+
+}  // namespace
 
 SimStats& SimStats::operator+=(const SimStats& rhs) {
   attempts += rhs.attempts;
@@ -40,6 +65,8 @@ std::string SimStats::to_string() const {
 }
 
 SimStats run_dynamic_sim(MultistageSwitch& sw, const SimConfig& config) {
+  SimMetrics& counters = SimMetrics::get();
+  ScopedTimer sim_timer(counters.dynamic_sim);
   Rng rng(config.seed);
   SimStats stats;
   std::vector<ConnectionId> active;
@@ -53,14 +80,17 @@ SimStats run_dynamic_sim(MultistageSwitch& sw, const SimConfig& config) {
           random_admissible_request(rng, sw.network(), config.fanout);
       if (!request) continue;  // endpoints exhausted at this load
       ++stats.attempts;
+      counters.arrivals.add();
       if (const auto id = sw.try_connect(*request)) {
         ++stats.admitted;
+        counters.admitted.add();
         stats.conversions += conversions_in_route(
             *request, sw.network().connections().at(*id).second);
         active.push_back(*id);
         stats.max_concurrent = std::max(stats.max_concurrent, active.size());
       } else {
         ++stats.blocked;
+        counters.blocked.add();
       }
     } else {
       const std::size_t victim = rng.next_below(active.size());
@@ -68,8 +98,11 @@ SimStats run_dynamic_sim(MultistageSwitch& sw, const SimConfig& config) {
       active[victim] = active.back();
       active.pop_back();
       ++stats.departures;
+      counters.departures.add();
     }
     if (config.self_check_every != 0 && step % config.self_check_every == 0) {
+      counters.self_checks.add();
+      ScopedTimer check_timer(counters.self_check);
       sw.network().self_check();
     }
   }
@@ -240,6 +273,10 @@ AttackResult saturation_attack(MultistageSwitch& sw, Rng& rng) {
   }
 
   result.challenge_blocked = !sw.try_connect(challenge).has_value();
+  SimMetrics& counters = SimMetrics::get();
+  counters.attacks.add();
+  counters.attack_fillers.add(result.filler_connections);
+  if (result.challenge_blocked) counters.attack_blocked.add();
   return result;
 }
 

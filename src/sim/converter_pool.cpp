@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/metrics.h"
+
 namespace wdm {
+
+namespace {
+
+/// Shared-converter-bank instruments (see docs/BENCHMARKS.md).
+struct PoolMetrics {
+  Counter& attempts = metrics().counter("converter_pool.attempts");
+  Counter& admitted = metrics().counter("converter_pool.admitted");
+  Counter& blocked = metrics().counter("converter_pool.blocked");
+  Counter& conversions = metrics().counter("converter_pool.conversions");
+  Gauge& in_use = metrics().gauge("converter_pool.in_use");
+
+  static PoolMetrics& get() {
+    static PoolMetrics instance;
+    return instance;
+  }
+};
+
+}  // namespace
 
 ConverterPoolSwitch::ConverterPoolSwitch(std::size_t N, std::size_t k,
                                          std::size_t pool_size)
@@ -37,12 +57,18 @@ std::optional<ConnectError> ConverterPoolSwitch::check_admissible(
 
 std::optional<ConnectionId> ConverterPoolSwitch::try_connect(
     const MulticastRequest& request) {
+  PoolMetrics& counters = PoolMetrics::get();
+  counters.attempts.add();
   if (const auto error = check_admissible(request)) {
     last_error_ = *error;
+    if (*error == ConnectError::kBlocked) counters.blocked.add();
     return std::nullopt;
   }
   const std::size_t demand = converter_demand(request);
   in_use_ += demand;
+  counters.admitted.add();
+  counters.conversions.add(demand);
+  counters.in_use.set(static_cast<std::int64_t>(in_use_));
   const ConnectionId id = next_id_++;
   busy_inputs_[request.input] = id;
   for (const auto& out : request.outputs) busy_outputs_[out] = id;
@@ -57,6 +83,7 @@ void ConverterPoolSwitch::disconnect(ConnectionId id) {
   }
   const auto& [request, demand] = it->second;
   in_use_ -= demand;
+  PoolMetrics::get().in_use.set(static_cast<std::int64_t>(in_use_));
   busy_inputs_.erase(request.input);
   for (const auto& out : request.outputs) busy_outputs_.erase(out);
   connections_.erase(it);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace wdm {
@@ -36,9 +37,16 @@ std::vector<SweepPoint> sweep_middle_count(const SweepConfig& config) {
     points[i].theorem_bound_m = bound.m;
   }
 
+  static Counter& point_count = metrics().counter("sweep.points");
+  static Counter& trial_count = metrics().counter("sweep.trials");
+  static TimerStat& trial_time = metrics().timer("sweep.trial");
+  point_count.add(points.size());
+
   std::mutex merge_mutex;
   const std::size_t total_tasks = points.size() * config.trials;
   default_pool().parallel_for(total_tasks, [&](std::size_t task) {
+    trial_count.add();
+    ScopedTimer timer(trial_time);
     const std::size_t point = task / config.trials;
     const std::size_t trial = task % config.trials;
     const std::size_t m = m_values[point];

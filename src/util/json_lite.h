@@ -1,0 +1,76 @@
+// Minimal dependency-free JSON reader (RFC 8259 subset).
+//
+// The library has always *emitted* JSON (core/export, metrics snapshots);
+// this is the matching reader, added so generated artifacts can be validated
+// without external dependencies: the bench runner re-parses the
+// BENCH_results.json it wrote (the bench-smoke ctest), and metrics tests
+// round-trip snapshots. It is a strict recursive-descent parser into a small
+// value tree -- not a streaming API, not tuned for huge documents.
+//
+// Unsupported on purpose: \uXXXX surrogate pairs decode to '?', numbers are
+// held as double (exact for the uint53 range our emitters produce).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wdm {
+
+class JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  explicit JsonValue(bool value) : type_(Type::kBool), bool_(value) {}
+  explicit JsonValue(double value) : type_(Type::kNumber), number_(value) {}
+  explicit JsonValue(std::string value)
+      : type_(Type::kString), string_(std::move(value)) {}
+  explicit JsonValue(JsonArray value)
+      : type_(Type::kArray), array_(std::make_shared<JsonArray>(std::move(value))) {}
+  explicit JsonValue(JsonObject value)
+      : type_(Type::kObject),
+        object_(std::make_shared<JsonObject>(std::move(value))) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Object member lookup; throws std::runtime_error when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+/// Parse a complete JSON document (single value plus whitespace). Throws
+/// std::invalid_argument with a byte offset on malformed input, including
+/// trailing garbage.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+}  // namespace wdm

@@ -1,0 +1,130 @@
+#include "util/metrics.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "core/export.h"  // json_escape: the dependency-free JSON emitter
+
+namespace wdm {
+
+namespace {
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("WDM_METRICS");
+  return env == nullptr || std::string_view(env) != "0";
+}()};
+
+}  // namespace
+
+bool metrics_enabled() { return g_enabled.load(std::memory_order_acquire); }
+
+void set_metrics_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_release);
+}
+
+namespace detail {
+bool metrics_enabled_relaxed() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+}  // namespace detail
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  // unique_ptr values keep instrument addresses stable across rehash-free
+  // map growth *and* make the stability contract explicit.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<TimerStat>, std::less<>> timers;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(impl_->mutex);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(impl_->mutex);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+TimerStat& MetricsRegistry::timer(std::string_view name) {
+  std::lock_guard lock(impl_->mutex);
+  auto it = impl_->timers.find(name);
+  if (it == impl_->timers.end()) {
+    it = impl_->timers.emplace(std::string(name), std::make_unique<TimerStat>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(impl_->mutex);
+  for (auto& [name, counter] : impl_->counters) counter->reset();
+  for (auto& [name, gauge] : impl_->gauges) gauge->reset();
+  for (auto& [name, timer] : impl_->timers) timer->reset();
+}
+
+std::string MetricsRegistry::snapshot_json(bool include_zero) const {
+  std::lock_guard lock(impl_->mutex);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : impl_->counters) {
+    const std::uint64_t value = counter->value();
+    if (value == 0 && !include_zero) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : impl_->gauges) {
+    const std::int64_t value = gauge->value();
+    const std::int64_t max = gauge->max();
+    if (value == 0 && max == 0 && !include_zero) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{\"value\":" << value
+       << ",\"max\":" << max << "}";
+  }
+  os << "},\"timers\":{";
+  first = true;
+  for (const auto& [name, timer] : impl_->timers) {
+    const std::uint64_t count = timer->count();
+    if (count == 0 && !include_zero) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{\"count\":" << count
+       << ",\"total_ns\":" << timer->total_ns()
+       << ",\"max_ns\":" << timer->max_ns() << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+MetricsRegistry& metrics() {
+  // Leaked intentionally: instruments may be touched from static destructors
+  // of other translation units; never reclaim the registry.
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+}  // namespace wdm

@@ -1,0 +1,197 @@
+// Process-wide named counters, gauges, and wall-clock timers.
+//
+// The observability substrate for the router and the simulators: hot paths
+// bump counters ("how many middle-stage probes did that sweep really do?"),
+// gauges track high-water marks (thread-pool queue depth), and scoped timers
+// accumulate wall time per labelled region. The unified bench runner
+// (`run_benches`) resets the registry around each benchmark and embeds the
+// snapshot in BENCH_results.json, so every number here becomes a perf
+// trajectory across PRs.
+//
+// Design constraints, in order:
+//   1. Near-zero overhead. Instruments are resolved once (call sites cache a
+//      reference, typically via a function-local static) and then cost one
+//      relaxed atomic load (the enabled check) plus one relaxed fetch_add.
+//      When disabled via set_metrics_enabled(false), only the load remains.
+//   2. Thread-safe. Registration takes a mutex; updates are lock-free
+//      atomics, safe under ThreadPool::parallel_for. Instruments are
+//      node-stable: a reference obtained once stays valid for process life.
+//   3. Dependency-free snapshots. snapshot_json() emits RFC 8259 JSON with
+//      keys sorted, so output is diffable and parses with util/json_lite.
+//
+// Metrics are cumulative since process start (or the last reset()). Name
+// instruments "area.event" (e.g. "routing.route_attempts"); the dot groups
+// related instruments in sorted snapshots.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wdm {
+
+/// Global kill switch. Enabled by default; WDM_METRICS=0 in the environment
+/// disables at startup. Toggling affects subsequent updates only.
+[[nodiscard]] bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+namespace detail {
+/// Relaxed load of the enabled flag (the only per-update global touch).
+[[nodiscard]] bool metrics_enabled_relaxed();
+}  // namespace detail
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    if (detail::metrics_enabled_relaxed()) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level with a high-water mark (e.g. queue depth).
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    if (!detail::metrics_enabled_relaxed()) return;
+    value_.store(value, std::memory_order_relaxed);
+    update_max(value);
+  }
+  void add(std::int64_t delta) {
+    if (!detail::metrics_enabled_relaxed()) return;
+    const std::int64_t now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    update_max(now);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void update_max(std::int64_t candidate) {
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !max_.compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Accumulated wall time over a labelled region: call count, total and max
+/// nanoseconds. Fed by ScopedTimer or record_ns() directly.
+class TimerStat {
+ public:
+  void record_ns(std::uint64_t elapsed_ns) {
+    if (!detail::metrics_enabled_relaxed()) return;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(elapsed_ns, std::memory_order_relaxed);
+    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (elapsed_ns > seen &&
+           !max_ns_.compare_exchange_weak(seen, elapsed_ns,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_ns() const {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double total_ms() const {
+    return static_cast<double>(total_ns()) / 1e6;
+  }
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+    max_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// RAII wall-clock measurement into a TimerStat. The clock is only read when
+/// metrics are enabled at construction (a disabled timer is two branches).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerStat& stat)
+      : stat_(&stat), armed_(detail::metrics_enabled_relaxed()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (armed_) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      stat_->record_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerStat* stat_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Registry of named instruments. Lookup registers on first use and returns
+/// a reference that stays valid for the registry's lifetime, so call sites
+/// cache it:
+///
+///   static Counter& attempts = metrics().counter("routing.route_attempts");
+///   attempts.add();
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] TimerStat& timer(std::string_view name);
+
+  /// Zero every registered instrument (names stay registered, references
+  /// stay valid). The bench runner calls this between benchmarks.
+  void reset();
+
+  /// JSON object {"counters":{...},"gauges":{...},"timers":{...}} with names
+  /// sorted. Zero-valued instruments are skipped unless include_zero.
+  [[nodiscard]] std::string snapshot_json(bool include_zero = false) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-wide registry (lazily constructed, never destroyed before
+/// exit-time instrument users).
+[[nodiscard]] MetricsRegistry& metrics();
+
+}  // namespace wdm

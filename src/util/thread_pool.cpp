@@ -4,9 +4,25 @@
 #include <cstdlib>
 #include <exception>
 
+#include "util/metrics.h"
+
 namespace wdm {
 
 namespace {
+
+/// Pool instruments: queue depth high-water mark, task throughput, and the
+/// submit->dequeue wait plus run time per task (see docs/BENCHMARKS.md).
+struct PoolInstruments {
+  Counter& tasks = metrics().counter("thread_pool.tasks");
+  Gauge& queue_depth = metrics().gauge("thread_pool.queue_depth");
+  TimerStat& task_wait = metrics().timer("thread_pool.task_wait");
+  TimerStat& task_run = metrics().timer("thread_pool.task_run");
+
+  static PoolInstruments& get() {
+    static PoolInstruments instance;
+    return instance;
+  }
+};
 
 std::size_t resolve_thread_count(std::size_t requested) {
   if (requested > 0) return requested;
@@ -46,17 +62,38 @@ void ThreadPool::worker_loop() {
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      PoolInstruments::get().queue_depth.set(
+          static_cast<std::int64_t>(tasks_.size()));
     }
     task();
   }
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged{std::move(task)};
+  PoolInstruments& instruments = PoolInstruments::get();
+  instruments.tasks.add();
+  std::packaged_task<void()> packaged;
+  if (metrics_enabled()) {
+    // Wrap to measure queue wait (submit -> dequeue) and run time.
+    packaged = std::packaged_task<void()>(
+        [body = std::move(task), enqueued = std::chrono::steady_clock::now(),
+         &instruments] {
+          const auto started = std::chrono::steady_clock::now();
+          instruments.task_wait.record_ns(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(started -
+                                                                   enqueued)
+                  .count()));
+          ScopedTimer run_timer(instruments.task_run);
+          body();
+        });
+  } else {
+    packaged = std::packaged_task<void()>(std::move(task));
+  }
   auto future = packaged.get_future();
   {
     std::lock_guard lock(mutex_);
     tasks_.push(std::move(packaged));
+    instruments.queue_depth.set(static_cast<std::int64_t>(tasks_.size()));
   }
   cv_.notify_one();
   return future;

@@ -1,0 +1,225 @@
+// Metrics subsystem: counter/gauge/timer semantics, registry stability,
+// thread-safety under ThreadPool::parallel_for, disabled-mode no-ops, and
+// JSON snapshot round-trip through util/json_lite.
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "multistage/builder.h"
+#include "sim/blocking_sim.h"
+#include "util/json_lite.h"
+#include "util/thread_pool.h"
+
+namespace wdm {
+namespace {
+
+/// Restores the global enabled flag even when an assertion fails mid-test.
+class EnabledGuard {
+ public:
+  EnabledGuard() : saved_(metrics_enabled()) {}
+  ~EnabledGuard() { set_metrics_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(MetricsTest, CounterAccumulatesAndResets) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeTracksValueAndHighWaterMark) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  Gauge gauge;
+  gauge.set(5);
+  gauge.add(3);
+  gauge.add(-6);
+  EXPECT_EQ(gauge.value(), 2);
+  EXPECT_EQ(gauge.max(), 8);
+  gauge.set(-4);
+  EXPECT_EQ(gauge.value(), -4);
+  EXPECT_EQ(gauge.max(), 8);  // max never decreases
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(gauge.max(), 0);
+}
+
+TEST(MetricsTest, ScopedTimerRecordsElapsedTime) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  TimerStat stat;
+  {
+    ScopedTimer timer(stat);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  { ScopedTimer timer(stat); }
+  EXPECT_EQ(stat.count(), 2u);
+  EXPECT_GE(stat.total_ns(), 2'000'000u);  // at least the sleep
+  EXPECT_GE(stat.max_ns(), 2'000'000u);
+  EXPECT_LE(stat.max_ns(), stat.total_ns());
+}
+
+TEST(MetricsTest, RegistryReturnsStableReferences) {
+  Counter& first = metrics().counter("metrics_test.stable");
+  Counter& again = metrics().counter("metrics_test.stable");
+  EXPECT_EQ(&first, &again);
+  Counter& other = metrics().counter("metrics_test.stable2");
+  EXPECT_NE(&first, &other);
+  // Reset zeroes but does not invalidate.
+  first.add(7);
+  metrics().reset();
+  EXPECT_EQ(first.value(), 0u);
+  first.add(1);
+  EXPECT_EQ(metrics().counter("metrics_test.stable").value(), 1u);
+}
+
+TEST(MetricsTest, CountersAreExactUnderParallelFor) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  Counter& counter = metrics().counter("metrics_test.parallel");
+  counter.reset();
+  TimerStat& timer = metrics().timer("metrics_test.parallel_timer");
+  timer.reset();
+
+  constexpr std::size_t kTasks = 512;
+  constexpr std::size_t kPerTask = 100;
+  default_pool().parallel_for(kTasks, [&](std::size_t) {
+    ScopedTimer scoped(timer);
+    for (std::size_t i = 0; i < kPerTask; ++i) counter.add();
+  });
+  EXPECT_EQ(counter.value(), kTasks * kPerTask);
+  EXPECT_EQ(timer.count(), kTasks);
+}
+
+TEST(MetricsTest, RegistryLookupIsSafeUnderParallelFor) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  // Concurrent first-touch registration of overlapping names.
+  default_pool().parallel_for(256, [&](std::size_t task) {
+    metrics().counter("metrics_test.race." + std::to_string(task % 8)).add();
+  });
+  std::uint64_t total = 0;
+  for (std::size_t name = 0; name < 8; ++name) {
+    total += metrics().counter("metrics_test.race." + std::to_string(name)).value();
+  }
+  EXPECT_EQ(total, 256u);
+}
+
+TEST(MetricsTest, DisabledModeIsANoOp) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  Counter counter;
+  Gauge gauge;
+  TimerStat stat;
+  counter.add(3);
+  gauge.set(3);
+
+  set_metrics_enabled(false);
+  EXPECT_FALSE(metrics_enabled());
+  counter.add(100);
+  gauge.set(100);
+  gauge.add(100);
+  { ScopedTimer timer(stat); }
+  stat.record_ns(123);
+  EXPECT_EQ(counter.value(), 3u);
+  EXPECT_EQ(gauge.value(), 3);
+  EXPECT_EQ(stat.count(), 0u);
+
+  set_metrics_enabled(true);
+  counter.add();
+  EXPECT_EQ(counter.value(), 4u);
+}
+
+TEST(MetricsTest, SnapshotJsonRoundTrips) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  metrics().reset();
+  metrics().counter("metrics_test.snapshot_counter").add(42);
+  metrics().gauge("metrics_test.snapshot_gauge").set(7);
+  metrics().timer("metrics_test.snapshot_timer").record_ns(1'500'000);
+
+  const JsonValue root = parse_json(metrics().snapshot_json());
+  EXPECT_EQ(root.at("counters").at("metrics_test.snapshot_counter").as_number(),
+            42.0);
+  const JsonValue& gauge = root.at("gauges").at("metrics_test.snapshot_gauge");
+  EXPECT_EQ(gauge.at("value").as_number(), 7.0);
+  EXPECT_EQ(gauge.at("max").as_number(), 7.0);
+  const JsonValue& timer = root.at("timers").at("metrics_test.snapshot_timer");
+  EXPECT_EQ(timer.at("count").as_number(), 1.0);
+  EXPECT_EQ(timer.at("total_ns").as_number(), 1'500'000.0);
+  EXPECT_EQ(timer.at("max_ns").as_number(), 1'500'000.0);
+}
+
+TEST(MetricsTest, SnapshotSkipsZeroInstrumentsUnlessAsked) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  metrics().reset();
+  (void)metrics().counter("metrics_test.zero_counter");  // registered, zero
+  metrics().counter("metrics_test.nonzero_counter").add();
+
+  const JsonValue trimmed = parse_json(metrics().snapshot_json());
+  EXPECT_EQ(trimmed.at("counters").find("metrics_test.zero_counter"), nullptr);
+  EXPECT_NE(trimmed.at("counters").find("metrics_test.nonzero_counter"), nullptr);
+
+  const JsonValue full = parse_json(metrics().snapshot_json(true));
+  EXPECT_NE(full.at("counters").find("metrics_test.zero_counter"), nullptr);
+}
+
+TEST(MetricsTest, InstrumentedHotPathsReportWork) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  metrics().reset();
+  // Router + simulator counters must move when a sim runs (the contract the
+  // unified bench runner and BENCH_results.json depend on).
+  auto sw = MultistageSwitch::nonblocking(2, 2, 2, Construction::kMswDominant,
+                                          MulticastModel::kMSW);
+  SimConfig config;
+  config.steps = 100;
+  (void)run_dynamic_sim(sw, config);
+  EXPECT_GT(metrics().counter("routing.route_attempts").value(), 0u);
+  EXPECT_GT(metrics().counter("routing.middle_probes").value(), 0u);
+  EXPECT_GT(metrics().counter("sim.arrivals").value(), 0u);
+  EXPECT_GT(metrics().timer("routing.find_route").count(), 0u);
+}
+
+TEST(JsonLiteTest, ParsesScalarsArraysAndObjects) {
+  const JsonValue root =
+      parse_json(R"({"a":1.5,"b":[true,false,null],"c":{"d":"x\ny"},"e":-3e2})");
+  EXPECT_EQ(root.at("a").as_number(), 1.5);
+  EXPECT_EQ(root.at("b").as_array().size(), 3u);
+  EXPECT_TRUE(root.at("b").as_array()[0].as_bool());
+  EXPECT_TRUE(root.at("b").as_array()[2].is_null());
+  EXPECT_EQ(root.at("c").at("d").as_string(), "x\ny");
+  EXPECT_EQ(root.at("e").as_number(), -300.0);
+}
+
+TEST(JsonLiteTest, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse_json(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{}extra"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{\"a\":}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("[1,]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("01x"), std::invalid_argument);
+}
+
+TEST(JsonLiteTest, TypedAccessorsThrowOnMismatch) {
+  const JsonValue root = parse_json("{\"a\":1}");
+  EXPECT_THROW((void)root.at("a").as_string(), std::runtime_error);
+  EXPECT_THROW((void)root.at("missing"), std::runtime_error);
+  EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace wdm
