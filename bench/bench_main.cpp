@@ -6,24 +6,30 @@
 // the shared-converter bank, trace replay), resets the metrics registry
 // around each one, and writes BENCH_results.json with a stable schema:
 //
-//   { "schema": "wdmcast-bench/1", "git": "<describe>", "generated_utc": ...,
+//   { "schema": "wdmcast-bench/2", "git": "<describe>", "generated_utc": ...,
 //     "threads": N, "tiny": bool, "benchmarks": [
 //       { "name", "params": {...}, "ok", "wall_ms",
-//         "metrics": { "counters": {...}, "gauges": {...}, "timers": {...} } } ] }
+//         "metrics": { "counters": {...}, "gauges": {...},
+//                      "histograms": {...}, "timers": {...} } } ] }
 //
-// CI diffs wall_ms and the counters across PRs; docs/BENCHMARKS.md documents
-// every field. After writing, the runner re-parses the file with
+// Schema /2 adds the "histograms" section and p50_ns/p90_ns/p99_ns on every
+// timer, so the trajectory carries tails, not just totals. `bench_compare`
+// diffs two artifacts under tools/bench_thresholds.json; docs/BENCHMARKS.md
+// documents every field. After writing, the runner re-parses the file with
 // util/json_lite and checks the required keys -- the bench-smoke ctest runs
 // exactly this with --tiny.
 //
 // Flags: --tiny (smoke-sized parameters), --out=<path>, --filter=<substr>,
-//        --list, --include-zero (emit zero-valued instruments too).
+//        --list, --include-zero (emit zero-valued instruments too),
+//        --trace=<path> (span timeline as Chrome trace-event JSON, for
+//        Perfetto / chrome://tracing).
 #include <chrono>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -39,6 +45,7 @@
 #include "util/metrics.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+#include "util/trace_span.h"
 
 using namespace wdm;
 
@@ -271,7 +278,11 @@ std::string utc_timestamp() {
 }
 
 /// Re-parse the emitted file and check the schema contract the docs promise.
-bool validate_results_file(const std::string& path, std::size_t expected_entries) {
+/// `full_set` adds the coverage check that only holds when nothing was
+/// filtered out: the artifact must carry latency percentiles for the router
+/// search, sim connect, and thread-pool task run somewhere.
+bool validate_results_file(const std::string& path, std::size_t expected_entries,
+                           bool full_set) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "validate: cannot open " << path << "\n";
@@ -287,7 +298,7 @@ bool validate_results_file(const std::string& path, std::size_t expected_entries
     return false;
   }
   try {
-    if (root.at("schema").as_string() != "wdmcast-bench/1") {
+    if (root.at("schema").as_string() != "wdmcast-bench/2") {
       std::cerr << "validate: unexpected schema id\n";
       return false;
     }
@@ -300,6 +311,7 @@ bool validate_results_file(const std::string& path, std::size_t expected_entries
                 << " benchmark entries, found " << benchmarks.size() << "\n";
       return false;
     }
+    std::set<std::string> timers_seen;
     for (const JsonValue& entry : benchmarks) {
       (void)entry.at("name").as_string();
       (void)entry.at("ok").as_bool();
@@ -321,6 +333,31 @@ bool validate_results_file(const std::string& path, std::size_t expected_entries
                   << "\" carries no routing/sim counter\n";
         return false;
       }
+      // Schema /2: every emitted timer carries the percentile triple, and
+      // the histograms section exists (possibly empty).
+      (void)entry.at("metrics").at("histograms").as_object();
+      for (const auto& [name, timer] : entry.at("metrics").at("timers").as_object()) {
+        const double p50 = timer.at("p50_ns").as_number();
+        const double p90 = timer.at("p90_ns").as_number();
+        const double p99 = timer.at("p99_ns").as_number();
+        const double max = timer.at("max_ns").as_number();
+        if (!(p50 <= p90 && p90 <= p99 && p99 <= max)) {
+          std::cerr << "validate: timer \"" << name
+                    << "\" percentiles not monotone\n";
+          return false;
+        }
+        timers_seen.insert(name);
+      }
+    }
+    if (full_set) {
+      for (const char* required :
+           {"routing.find_route", "sim.connect", "thread_pool.task_run"}) {
+        if (!timers_seen.contains(required)) {
+          std::cerr << "validate: artifact carries no \"" << required
+                    << "\" latency distribution\n";
+          return false;
+        }
+      }
     }
   } catch (const std::exception& error) {
     std::cerr << "validate: " << error.what() << "\n";
@@ -336,8 +373,11 @@ int main(int argc, char** argv) {
   cli.describe("tiny", "smoke-sized parameters (the bench-smoke ctest)");
   cli.describe("out", "output path (default BENCH_results.json)");
   cli.describe("filter", "only run benchmarks whose name contains this");
-  cli.describe("list", "list benchmark names and exit");
+  cli.describe("list", "list benchmark names and exit (honors --filter)");
   cli.describe("include-zero", "emit zero-valued instruments too");
+  cli.describe("trace",
+               "write the span timeline as Chrome trace-event JSON here "
+               "(open in Perfetto / chrome://tracing)");
   if (cli.wants_help()) {
     std::cout << cli.help_text(
         "run_benches: unified benchmark runner -> BENCH_results.json");
@@ -355,9 +395,13 @@ int main(int argc, char** argv) {
   const std::string out_path =
       cli.get_string("out").value_or("BENCH_results.json");
   const std::string filter = cli.get_string("filter").value_or("");
+  const std::string trace_path = cli.get_string("trace").value_or("");
 
   if (cli.get_bool("list")) {
     for (const BenchCase& bench : bench_cases()) {
+      if (!filter.empty() && bench.name.find(filter) == std::string::npos) {
+        continue;
+      }
       std::cout << bench.name << "  -  " << bench.summary << "\n";
     }
     return 0;
@@ -365,6 +409,10 @@ int main(int argc, char** argv) {
 
   // The runner exists to collect telemetry: override WDM_METRICS=0.
   set_metrics_enabled(true);
+  if (!trace_path.empty()) {
+    set_tracing_enabled(true);
+    reset_trace();
+  }
 
   print_banner(std::cout, tiny ? "run_benches (tiny smoke parameters)"
                                : "run_benches");
@@ -402,7 +450,7 @@ int main(int argc, char** argv) {
   }
 
   std::ostringstream document;
-  document << "{\n  \"schema\":\"wdmcast-bench/1\",\n  \"git\":\""
+  document << "{\n  \"schema\":\"wdmcast-bench/2\",\n  \"git\":\""
            << json_escape(git_describe()) << "\",\n  \"generated_utc\":\""
            << utc_timestamp() << "\",\n  \"threads\":"
            << default_pool().thread_count() << ",\n  \"tiny\":"
@@ -418,8 +466,36 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nwrote " << out_path << " (" << entries << " benchmarks)\n";
 
-  const bool valid = validate_results_file(out_path, entries);
+  bool trace_ok = true;
+  if (!trace_path.empty()) {
+    const std::string trace_json = trace_to_chrome_json();
+    std::ofstream trace_out(trace_path);
+    if (!trace_out) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      trace_ok = false;
+    } else {
+      trace_out << trace_json;
+      // Same contract as the results file: what we wrote must parse.
+      try {
+        const JsonValue trace_root = parse_json(trace_json);
+        const std::size_t events = trace_root.at("traceEvents").as_array().size();
+        if (events == 0) {
+          std::cerr << "trace: no events recorded\n";
+          trace_ok = false;
+        } else {
+          std::cout << "wrote " << trace_path << " (" << events
+                    << " trace events, " << trace_dropped_count()
+                    << " dropped; open in https://ui.perfetto.dev)\n";
+        }
+      } catch (const std::exception& error) {
+        std::cerr << "trace validation: " << error.what() << "\n";
+        trace_ok = false;
+      }
+    }
+  }
+
+  const bool valid = validate_results_file(out_path, entries, filter.empty());
   std::cout << "schema validation: " << (valid ? "ok" : "FAILED") << "\n";
   if (!all_ok) std::cout << "NOTE: at least one benchmark reported ok=false\n";
-  return (valid && all_ok) ? 0 : 1;
+  return (valid && all_ok && trace_ok) ? 0 : 1;
 }

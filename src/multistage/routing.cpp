@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/metrics.h"
+#include "util/trace_span.h"
 
 namespace wdm {
 
@@ -28,6 +29,8 @@ struct RouterMetrics {
   Counter& connects = metrics().counter("routing.connects");
   Counter& disconnects = metrics().counter("routing.disconnects");
   TimerStat& find_route = metrics().timer("routing.find_route");
+  Histogram& candidates_per_attempt =
+      metrics().histogram("routing.candidates_per_attempt");
 
   static RouterMetrics& get() {
     static RouterMetrics instance;
@@ -59,13 +62,18 @@ std::vector<std::size_t> Router::candidate_middles(std::size_t in_module,
   const SwitchModule& input = network_->input_module(in_module);
   std::vector<std::size_t> candidates;
   candidates.reserve(params.m);
-  RouterMetrics::get().middle_probes.add(params.m);
+  RouterMetrics& counters = RouterMetrics::get();
+  counters.middle_probes.add(params.m);
+  TraceSpan span("routing.middle_probe_loop");
   for (std::size_t j = 0; j < params.m; ++j) {
     const bool usable = network_->construction() == Construction::kMswDominant
                             ? input.out_lane_free(j, lane)
                             : input.free_out_lanes(j) > 0;
     if (usable) candidates.push_back(j);
   }
+  counters.candidates_per_attempt.record(candidates.size());
+  span.arg("probed", static_cast<std::int64_t>(params.m));
+  span.arg("candidates", static_cast<std::int64_t>(candidates.size()));
   return candidates;
 }
 
@@ -73,7 +81,10 @@ std::optional<Route> Router::find_route(const MulticastRequest& request) const {
   RouterMetrics& counters = RouterMetrics::get();
   counters.attempts.add();
   ScopedTimer timer(counters.find_route);
+  TraceSpan span("routing.find_route");
+  span.arg("fanout", static_cast<std::int64_t>(request.outputs.size()));
   auto route = find_route_impl(request);
+  span.arg("found", route ? 1 : 0);
   (route ? counters.found : counters.blocked).add();
   return route;
 }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/metrics.h"
+#include "util/trace_span.h"
 
 namespace wdm {
 
@@ -22,6 +23,9 @@ struct SimMetrics {
   Counter& attack_fillers = metrics().counter("sim.attack_fillers");
   TimerStat& self_check = metrics().timer("sim.self_check");
   TimerStat& dynamic_sim = metrics().timer("sim.dynamic_sim");
+  TimerStat& connect = metrics().timer("sim.connect");
+  TimerStat& disconnect = metrics().timer("sim.disconnect");
+  Histogram& request_fanout = metrics().histogram("sim.request_fanout");
 
   static SimMetrics& get() {
     static SimMetrics instance;
@@ -81,7 +85,16 @@ SimStats run_dynamic_sim(MultistageSwitch& sw, const SimConfig& config) {
       if (!request) continue;  // endpoints exhausted at this load
       ++stats.attempts;
       counters.arrivals.add();
-      if (const auto id = sw.try_connect(*request)) {
+      counters.request_fanout.record(request->outputs.size());
+      std::optional<ConnectionId> id;
+      {
+        ScopedTimer connect_timer(counters.connect);
+        TraceSpan span("sim.connect");
+        span.arg("fanout", static_cast<std::int64_t>(request->outputs.size()));
+        id = sw.try_connect(*request);
+        span.arg("admitted", id ? 1 : 0);
+      }
+      if (id) {
         ++stats.admitted;
         counters.admitted.add();
         stats.conversions += conversions_in_route(
@@ -94,7 +107,11 @@ SimStats run_dynamic_sim(MultistageSwitch& sw, const SimConfig& config) {
       }
     } else {
       const std::size_t victim = rng.next_below(active.size());
-      sw.disconnect(active[victim]);
+      {
+        ScopedTimer disconnect_timer(counters.disconnect);
+        TraceSpan span("sim.disconnect");
+        sw.disconnect(active[victim]);
+      }
       active[victim] = active.back();
       active.pop_back();
       ++stats.departures;
@@ -103,6 +120,7 @@ SimStats run_dynamic_sim(MultistageSwitch& sw, const SimConfig& config) {
     if (config.self_check_every != 0 && step % config.self_check_every == 0) {
       counters.self_checks.add();
       ScopedTimer check_timer(counters.self_check);
+      TraceSpan span("sim.self_check");
       sw.network().self_check();
     }
   }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/metrics.h"
+#include "util/trace_span.h"
 
 namespace wdm {
 
@@ -16,6 +17,8 @@ struct PoolMetrics {
   Counter& blocked = metrics().counter("converter_pool.blocked");
   Counter& conversions = metrics().counter("converter_pool.conversions");
   Gauge& in_use = metrics().gauge("converter_pool.in_use");
+  TimerStat& acquire = metrics().timer("converter_pool.acquire");
+  Histogram& demand = metrics().histogram("converter_pool.demand");
 
   static PoolMetrics& get() {
     static PoolMetrics instance;
@@ -59,12 +62,18 @@ std::optional<ConnectionId> ConverterPoolSwitch::try_connect(
     const MulticastRequest& request) {
   PoolMetrics& counters = PoolMetrics::get();
   counters.attempts.add();
+  ScopedTimer acquire_timer(counters.acquire);
+  TraceSpan span("converter_pool.acquire");
   if (const auto error = check_admissible(request)) {
     last_error_ = *error;
     if (*error == ConnectError::kBlocked) counters.blocked.add();
+    span.arg("admitted", 0);
     return std::nullopt;
   }
   const std::size_t demand = converter_demand(request);
+  counters.demand.record(demand);
+  span.arg("demand", static_cast<std::int64_t>(demand));
+  span.arg("admitted", 1);
   in_use_ += demand;
   counters.admitted.add();
   counters.conversions.add(demand);

@@ -5,6 +5,7 @@
 
 #include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace_span.h"
 
 namespace wdm {
 
@@ -50,6 +51,9 @@ std::vector<SweepPoint> sweep_middle_count(const SweepConfig& config) {
     const std::size_t point = task / config.trials;
     const std::size_t trial = task % config.trials;
     const std::size_t m = m_values[point];
+    TraceSpan span("sweep.trial");
+    span.arg("m", static_cast<std::int64_t>(m));
+    span.arg("trial", static_cast<std::int64_t>(trial));
 
     const ClosParams params{config.n, config.r, std::max(m, config.n), config.k};
     const RoutingPolicy policy{points[point].spread, config.search};

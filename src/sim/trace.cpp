@@ -2,6 +2,7 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace wdm {
 
@@ -15,6 +16,7 @@ void TraceRecorder::on_disconnect(std::uint64_t key) {
 
 std::string TraceRecorder::to_csv() const {
   std::ostringstream os;
+  os << "# wdm-trace/1\n";
   for (const TraceEvent& event : events_) {
     if (event.type == TraceEvent::Type::kConnect) {
       os << "connect," << event.key << ',' << event.request.input.port << ','
@@ -70,6 +72,18 @@ std::vector<TraceEvent> parse_trace_csv(const std::string& csv) {
   while (std::getline(stream, line)) {
     ++line_number;
     if (line.empty()) continue;
+    if (line.front() == '#') {
+      // Comment / version header. Headerless legacy files are fine; a
+      // wdm-trace header we do not understand is not.
+      const std::string_view text(line);
+      constexpr std::string_view kPrefix = "# wdm-trace/";
+      if (text.starts_with(kPrefix) && text != "# wdm-trace/1") {
+        throw std::invalid_argument(
+            "trace line " + std::to_string(line_number) +
+            ": unsupported trace version '" + line + "'");
+      }
+      continue;
+    }
     const std::vector<std::string> fields = split(line, ',');
     TraceEvent event;
     if (fields[0] == "disconnect") {

@@ -11,6 +11,10 @@
 //   connect,<key>,<in_port>,<in_lane>,<p:l|p:l|...>
 //   disconnect,<key>
 // Keys are trace-local labels chosen by the recorder.
+//
+// Serialized traces open with a version header, `# wdm-trace/1`. The parser
+// skips any `#` comment line, accepts headerless legacy files, and rejects a
+// wdm-trace header naming a version it does not understand.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +43,7 @@ class TraceRecorder {
   void on_disconnect(std::uint64_t key);
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  /// Serialize with the `# wdm-trace/1` version header first.
   [[nodiscard]] std::string to_csv() const;
 
  private:

@@ -31,12 +31,51 @@ bool metrics_enabled_relaxed() {
 }
 }  // namespace detail
 
+std::uint64_t Histogram::bucket_value(std::size_t index) {
+  const std::size_t group = index >> kSubBits;
+  const std::uint64_t sub = index & ((1u << kSubBits) - 1);
+  if (group == 0) return sub;  // exact buckets for 0..7
+  const std::uint32_t shift = static_cast<std::uint32_t>(group - 1);
+  const std::uint64_t lo =
+      (std::uint64_t{1} << (group + kSubBits - 1)) + (sub << shift);
+  // Midpoint of the bucket (width 2^(group-1)); group 1 is still exact.
+  return lo + ((std::uint64_t{1} << shift) >> 1);
+}
+
+std::uint64_t Histogram::value_at_quantile(double q) const {
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // One coherent pass: quantiles computed from a single relaxed snapshot.
+  std::uint64_t counts[kBucketCount];
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  const std::uint64_t observed_max = max();
+  // Rank of the q-quantile, 1-based; q=0 -> first recorded value's bucket.
+  std::uint64_t target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5);
+  if (target == 0) target = 1;
+  if (target > total) target = total;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += counts[i];
+    if (cumulative >= target) {
+      const std::uint64_t representative = bucket_value(i);
+      return representative < observed_max ? representative : observed_max;
+    }
+  }
+  return observed_max;
+}
+
 struct MetricsRegistry::Impl {
   mutable std::mutex mutex;
   // unique_ptr values keep instrument addresses stable across rehash-free
   // map growth *and* make the stability contract explicit.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
   std::map<std::string, std::unique_ptr<TimerStat>, std::less<>> timers;
 };
 
@@ -65,6 +104,17 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   return *it->second;
 }
 
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(impl_->mutex);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 TimerStat& MetricsRegistry::timer(std::string_view name) {
   std::lock_guard lock(impl_->mutex);
   auto it = impl_->timers.find(name);
@@ -79,6 +129,7 @@ void MetricsRegistry::reset() {
   std::lock_guard lock(impl_->mutex);
   for (auto& [name, counter] : impl_->counters) counter->reset();
   for (auto& [name, gauge] : impl_->gauges) gauge->reset();
+  for (auto& [name, histogram] : impl_->histograms) histogram->reset();
   for (auto& [name, timer] : impl_->timers) timer->reset();
 }
 
@@ -105,6 +156,19 @@ std::string MetricsRegistry::snapshot_json(bool include_zero) const {
     os << "\"" << json_escape(name) << "\":{\"value\":" << value
        << ",\"max\":" << max << "}";
   }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : impl_->histograms) {
+    const std::uint64_t count = histogram->count();
+    if (count == 0 && !include_zero) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{\"count\":" << count
+       << ",\"p50\":" << histogram->value_at_quantile(0.50)
+       << ",\"p90\":" << histogram->value_at_quantile(0.90)
+       << ",\"p99\":" << histogram->value_at_quantile(0.99)
+       << ",\"max\":" << histogram->max() << "}";
+  }
   os << "},\"timers\":{";
   first = true;
   for (const auto& [name, timer] : impl_->timers) {
@@ -114,7 +178,10 @@ std::string MetricsRegistry::snapshot_json(bool include_zero) const {
     first = false;
     os << "\"" << json_escape(name) << "\":{\"count\":" << count
        << ",\"total_ns\":" << timer->total_ns()
-       << ",\"max_ns\":" << timer->max_ns() << "}";
+       << ",\"max_ns\":" << timer->max_ns()
+       << ",\"p50_ns\":" << timer->percentile_ns(0.50)
+       << ",\"p90_ns\":" << timer->percentile_ns(0.90)
+       << ",\"p99_ns\":" << timer->percentile_ns(0.99) << "}";
   }
   os << "}}";
   return os.str();

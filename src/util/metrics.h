@@ -1,9 +1,12 @@
-// Process-wide named counters, gauges, and wall-clock timers.
+// Process-wide named counters, gauges, histograms, and wall-clock timers.
 //
 // The observability substrate for the router and the simulators: hot paths
 // bump counters ("how many middle-stage probes did that sweep really do?"),
-// gauges track high-water marks (thread-pool queue depth), and scoped timers
-// accumulate wall time per labelled region. The unified bench runner
+// gauges track high-water marks (thread-pool queue depth), histograms hold
+// log-bucketed value distributions (percentiles, not just means), and scoped
+// timers accumulate wall time per labelled region -- each timer also feeds
+// an embedded histogram so every labelled latency gets p50/p90/p99, the tail
+// numbers averages hide. The unified bench runner
 // (`run_benches`) resets the registry around each benchmark and embeds the
 // snapshot in BENCH_results.json, so every number here becomes a perf
 // trajectory across PRs.
@@ -25,6 +28,7 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -97,8 +101,81 @@ class Gauge {
   std::atomic<std::int64_t> max_{0};
 };
 
+/// Lock-free log-bucketed value distribution (HDR-histogram style).
+///
+/// Values map to buckets with 2^kSubBits sub-buckets per power of two, so
+/// every recorded value lands in a bucket whose width is at most 1/8 of its
+/// magnitude: quantile reconstruction carries <= ~6.25% relative error while
+/// the whole range [0, 2^64) fits in 496 relaxed-atomic counters (~4 KB).
+/// record() is a relaxed fetch_add on one bucket -- safe and exact (counts
+/// never lost) under ThreadPool::parallel_for.
+///
+/// Quantile reads walk a relaxed snapshot of the buckets; concurrent
+/// recording can skew an in-flight read slightly but p50 <= p90 <= p99 <=
+/// max() always holds for any single snapshot's outputs.
+class Histogram {
+ public:
+  static constexpr std::uint32_t kSubBits = 3;  // 8 sub-buckets per octave
+  static constexpr std::size_t kBucketCount =
+      ((64 - kSubBits) << kSubBits) + (1u << kSubBits);  // 496
+
+  void record(std::uint64_t value) {
+    if (!detail::metrics_enabled_relaxed()) return;
+    record_unchecked(value);
+  }
+
+  /// record() minus the enabled check, for callers that already tested it
+  /// (TimerStat feeds its embedded histogram this way).
+  void record_unchecked(std::uint64_t value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& bucket : buckets_) {
+      total += bucket.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  [[nodiscard]] std::uint64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  /// Smallest representative value v such that >= q of recorded values are
+  /// <= v's bucket (q in [0, 1]). 0 when empty. Clamped to max() so
+  /// value_at_quantile(1.0) == max() exactly.
+  [[nodiscard]] std::uint64_t value_at_quantile(double q) const;
+
+  void reset() {
+    for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Exposed for tests: the bucket a value lands in, and that bucket's
+  /// representative (midpoint) value.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) {
+    if (value < (1u << kSubBits)) return static_cast<std::size_t>(value);
+    const std::uint32_t msb =
+        63u - static_cast<std::uint32_t>(std::countl_zero(value));
+    const std::size_t sub = static_cast<std::size_t>(
+        (value >> (msb - kSubBits)) & ((1u << kSubBits) - 1));
+    return ((static_cast<std::size_t>(msb - kSubBits) + 1) << kSubBits) | sub;
+  }
+  [[nodiscard]] static std::uint64_t bucket_value(std::size_t index);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<std::uint64_t> max_{0};
+};
+
 /// Accumulated wall time over a labelled region: call count, total and max
-/// nanoseconds. Fed by ScopedTimer or record_ns() directly.
+/// nanoseconds, plus a log-bucketed latency distribution for percentiles
+/// (p50/p90/p99 in snapshots). Fed by ScopedTimer or record_ns() directly.
 class TimerStat {
  public:
   void record_ns(std::uint64_t elapsed_ns) {
@@ -110,6 +187,7 @@ class TimerStat {
            !max_ns_.compare_exchange_weak(seen, elapsed_ns,
                                           std::memory_order_relaxed)) {
     }
+    histogram_.record_unchecked(elapsed_ns);
   }
   [[nodiscard]] std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
@@ -123,16 +201,23 @@ class TimerStat {
   [[nodiscard]] double total_ms() const {
     return static_cast<double>(total_ns()) / 1e6;
   }
+  /// The latency distribution behind the percentiles.
+  [[nodiscard]] const Histogram& histogram() const { return histogram_; }
+  [[nodiscard]] std::uint64_t percentile_ns(double q) const {
+    return histogram_.value_at_quantile(q);
+  }
   void reset() {
     count_.store(0, std::memory_order_relaxed);
     total_ns_.store(0, std::memory_order_relaxed);
     max_ns_.store(0, std::memory_order_relaxed);
+    histogram_.reset();
   }
 
  private:
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> total_ns_{0};
   std::atomic<std::uint64_t> max_ns_{0};
+  Histogram histogram_;
 };
 
 /// RAII wall-clock measurement into a TimerStat. The clock is only read when
@@ -176,13 +261,16 @@ class MetricsRegistry {
   [[nodiscard]] Counter& counter(std::string_view name);
   [[nodiscard]] Gauge& gauge(std::string_view name);
   [[nodiscard]] TimerStat& timer(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
 
   /// Zero every registered instrument (names stay registered, references
   /// stay valid). The bench runner calls this between benchmarks.
   void reset();
 
-  /// JSON object {"counters":{...},"gauges":{...},"timers":{...}} with names
-  /// sorted. Zero-valued instruments are skipped unless include_zero.
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...},
+  /// "timers":{...}} with names sorted. Timers carry p50_ns/p90_ns/p99_ns
+  /// from their embedded histogram. Zero-valued instruments are skipped
+  /// unless include_zero.
   [[nodiscard]] std::string snapshot_json(bool include_zero = false) const;
 
  private:

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "util/metrics.h"
+#include "util/trace_span.h"
 
 namespace wdm {
 
@@ -79,22 +80,28 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
         [body = std::move(task), enqueued = std::chrono::steady_clock::now(),
          &instruments] {
           const auto started = std::chrono::steady_clock::now();
-          instruments.task_wait.record_ns(static_cast<std::uint64_t>(
+          const std::uint64_t wait_ns = static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(started -
                                                                    enqueued)
-                  .count()));
+                  .count());
+          instruments.task_wait.record_ns(wait_ns);
           ScopedTimer run_timer(instruments.task_run);
+          TraceSpan span("thread_pool.task");
+          span.arg("wait_ns", static_cast<std::int64_t>(wait_ns));
           body();
         });
   } else {
     packaged = std::packaged_task<void()>(std::move(task));
   }
   auto future = packaged.get_future();
+  std::size_t depth;
   {
     std::lock_guard lock(mutex_);
     tasks_.push(std::move(packaged));
-    instruments.queue_depth.set(static_cast<std::int64_t>(tasks_.size()));
+    depth = tasks_.size();
+    instruments.queue_depth.set(static_cast<std::int64_t>(depth));
   }
+  trace_counter("thread_pool.queue_depth", static_cast<std::int64_t>(depth));
   cv_.notify_one();
   return future;
 }

@@ -1,0 +1,246 @@
+#include "util/trace_span.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "core/export.h"  // json_escape
+#include "util/metrics.h"
+
+namespace wdm {
+
+namespace {
+
+std::atomic<bool> g_tracing{[] {
+  const char* env = std::getenv("WDM_TRACE");
+  return env != nullptr && std::string_view(env) == "1";
+}()};
+
+/// One buffered event: a completed span ("X") or a counter sample ("C").
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;  // meaningful for spans only
+  const char* arg_keys[TraceSpan::kMaxArgs] = {};
+  std::int64_t arg_values[TraceSpan::kMaxArgs] = {};
+  std::uint8_t arg_count = 0;
+  bool is_counter = false;
+};
+
+/// Per-thread ring of completed events. The owning thread writes; the flush
+/// thread reads; the (uncontended on the hot path) mutex arbitrates. Held by
+/// shared_ptr from both the registry and the thread_local handle, so events
+/// survive their thread's exit and are still flushed.
+struct ThreadRing {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;  // grows to kTraceRingCapacity, then wraps
+  std::size_t oldest = 0;          // overwrite cursor once full
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+
+  void push(const TraceEvent& event) {
+    std::lock_guard lock(mutex);
+    if (events.size() < kTraceRingCapacity) {
+      events.push_back(event);
+    } else {
+      events[oldest] = event;
+      oldest = (oldest + 1) % kTraceRingCapacity;
+      ++dropped;
+    }
+  }
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 1;
+
+  static TraceRegistry& get() {
+    // Leaked intentionally (same contract as the metrics registry): spans
+    // may complete during static destruction of other translation units.
+    static TraceRegistry* registry = new TraceRegistry;
+    return *registry;
+  }
+};
+
+ThreadRing& thread_ring() {
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    auto created = std::make_shared<ThreadRing>();
+    TraceRegistry& registry = TraceRegistry::get();
+    std::lock_guard lock(registry.mutex);
+    created->tid = registry.next_tid++;
+    created->events.reserve(1024);  // grow on demand toward the cap
+    registry.rings.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+/// Nanoseconds since the process's trace epoch (first observability touch).
+std::uint64_t now_ns() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+/// Chrome trace timestamps are microseconds; keep sub-µs precision as a
+/// 3-decimal fraction.
+void append_us(std::ostringstream& os, std::uint64_t ns) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  os << buffer;
+}
+
+}  // namespace
+
+bool tracing_enabled() { return g_tracing.load(std::memory_order_acquire); }
+
+void set_tracing_enabled(bool enabled) {
+  if (enabled) now_ns();  // pin the epoch before the first span
+  g_tracing.store(enabled, std::memory_order_release);
+}
+
+namespace detail {
+bool tracing_armed_relaxed() {
+  return g_tracing.load(std::memory_order_relaxed) &&
+         metrics_enabled_relaxed();
+}
+}  // namespace detail
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(name), armed_(detail::tracing_armed_relaxed()) {
+  if (armed_) start_ns_ = now_ns();
+}
+
+void TraceSpan::arg(const char* key, std::int64_t value) {
+  if (!armed_ || arg_count_ >= kMaxArgs) return;
+  arg_keys_[arg_count_] = key;
+  arg_values_[arg_count_] = value;
+  ++arg_count_;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.dur_ns = now_ns() - start_ns_;
+  for (std::size_t i = 0; i < arg_count_; ++i) {
+    event.arg_keys[i] = arg_keys_[i];
+    event.arg_values[i] = arg_values_[i];
+  }
+  event.arg_count = arg_count_;
+  thread_ring().push(event);
+}
+
+void trace_counter(const char* name, std::int64_t value) {
+  if (!detail::tracing_armed_relaxed()) return;
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = now_ns();
+  event.is_counter = true;
+  event.arg_keys[0] = "value";
+  event.arg_values[0] = value;
+  event.arg_count = 1;
+  thread_ring().push(event);
+}
+
+std::string trace_to_chrome_json() {
+  TraceRegistry& registry = TraceRegistry::get();
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard lock(registry.mutex);
+    rings = registry.rings;
+  }
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t dropped_total = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard lock(ring->mutex);
+    dropped_total += ring->dropped;
+    // Name the track so Perfetto shows stable labels instead of bare tids.
+    if (!ring->events.empty()) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+         << ring->tid << ",\"args\":{\"name\":\"wdm-thread-" << ring->tid
+         << "\"}}";
+    }
+    const std::size_t size = ring->events.size();
+    const bool wrapped = size == kTraceRingCapacity && ring->oldest != 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      const TraceEvent& event =
+          ring->events[wrapped ? (ring->oldest + i) % size : i];
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << json_escape(event.name) << "\",\"ph\":\""
+         << (event.is_counter ? 'C' : 'X') << "\",\"pid\":1,\"tid\":"
+         << ring->tid << ",\"ts\":";
+      append_us(os, event.start_ns);
+      if (!event.is_counter) {
+        os << ",\"dur\":";
+        append_us(os, event.dur_ns);
+      }
+      if (event.arg_count > 0) {
+        os << ",\"args\":{";
+        for (std::size_t a = 0; a < event.arg_count; ++a) {
+          if (a != 0) os << ",";
+          os << "\"" << json_escape(event.arg_keys[a])
+             << "\":" << event.arg_values[a];
+        }
+        os << "}";
+      }
+      os << "}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"tool\":\"wdmcast\","
+     << "\"dropped_events\":" << dropped_total << "}}";
+  return os.str();
+}
+
+void reset_trace() {
+  TraceRegistry& registry = TraceRegistry::get();
+  std::lock_guard lock(registry.mutex);
+  for (const auto& ring : registry.rings) {
+    std::lock_guard ring_lock(ring->mutex);
+    ring->events.clear();
+    ring->oldest = 0;
+    ring->dropped = 0;
+  }
+}
+
+std::size_t trace_event_count() {
+  TraceRegistry& registry = TraceRegistry::get();
+  std::lock_guard lock(registry.mutex);
+  std::size_t total = 0;
+  for (const auto& ring : registry.rings) {
+    std::lock_guard ring_lock(ring->mutex);
+    total += ring->events.size();
+  }
+  return total;
+}
+
+std::uint64_t trace_dropped_count() {
+  TraceRegistry& registry = TraceRegistry::get();
+  std::lock_guard lock(registry.mutex);
+  std::uint64_t total = 0;
+  for (const auto& ring : registry.rings) {
+    std::lock_guard ring_lock(ring->mutex);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+}  // namespace wdm

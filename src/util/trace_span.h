@@ -1,0 +1,92 @@
+// Event tracing: thread-local span ring buffers -> Chrome trace-event JSON.
+//
+// Where util/metrics aggregates (counters, percentiles), this layer keeps
+// the *timeline*: begin/end spans around route attempts, middle-stage probe
+// loops, sweep trials, and thread-pool tasks, each optionally annotated with
+// small integer arguments ("candidates":13). Flushing produces Chrome
+// trace-event JSON (the `{"traceEvents":[...]}` format) that loads directly
+// in Perfetto (https://ui.perfetto.dev) or chrome://tracing — run
+// `run_benches --trace=out.json` and drop the file into the UI to see where
+// a blocking sweep actually spends its time, thread by thread.
+//
+// Design:
+//   * Off by default. Every instrumentation point costs one relaxed atomic
+//     load until set_tracing_enabled(true) (or WDM_TRACE=1 at startup); the
+//     metrics kill switch (WDM_METRICS=0 / set_metrics_enabled(false)) also
+//     disarms tracing, so one switch silences all observability.
+//   * Thread-local ring buffers. Each recording thread owns a fixed-size
+//     ring (kRingCapacity completed events); when it wraps, the *oldest*
+//     events are overwritten and counted as dropped — a long run keeps its
+//     most recent window, which is the window you debug.
+//   * Names must be string literals (or otherwise outlive the flush): the
+//     ring stores the pointer, never a copy, to keep recording allocation-
+//     free on the hot path.
+//
+// Spans nest naturally (they are emitted as Chrome "X" complete events with
+// begin timestamp + duration; the viewer reconstructs the stack). Counter
+// tracks ("C" events) plot a value over time, e.g. thread-pool queue depth.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wdm {
+
+/// Global tracing switch. Off by default; WDM_TRACE=1 in the environment
+/// enables at startup. Recording also requires metrics_enabled().
+[[nodiscard]] bool tracing_enabled();
+void set_tracing_enabled(bool enabled);
+
+namespace detail {
+/// True when span recording is armed (tracing AND metrics enabled); one
+/// relaxed load pair, the only per-event cost while tracing is off.
+[[nodiscard]] bool tracing_armed_relaxed();
+}  // namespace detail
+
+/// Completed events each ring holds before overwriting the oldest.
+inline constexpr std::size_t kTraceRingCapacity = 1u << 16;
+
+/// RAII begin/end span. The event is recorded at destruction (Chrome "X"
+/// complete event: begin timestamp + duration). `name` must be a string
+/// literal. Up to kMaxArgs integer annotations attach via arg().
+class TraceSpan {
+ public:
+  static constexpr std::size_t kMaxArgs = 2;
+
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach a counter annotation ("candidates":13). `key` must be a string
+  /// literal. Beyond kMaxArgs, silently ignored. No-op when disarmed.
+  void arg(const char* key, std::int64_t value);
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  const char* arg_keys_[kMaxArgs] = {};
+  std::int64_t arg_values_[kMaxArgs] = {};
+  std::uint8_t arg_count_ = 0;
+  bool armed_;
+};
+
+/// Record a counter-track sample ("C" event): `name` plots as a value-over-
+/// time track in the viewer. `name` must be a string literal.
+void trace_counter(const char* name, std::int64_t value);
+
+/// Serialize every thread's buffered events as Chrome trace-event JSON
+/// (object form: {"traceEvents":[...],"otherData":{...}}), oldest first per
+/// thread. Parses with util/json_lite; loads in Perfetto/chrome://tracing.
+[[nodiscard]] std::string trace_to_chrome_json();
+
+/// Drop all buffered events (every thread's ring) and the dropped tally.
+void reset_trace();
+
+/// Currently buffered events across all threads (post-overwrite), and the
+/// count lost to ring wrap since the last reset_trace().
+[[nodiscard]] std::size_t trace_event_count();
+[[nodiscard]] std::uint64_t trace_dropped_count();
+
+}  // namespace wdm

@@ -1,10 +1,11 @@
-// Metrics subsystem: counter/gauge/timer semantics, registry stability,
-// thread-safety under ThreadPool::parallel_for, disabled-mode no-ops, and
-// JSON snapshot round-trip through util/json_lite.
+// Metrics subsystem: counter/gauge/histogram/timer semantics, registry
+// stability, thread-safety under ThreadPool::parallel_for, disabled-mode
+// no-ops, and JSON snapshot round-trip through util/json_lite.
 #include "util/metrics.h"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <thread>
 
@@ -70,6 +71,81 @@ TEST(MetricsTest, ScopedTimerRecordsElapsedTime) {
   EXPECT_LE(stat.max_ns(), stat.total_ns());
 }
 
+TEST(HistogramTest, SmallValuesLandInExactBuckets) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  Histogram histogram;
+  for (std::uint64_t value = 0; value < 16; ++value) {
+    // Groups 0 and 1 have bucket width 1: the representative is the value.
+    EXPECT_EQ(Histogram::bucket_value(Histogram::bucket_index(value)), value);
+    histogram.record(value);
+  }
+  EXPECT_EQ(histogram.count(), 16u);
+  EXPECT_EQ(histogram.max(), 15u);
+  EXPECT_EQ(histogram.value_at_quantile(0.0), 0u);
+  EXPECT_EQ(histogram.value_at_quantile(1.0), 15u);
+}
+
+TEST(HistogramTest, BucketRepresentativeWithinRelativeErrorBound) {
+  // Log-bucketing with 8 sub-buckets per octave: representative value is
+  // within 1/16 of the recorded value, across the whole range.
+  for (std::uint64_t value : {17ull, 100ull, 999ull, 12'345ull, 1'000'000ull,
+                              987'654'321ull, 1ull << 40, (1ull << 60) + 7}) {
+    const std::uint64_t rep =
+        Histogram::bucket_value(Histogram::bucket_index(value));
+    const double error =
+        std::abs(static_cast<double>(rep) - static_cast<double>(value)) /
+        static_cast<double>(value);
+    EXPECT_LE(error, 1.0 / 16.0) << "value " << value << " -> " << rep;
+  }
+}
+
+TEST(HistogramTest, QuantilesOfAUniformRampAreAccurate) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  Histogram histogram;
+  for (std::uint64_t value = 1; value <= 10'000; ++value) {
+    histogram.record(value);
+  }
+  EXPECT_EQ(histogram.count(), 10'000u);
+  const std::uint64_t p50 = histogram.value_at_quantile(0.50);
+  const std::uint64_t p90 = histogram.value_at_quantile(0.90);
+  const std::uint64_t p99 = histogram.value_at_quantile(0.99);
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 5000.0 / 8.0);
+  EXPECT_NEAR(static_cast<double>(p90), 9000.0, 9000.0 / 8.0);
+  EXPECT_NEAR(static_cast<double>(p99), 9900.0, 9900.0 / 8.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, histogram.max());
+  EXPECT_EQ(histogram.max(), 10'000u);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.value_at_quantile(0.99), 0u);
+}
+
+TEST(HistogramTest, QuantileClampedToObservedMax) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  Histogram histogram;
+  histogram.record(1'000'003);  // bucket midpoint would exceed the sample
+  EXPECT_EQ(histogram.value_at_quantile(0.99), histogram.max());
+  EXPECT_EQ(histogram.max(), 1'000'003u);
+}
+
+TEST(HistogramTest, TimerFeedsEmbeddedHistogram) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  TimerStat stat;
+  for (std::uint64_t ns : {1'000ull, 2'000ull, 4'000ull, 1'000'000ull}) {
+    stat.record_ns(ns);
+  }
+  EXPECT_EQ(stat.histogram().count(), 4u);
+  EXPECT_LE(stat.percentile_ns(0.50), stat.percentile_ns(0.99));
+  EXPECT_EQ(stat.percentile_ns(1.0), stat.max_ns());
+  stat.reset();
+  EXPECT_EQ(stat.histogram().count(), 0u);
+}
+
 TEST(MetricsTest, RegistryReturnsStableReferences) {
   Counter& first = metrics().counter("metrics_test.stable");
   Counter& again = metrics().counter("metrics_test.stable");
@@ -102,6 +178,44 @@ TEST(MetricsTest, CountersAreExactUnderParallelFor) {
   EXPECT_EQ(timer.count(), kTasks);
 }
 
+TEST(MetricsTest, HistogramCounterGaugeExactUnderParallelForHammer) {
+  // The satellite contract: hammer every instrument kind from the pool and
+  // the totals must come out exact (counts never lost to races) with
+  // monotone percentiles.
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  Counter& counter = metrics().counter("metrics_test.hammer_counter");
+  Gauge& gauge = metrics().gauge("metrics_test.hammer_gauge");
+  Histogram& histogram = metrics().histogram("metrics_test.hammer_histogram");
+  counter.reset();
+  gauge.reset();
+  histogram.reset();
+
+  constexpr std::size_t kTasks = 256;
+  constexpr std::size_t kPerTask = 200;
+  default_pool().parallel_for(kTasks, [&](std::size_t task) {
+    for (std::size_t i = 0; i < kPerTask; ++i) {
+      counter.add();
+      gauge.add(1);
+      gauge.add(-1);
+      // Spread values across several octaves so many buckets race.
+      histogram.record((task * kPerTask + i) % 10'000);
+    }
+  });
+
+  EXPECT_EQ(counter.value(), kTasks * kPerTask);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_GE(gauge.max(), 1);
+  EXPECT_EQ(histogram.count(), kTasks * kPerTask);
+  const std::uint64_t p50 = histogram.value_at_quantile(0.50);
+  const std::uint64_t p90 = histogram.value_at_quantile(0.90);
+  const std::uint64_t p99 = histogram.value_at_quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, histogram.max());
+  EXPECT_EQ(histogram.max(), 9'999u);
+}
+
 TEST(MetricsTest, RegistryLookupIsSafeUnderParallelFor) {
   EnabledGuard guard;
   set_metrics_enabled(true);
@@ -132,9 +246,14 @@ TEST(MetricsTest, DisabledModeIsANoOp) {
   gauge.add(100);
   { ScopedTimer timer(stat); }
   stat.record_ns(123);
+  Histogram histogram;
+  histogram.record(42);
   EXPECT_EQ(counter.value(), 3u);
   EXPECT_EQ(gauge.value(), 3);
   EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.histogram().count(), 0u);
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.max(), 0u);
 
   set_metrics_enabled(true);
   counter.add();
@@ -148,6 +267,8 @@ TEST(MetricsTest, SnapshotJsonRoundTrips) {
   metrics().counter("metrics_test.snapshot_counter").add(42);
   metrics().gauge("metrics_test.snapshot_gauge").set(7);
   metrics().timer("metrics_test.snapshot_timer").record_ns(1'500'000);
+  Histogram& histogram = metrics().histogram("metrics_test.snapshot_histogram");
+  for (std::uint64_t value = 1; value <= 100; ++value) histogram.record(value);
 
   const JsonValue root = parse_json(metrics().snapshot_json());
   EXPECT_EQ(root.at("counters").at("metrics_test.snapshot_counter").as_number(),
@@ -159,6 +280,19 @@ TEST(MetricsTest, SnapshotJsonRoundTrips) {
   EXPECT_EQ(timer.at("count").as_number(), 1.0);
   EXPECT_EQ(timer.at("total_ns").as_number(), 1'500'000.0);
   EXPECT_EQ(timer.at("max_ns").as_number(), 1'500'000.0);
+  // Schema /2: timers carry their percentile triple, monotone up to max.
+  const double p50 = timer.at("p50_ns").as_number();
+  const double p90 = timer.at("p90_ns").as_number();
+  const double p99 = timer.at("p99_ns").as_number();
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, timer.at("max_ns").as_number());
+  const JsonValue& snapshot_histogram =
+      root.at("histograms").at("metrics_test.snapshot_histogram");
+  EXPECT_EQ(snapshot_histogram.at("count").as_number(), 100.0);
+  EXPECT_EQ(snapshot_histogram.at("max").as_number(), 100.0);
+  EXPECT_LE(snapshot_histogram.at("p50").as_number(),
+            snapshot_histogram.at("p99").as_number());
 }
 
 TEST(MetricsTest, SnapshotSkipsZeroInstrumentsUnlessAsked) {

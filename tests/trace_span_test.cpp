@@ -1,0 +1,200 @@
+// Tests for util/trace_span: span recording into thread-local rings,
+// Chrome trace-event JSON flush (parsed back with util/json_lite), the
+// tracing/metrics kill switches, counter tracks, multithreaded flushes,
+// and ring-wrap drop accounting.
+
+#include "util/trace_span.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json_lite.h"
+#include "util/metrics.h"
+
+namespace wdm {
+namespace {
+
+// Each test owns the global switches; restore a clean slate around it.
+class TraceSpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    set_tracing_enabled(true);
+    reset_trace();
+  }
+  void TearDown() override {
+    reset_trace();
+    set_tracing_enabled(false);
+    set_metrics_enabled(true);
+  }
+};
+
+const JsonValue* find_event(const JsonValue& events, const std::string& name,
+                            const std::string& phase) {
+  for (const JsonValue& event : events.as_array()) {
+    const JsonValue* event_name = event.find("name");
+    const JsonValue* event_phase = event.find("ph");
+    if (event_name != nullptr && event_phase != nullptr &&
+        event_name->as_string() == name && event_phase->as_string() == phase) {
+      return &event;
+    }
+  }
+  return nullptr;
+}
+
+TEST_F(TraceSpanTest, SpanRoundTripsThroughChromeJson) {
+  {
+    TraceSpan span("trace_span_test.work");
+    span.arg("candidates", 13);
+    span.arg("fanout", 4);
+  }
+  EXPECT_EQ(trace_event_count(), 1u);
+
+  const JsonValue root = parse_json(trace_to_chrome_json());
+  const JsonValue& events = root.at("traceEvents");
+  const JsonValue* span_event =
+      find_event(events, "trace_span_test.work", "X");
+  ASSERT_NE(span_event, nullptr);
+  EXPECT_GE(span_event->at("dur").as_number(), 0.0);
+  EXPECT_GE(span_event->at("ts").as_number(), 0.0);
+  const JsonValue& args = span_event->at("args");
+  EXPECT_EQ(args.at("candidates").as_number(), 13.0);
+  EXPECT_EQ(args.at("fanout").as_number(), 4.0);
+  // Flushes also name each thread for the viewer.
+  EXPECT_NE(find_event(events, "thread_name", "M"), nullptr);
+  EXPECT_EQ(root.at("otherData").at("dropped_events").as_number(), 0.0);
+}
+
+TEST_F(TraceSpanTest, ArgsBeyondMaxAreSilentlyIgnored) {
+  {
+    TraceSpan span("trace_span_test.many_args");
+    span.arg("a", 1);
+    span.arg("b", 2);
+    span.arg("c", 3);  // beyond kMaxArgs; must not crash or corrupt
+  }
+  const JsonValue root = parse_json(trace_to_chrome_json());
+  const JsonValue* span_event =
+      find_event(root.at("traceEvents"), "trace_span_test.many_args", "X");
+  ASSERT_NE(span_event, nullptr);
+  const JsonValue& args = span_event->at("args");
+  EXPECT_EQ(args.at("a").as_number(), 1.0);
+  EXPECT_EQ(args.at("b").as_number(), 2.0);
+  EXPECT_EQ(args.find("c"), nullptr);
+}
+
+TEST_F(TraceSpanTest, CounterEventsCarryTheirValue) {
+  trace_counter("trace_span_test.queue_depth", 17);
+  const JsonValue root = parse_json(trace_to_chrome_json());
+  const JsonValue* counter_event =
+      find_event(root.at("traceEvents"), "trace_span_test.queue_depth", "C");
+  ASSERT_NE(counter_event, nullptr);
+  EXPECT_EQ(counter_event->at("args").at("value").as_number(), 17.0);
+}
+
+TEST_F(TraceSpanTest, DisabledTracingRecordsNothing) {
+  set_tracing_enabled(false);
+  EXPECT_FALSE(tracing_enabled());
+  {
+    TraceSpan span("trace_span_test.silent");
+    span.arg("ignored", 1);
+  }
+  trace_counter("trace_span_test.silent_counter", 5);
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_EQ(trace_dropped_count(), 0u);
+}
+
+TEST_F(TraceSpanTest, MetricsKillSwitchDisarmsTracing) {
+  // Satellite contract: set_metrics_enabled(false) silences spans too, even
+  // though tracing itself is still requested.
+  set_metrics_enabled(false);
+  EXPECT_TRUE(tracing_enabled());
+  EXPECT_FALSE(detail::tracing_armed_relaxed());
+  { TraceSpan span("trace_span_test.disarmed"); }
+  trace_counter("trace_span_test.disarmed_counter", 1);
+  EXPECT_EQ(trace_event_count(), 0u);
+
+  set_metrics_enabled(true);
+  EXPECT_TRUE(detail::tracing_armed_relaxed());
+  { TraceSpan span("trace_span_test.rearmed"); }
+  EXPECT_EQ(trace_event_count(), 1u);
+}
+
+TEST_F(TraceSpanTest, SpansArmedAtConstructionRecordAcrossMidSpanDisable) {
+  // The armed decision is latched at construction; flipping the switch while
+  // a span is open must not crash (the span still completes).
+  TraceSpan* span = new TraceSpan("trace_span_test.latched");
+  set_tracing_enabled(false);
+  delete span;
+  EXPECT_EQ(trace_event_count(), 1u);
+}
+
+TEST_F(TraceSpanTest, ThreadsFlushWithDistinctTids) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([] { TraceSpan span("trace_span_test.worker"); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(trace_event_count(), static_cast<std::size_t>(kThreads));
+
+  // Events from exited threads survive (the registry holds the rings), and
+  // each ran under its own tid.
+  const JsonValue root = parse_json(trace_to_chrome_json());
+  std::vector<double> tids;
+  for (const JsonValue& event : root.at("traceEvents").as_array()) {
+    const JsonValue* name = event.find("name");
+    if (name == nullptr || name->as_string() != "trace_span_test.worker") {
+      continue;
+    }
+    const double tid = event.at("tid").as_number();
+    for (double seen : tids) EXPECT_NE(seen, tid);
+    tids.push_back(tid);
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(TraceSpanTest, RingWrapKeepsNewestEventsAndCountsDrops) {
+  constexpr std::size_t kOverflow = 1000;
+  const std::size_t total = kTraceRingCapacity + kOverflow;
+  for (std::size_t i = 0; i < total; ++i) {
+    TraceSpan span("trace_span_test.flood");
+    span.arg("i", static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(trace_event_count(), kTraceRingCapacity);
+  EXPECT_EQ(trace_dropped_count(), kOverflow);
+
+  // The surviving window is the most recent one: the oldest retained event
+  // is exactly the first not-dropped index, and order is oldest-first.
+  const JsonValue root = parse_json(trace_to_chrome_json());
+  double previous_ts = -1.0;
+  bool first = true;
+  for (const JsonValue& event : root.at("traceEvents").as_array()) {
+    const JsonValue* name = event.find("name");
+    if (name == nullptr || name->as_string() != "trace_span_test.flood") {
+      continue;
+    }
+    if (first) {
+      EXPECT_EQ(event.at("args").at("i").as_number(),
+                static_cast<double>(kOverflow));
+      first = false;
+    }
+    const double ts = event.at("ts").as_number();
+    EXPECT_GE(ts, previous_ts);
+    previous_ts = ts;
+  }
+  EXPECT_FALSE(first);
+  EXPECT_EQ(root.at("otherData").at("dropped_events").as_number(),
+            static_cast<double>(kOverflow));
+
+  reset_trace();
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_EQ(trace_dropped_count(), 0u);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -22,6 +22,31 @@ TEST(Trace, CsvRoundTrip) {
   EXPECT_EQ(parsed, recorder.events());
 }
 
+TEST(Trace, CsvCarriesVersionHeader) {
+  TraceRecorder recorder;
+  recorder.on_connect(1, {{0, 0}, {{2, 1}}});
+  const std::string csv = recorder.to_csv();
+  EXPECT_EQ(csv.rfind("# wdm-trace/1\n", 0), 0u);  // header is line 1
+  const auto parsed = parse_trace_csv(csv);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed, recorder.events());
+}
+
+TEST(Trace, ParserAcceptsHeaderlessLegacyFiles) {
+  // Pre-versioning traces had no header line; they must keep parsing.
+  const auto events = parse_trace_csv("connect,1,0,0,2:1\ndisconnect,1\n");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, TraceEvent::Type::kConnect);
+  EXPECT_EQ(events[1].type, TraceEvent::Type::kDisconnect);
+}
+
+TEST(Trace, ParserSkipsCommentsAndRejectsUnknownVersions) {
+  EXPECT_NO_THROW((void)parse_trace_csv("# a note\nconnect,1,0,0,2:1\n"));
+  EXPECT_NO_THROW((void)parse_trace_csv("# wdm-trace/1\n"));
+  EXPECT_THROW((void)parse_trace_csv("# wdm-trace/2\nconnect,1,0,0,2:1\n"),
+               std::invalid_argument);
+}
+
 TEST(Trace, ParserRejectsMalformedLines) {
   EXPECT_THROW((void)parse_trace_csv("teleport,1\n"), std::invalid_argument);
   EXPECT_THROW((void)parse_trace_csv("connect,1,0,0\n"), std::invalid_argument);
