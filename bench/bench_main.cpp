@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/export.h"
+#include "faults/availability.h"
 #include "multistage/builder.h"
 #include "sim/blocking_sim.h"
 #include "sim/converter_pool.h"
@@ -233,6 +234,43 @@ BenchResult bench_trace_replay(bool tiny) {
   return result;
 }
 
+BenchResult bench_availability(bool tiny) {
+  // Theorem-1 m plus two spare middles of failure budget (faults_to_bound=2):
+  // single failures leave the fabric provably nonblocking.
+  const NonblockingBound bound = theorem1_min_m(4, 4);
+  MultistageSwitch sw({4, 4, bound.m + 2, 2}, Construction::kMswDominant,
+                      MulticastModel::kMSW, RoutingPolicy{bound.x});
+  FaultModel faults(sw.network().params());
+  AvailabilityConfig config;
+  config.traffic.arrival_rate = 6.0;
+  config.traffic.mean_holding = 1.0;
+  config.traffic.duration = tiny ? 60.0 : 1200.0;
+  config.traffic.fanout = {1, 4};
+  config.traffic.seed = 0xFA11;
+  config.faults.mtbf = tiny ? 30.0 : 150.0;
+  config.faults.mttr = tiny ? 8.0 : 25.0;
+  config.faults.seed = 0xFA17;
+  const AvailabilityStats stats = run_availability_sim(sw, faults, config);
+  BenchResult result;
+  result.params_json = params_of(
+      {{"n", 4},
+       {"r", 4},
+       {"k", 2},
+       {"m", sw.network().params().m},
+       {"duration", static_cast<std::size_t>(config.traffic.duration)},
+       {"failures", stats.failure_events}});
+  // Bookkeeping must conserve sessions, and while the degraded fabric never
+  // dipped below the Theorem-1 bound every affected session restores.
+  result.ok = stats.sessions_affected ==
+                  stats.sessions_restored + stats.sessions_dropped &&
+              stats.capacity_availability() > 0.0 &&
+              stats.capacity_availability() <= 1.0;
+  if (stats.min_theorem_margin >= 0) {
+    result.ok = result.ok && stats.sessions_dropped == 0;
+  }
+  return result;
+}
+
 const std::vector<BenchCase>& bench_cases() {
   static const std::vector<BenchCase> cases = {
       {"routing_msw_dominant",
@@ -251,6 +289,8 @@ const std::vector<BenchCase>& bench_cases() {
        bench_routing_ablation},
       {"trace_replay", "record a churn workload, replay it bit-identically",
        bench_trace_replay},
+      {"availability", "Erlang traffic with MTBF/MTTR failures + restoration",
+       bench_availability},
   };
   return cases;
 }
@@ -323,7 +363,8 @@ bool validate_results_file(const std::string& path, std::size_t expected_entries
       for (const auto& [name, value] : counters) {
         (void)value;
         if (name.starts_with("routing.") || name.starts_with("sim.") ||
-            name.starts_with("sweep.") || name.starts_with("converter_pool.")) {
+            name.starts_with("sweep.") || name.starts_with("converter_pool.") ||
+            name.starts_with("faults.")) {
           has_hot_path_counter = true;
           break;
         }

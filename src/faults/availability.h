@@ -1,0 +1,74 @@
+// Availability-vs-load simulation: Erlang traffic over a failing fabric.
+//
+// Classic teletraffic treats blocking as the quality metric of a healthy
+// switch; a production fabric must also report *availability* -- what
+// capacity survives component failures, and what happens to the sessions
+// riding hardware that dies. run_availability_sim merges the two event
+// streams: Poisson arrivals / exponential departures (exactly
+// run_erlang_sim's traffic) interleaved with a seeded MTBF/MTTR
+// failure/repair timeline (fault_process.h). On every failure the
+// restoration pass (resilience.h) re-routes stranded sessions through the
+// surviving fabric; sessions that cannot be re-routed are dropped and their
+// departures cancelled.
+//
+// Outputs: the Erlang-side tallies, dropped/restored session counts, the
+// time-weighted capacity availability (mean fraction of healthy middle
+// modules), and the worst Theorem-1/2 margin ever observed. Restoration
+// latency flows through util/metrics (timer faults.restore_connections) and
+// trace_span ("faults.restore"), so `run_benches` artifacts carry the
+// distribution. Deterministic under (traffic seed, fault seed).
+#pragma once
+
+#include <string>
+
+#include "faults/fault_process.h"
+#include "faults/resilience.h"
+#include "sim/traffic_models.h"
+
+namespace wdm {
+
+struct AvailabilityConfig {
+  ErlangConfig traffic;        // arrivals, holding, horizon, fanout, skew
+  FaultProcessConfig faults;   // MTBF/MTTR process over the components
+};
+
+struct AvailabilityStats {
+  ErlangStats traffic;                // arrivals/admitted/blocked/abandoned
+  std::size_t failure_events = 0;
+  std::size_t repair_events = 0;
+  std::size_t restore_passes = 0;
+  std::size_t sessions_affected = 0;  // live sessions hit by some failure
+  std::size_t sessions_restored = 0;  // re-routed through surviving fabric
+  std::size_t sessions_dropped = 0;   // affected - restored
+  /// Integral over time of (healthy middles / m).
+  double time_weighted_capacity = 0.0;
+  /// Worst Theorem-1/2 margin seen (middles above the bound; negative =
+  /// the fabric dipped below its proven-nonblocking provisioning).
+  std::ptrdiff_t min_theorem_margin = 0;
+  double duration = 0.0;
+
+  /// Mean fraction of middle-stage capacity that was healthy (1.0 = never
+  /// degraded; 0-duration runs report 1.0).
+  [[nodiscard]] double capacity_availability() const {
+    return duration == 0.0 ? 1.0 : time_weighted_capacity / duration;
+  }
+  /// Fraction of admitted sessions never dropped by a failure (1.0 when
+  /// nothing was admitted).
+  [[nodiscard]] double session_survival() const {
+    return traffic.admitted == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(sessions_dropped) /
+                           static_cast<double>(traffic.admitted);
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Drive `sw` with Erlang traffic while injecting the fault timeline into
+/// `faults` (attached to the switch's network for the duration of the run,
+/// then restored to its previous attachment). `faults` must match the
+/// switch's geometry and is left in its end-of-run state.
+[[nodiscard]] AvailabilityStats run_availability_sim(MultistageSwitch& sw,
+                                                     FaultModel& faults,
+                                                     const AvailabilityConfig& config);
+
+}  // namespace wdm

@@ -1,0 +1,149 @@
+#include "faults/fault_model.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace wdm {
+
+const char* fault_component_kind_name(FaultComponentKind kind) {
+  switch (kind) {
+    case FaultComponentKind::kMiddleModule: return "middle-module";
+    case FaultComponentKind::kLink12: return "link12";
+    case FaultComponentKind::kLink23: return "link23";
+    case FaultComponentKind::kLink12Lane: return "link12-lane";
+    case FaultComponentKind::kLink23Lane: return "link23-lane";
+    case FaultComponentKind::kConverterSlot: return "converter-slot";
+  }
+  return "?";
+}
+
+std::string FaultComponent::to_string() const {
+  std::ostringstream os;
+  os << fault_component_kind_name(kind);
+  switch (kind) {
+    case FaultComponentKind::kMiddleModule:
+    case FaultComponentKind::kConverterSlot:
+      os << ' ' << a;
+      break;
+    case FaultComponentKind::kLink12:
+    case FaultComponentKind::kLink23:
+      os << ' ' << a << "->" << b;
+      break;
+    case FaultComponentKind::kLink12Lane:
+    case FaultComponentKind::kLink23Lane:
+      os << ' ' << a << "->" << b << '@' << wavelength_name(lane);
+      break;
+  }
+  return os.str();
+}
+
+FaultModel::FaultModel(const ClosParams& params, std::size_t converter_slots)
+    : params_(params) {
+  params_.validate();
+  middle_failed_.assign(params_.m, false);
+  link12_failed_.assign(params_.r * params_.m, false);
+  link23_failed_.assign(params_.m * params_.r, false);
+  link12_lane_failed_.assign(params_.r * params_.m * params_.k, false);
+  link23_lane_failed_.assign(params_.m * params_.r * params_.k, false);
+  converter_slot_failed_.assign(converter_slots, false);
+}
+
+std::vector<bool>::reference FaultModel::slot(const FaultComponent& component) {
+  const std::size_t m = params_.m;
+  const std::size_t r = params_.r;
+  const std::size_t k = params_.k;
+  switch (component.kind) {
+    case FaultComponentKind::kMiddleModule:
+      return middle_failed_.at(component.a);
+    case FaultComponentKind::kLink12:
+      if (component.a >= r || component.b >= m) break;
+      return link12_failed_.at(component.a * m + component.b);
+    case FaultComponentKind::kLink23:
+      if (component.a >= m || component.b >= r) break;
+      return link23_failed_.at(component.a * r + component.b);
+    case FaultComponentKind::kLink12Lane:
+      if (component.a >= r || component.b >= m || component.lane >= k) break;
+      return link12_lane_failed_.at((component.a * m + component.b) * k +
+                                    component.lane);
+    case FaultComponentKind::kLink23Lane:
+      if (component.a >= m || component.b >= r || component.lane >= k) break;
+      return link23_lane_failed_.at((component.a * r + component.b) * k +
+                                    component.lane);
+    case FaultComponentKind::kConverterSlot:
+      return converter_slot_failed_.at(component.a);
+  }
+  throw std::out_of_range("FaultModel: component out of range: " +
+                          component.to_string());
+}
+
+bool FaultModel::slot_value(const FaultComponent& component) const {
+  return const_cast<FaultModel*>(this)->slot(component);
+}
+
+void FaultModel::fail(const FaultComponent& component) {
+  auto bit = slot(component);
+  if (bit) return;  // already failed
+  bit = true;
+  ++active_faults_;
+  if (component.kind == FaultComponentKind::kMiddleModule) ++failed_middles_;
+  if (component.kind == FaultComponentKind::kConverterSlot) {
+    ++failed_converter_slot_count_;
+  }
+}
+
+void FaultModel::repair(const FaultComponent& component) {
+  auto bit = slot(component);
+  if (!bit) return;  // already healthy
+  bit = false;
+  --active_faults_;
+  if (component.kind == FaultComponentKind::kMiddleModule) --failed_middles_;
+  if (component.kind == FaultComponentKind::kConverterSlot) {
+    --failed_converter_slot_count_;
+  }
+}
+
+bool FaultModel::failed(const FaultComponent& component) const {
+  return slot_value(component);
+}
+
+bool FaultModel::middle_failed(std::size_t j) const {
+  return middle_failed_.at(j);
+}
+
+std::vector<std::size_t> FaultModel::failed_middles() const {
+  std::vector<std::size_t> failed;
+  failed.reserve(failed_middles_);
+  for (std::size_t j = 0; j < middle_failed_.size(); ++j) {
+    if (middle_failed_[j]) failed.push_back(j);
+  }
+  return failed;
+}
+
+bool FaultModel::link12_usable(std::size_t i, std::size_t j,
+                               Wavelength lane) const {
+  const std::size_t m = params_.m;
+  const std::size_t k = params_.k;
+  return !middle_failed_[j] && !link12_failed_[i * m + j] &&
+         !link12_lane_failed_[(i * m + j) * k + lane];
+}
+
+bool FaultModel::link23_usable(std::size_t j, std::size_t p,
+                               Wavelength lane) const {
+  const std::size_t r = params_.r;
+  const std::size_t k = params_.k;
+  return !middle_failed_[j] && !link23_failed_[j * r + p] &&
+         !link23_lane_failed_[(j * r + p) * k + lane];
+}
+
+std::string FaultModel::to_string() const {
+  std::ostringstream os;
+  os << "FaultModel[" << active_faults_ << " active";
+  if (failed_middles_ != 0) os << ", " << failed_middles_ << " middles down";
+  if (failed_converter_slot_count_ != 0) {
+    os << ", " << failed_converter_slot_count_ << " converter slots down";
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace wdm

@@ -1,0 +1,52 @@
+// Seeded MTBF/MTTR failure/repair processes over a network's components.
+//
+// Each enabled component class runs an independent alternating renewal
+// process: exponential up-times with mean `mtbf` followed by exponential
+// repair times with mean `mttr` (the classic availability model; steady
+// state availability = mtbf / (mtbf + mttr) per component). Streams derive
+// from Rng::split(component index in the *full* component space), so the
+// timeline of any one component is bit-identical no matter which classes
+// are enabled, how long the horizon is, or how events interleave --
+// the same determinism contract as the sweep trials.
+//
+// The generator emits the merged, time-sorted event list for a finite
+// horizon; run_availability_sim interleaves it with Erlang traffic, and
+// tests replay it directly onto a FaultModel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fault_model.h"
+
+namespace wdm {
+
+struct FaultProcessConfig {
+  double mtbf = 200.0;  // mean up-time per component
+  double mttr = 10.0;   // mean repair time per component
+  std::uint64_t seed = 0xFA177;
+  // Component classes that participate in the process.
+  bool middles = true;
+  bool links = false;  // whole inter-stage fibers (both stage gaps)
+  bool lanes = false;  // single link wavelengths (both stage gaps)
+};
+
+struct FaultEvent {
+  double time = 0.0;
+  FaultComponent component;
+  bool fail = true;  // false = repair
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Merged failure/repair timeline for `duration` time units of the enabled
+/// component classes of `params`. Sorted by time (ties broken by component,
+/// fail before repair) and deterministic under (config, params, duration).
+[[nodiscard]] std::vector<FaultEvent> generate_fault_timeline(
+    const ClosParams& params, const FaultProcessConfig& config, double duration);
+
+/// Apply one event to the model (fail() or repair() dispatch).
+void apply_fault_event(FaultModel& model, const FaultEvent& event);
+
+}  // namespace wdm

@@ -1,0 +1,129 @@
+#include "faults/resilience.h"
+
+#include <sstream>
+
+#include "util/metrics.h"
+#include "util/trace_span.h"
+
+namespace wdm {
+
+std::string RestorationReport::to_string() const {
+  std::ostringstream os;
+  os << "Restoration[affected=" << affected << " restored=" << restored.size()
+     << " dropped=" << dropped.size() << ']';
+  return os.str();
+}
+
+bool route_uses_faults(const ThreeStageNetwork& network,
+                       const MulticastRequest& request, const Route& route,
+                       const FaultModel& faults) {
+  if (!faults.any()) return false;
+  const std::size_t in_module = network.input_module_of(request.input.port);
+  for (const RouteBranch& branch : route.branches) {
+    if (faults.middle_failed(branch.middle)) return true;
+    if (!faults.link12_usable(in_module, branch.middle, branch.link_lane)) {
+      return true;
+    }
+    for (const DeliveryLeg& leg : branch.legs) {
+      if (!faults.link23_usable(branch.middle, leg.out_module, leg.link_lane)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+struct RestoreMetrics {
+  Counter& passes = metrics().counter("faults.restore_passes");
+  Counter& affected = metrics().counter("faults.sessions_affected");
+  Counter& restored = metrics().counter("faults.sessions_restored");
+  Counter& dropped = metrics().counter("faults.sessions_dropped");
+  TimerStat& restore = metrics().timer("faults.restore_connections");
+  Histogram& affected_per_pass =
+      metrics().histogram("faults.affected_per_restore");
+
+  static RestoreMetrics& get() {
+    static RestoreMetrics instance;
+    return instance;
+  }
+};
+
+}  // namespace
+
+RestorationReport restore_connections(MultistageSwitch& sw) {
+  RestorationReport report;
+  ThreeStageNetwork& network = sw.network();
+  const FaultModel* faults = network.active_fault_model();
+  if (faults == nullptr) return report;
+
+  RestoreMetrics& counters = RestoreMetrics::get();
+  counters.passes.add();
+  ScopedTimer timer(counters.restore);
+  TraceSpan span("faults.restore");
+
+  // Collect first: releasing while iterating would invalidate the map walk,
+  // and tearing everything down before re-routing lets stranded connections
+  // reuse each other's healthy capacity.
+  std::vector<std::pair<ConnectionId, MulticastRequest>> stranded;
+  for (const auto& [id, entry] : network.connections()) {
+    const auto& [request, route] = entry;
+    if (route_uses_faults(network, request, route, *faults)) {
+      stranded.emplace_back(id, request);
+    }
+  }
+  report.affected = stranded.size();
+  counters.affected.add(stranded.size());
+  counters.affected_per_pass.record(stranded.size());
+
+  for (const auto& [id, request] : stranded) sw.disconnect(id);
+  for (const auto& [id, request] : stranded) {
+    if (const auto new_id = sw.try_connect(request)) {
+      report.restored.emplace_back(id, *new_id);
+    } else {
+      report.dropped.emplace_back(id, request);
+    }
+  }
+  counters.restored.add(report.restored.size());
+  counters.dropped.add(report.dropped.size());
+  span.arg("affected", static_cast<std::int64_t>(report.affected));
+  span.arg("restored", static_cast<std::int64_t>(report.restored.size()));
+  return report;
+}
+
+std::string DegradedCapacity::to_string() const {
+  std::ostringstream os;
+  os << "DegradedCapacity[m=" << provisioned_m << " failed=" << failed_middles
+     << " effective=" << effective_m << " bound=" << bound.m
+     << " margin=" << margin << (nonblocking ? " nonblocking" : " BELOW BOUND")
+     << " budget=" << faults_to_bound << ']';
+  return os.str();
+}
+
+DegradedCapacity degraded_capacity(const ClosParams& params,
+                                   Construction construction,
+                                   std::size_t failed_middles) {
+  DegradedCapacity result;
+  result.provisioned_m = params.m;
+  result.failed_middles = failed_middles;
+  result.effective_m =
+      failed_middles >= params.m ? 0 : params.m - failed_middles;
+  result.bound = construction == Construction::kMswDominant
+                     ? theorem1_min_m(params.n, params.r)
+                     : theorem2_min_m(params.n, params.r, params.k);
+  result.margin = static_cast<std::ptrdiff_t>(result.effective_m) -
+                  static_cast<std::ptrdiff_t>(result.bound.m);
+  result.nonblocking = result.margin >= 0;
+  result.faults_to_bound =
+      result.margin > 0 ? static_cast<std::size_t>(result.margin) : 0;
+  return result;
+}
+
+DegradedCapacity degraded_capacity(const ThreeStageNetwork& network,
+                                   const FaultModel& faults) {
+  return degraded_capacity(network.params(), network.construction(),
+                           faults.failed_middle_count());
+}
+
+}  // namespace wdm

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "faults/fault_model.h"
+
 namespace wdm {
 
 std::string Route::to_string() const {
@@ -47,6 +49,37 @@ ThreeStageNetwork::ThreeStageNetwork(ClosParams params, Construction constructio
 MulticastModel ThreeStageNetwork::inner_model() const {
   return construction_ == Construction::kMswDominant ? MulticastModel::kMSW
                                                      : MulticastModel::kMAW;
+}
+
+void ThreeStageNetwork::attach_fault_model(const FaultModel* faults) {
+  if (faults != nullptr && !(faults->params() == params_)) {
+    throw std::invalid_argument(
+        "ThreeStageNetwork::attach_fault_model: fault model geometry " +
+        faults->params().to_string() + " does not match network " +
+        params_.to_string());
+  }
+  faults_ = faults;
+}
+
+const FaultModel* ThreeStageNetwork::active_fault_model() const {
+  return faults_ != nullptr && faults_->any() ? faults_ : nullptr;
+}
+
+bool ThreeStageNetwork::middle_usable(std::size_t j) const {
+  const FaultModel* faults = active_fault_model();
+  return faults == nullptr || !faults->middle_failed(j);
+}
+
+bool ThreeStageNetwork::link12_lane_usable(std::size_t i, std::size_t j,
+                                           Wavelength lane) const {
+  const FaultModel* faults = active_fault_model();
+  return faults == nullptr || faults->link12_usable(i, j, lane);
+}
+
+bool ThreeStageNetwork::link23_lane_usable(std::size_t j, std::size_t p,
+                                           Wavelength lane) const {
+  const FaultModel* faults = active_fault_model();
+  return faults == nullptr || faults->link23_usable(j, p, lane);
 }
 
 const SwitchModule& ThreeStageNetwork::input_module(std::size_t i) const {
@@ -111,6 +144,28 @@ std::optional<std::string> ThreeStageNetwork::check_route(
   for (const auto& out : request.outputs) {
     if (!routed.contains(out)) {
       return "destination " + out.to_string() + " missing from route";
+    }
+  }
+
+  // Failed hardware is unusable no matter what the modules would admit.
+  if (const FaultModel* faults = active_fault_model()) {
+    const std::size_t in = input_module_of(request.input.port);
+    for (const RouteBranch& branch : route.branches) {
+      if (faults->middle_failed(branch.middle)) {
+        return "middle module " + std::to_string(branch.middle) + " is failed";
+      }
+      if (!faults->link12_usable(in, branch.middle, branch.link_lane)) {
+        return "stage 1-2 link " + std::to_string(in) + "->" +
+               std::to_string(branch.middle) + " lane " +
+               wavelength_name(branch.link_lane) + " is failed";
+      }
+      for (const DeliveryLeg& leg : branch.legs) {
+        if (!faults->link23_usable(branch.middle, leg.out_module, leg.link_lane)) {
+          return "stage 2-3 link " + std::to_string(branch.middle) + "->" +
+                 std::to_string(leg.out_module) + " lane " +
+                 wavelength_name(leg.link_lane) + " is failed";
+        }
+      }
     }
   }
 

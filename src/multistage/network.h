@@ -30,6 +30,8 @@
 
 namespace wdm {
 
+class FaultModel;
+
 /// One output-module delivery of a route branch.
 struct DeliveryLeg {
   std::size_t out_module = 0;
@@ -81,6 +83,29 @@ class ThreeStageNetwork {
   [[nodiscard]] const SwitchModule& input_module(std::size_t i) const;
   [[nodiscard]] const SwitchModule& middle_module(std::size_t j) const;
   [[nodiscard]] const SwitchModule& output_module(std::size_t p) const;
+
+  // -- fault awareness (src/faults) -----------------------------------------
+  /// Attach (or detach, with nullptr) a fault model whose geometry matches
+  /// this network; the caller keeps ownership. While attached, routing and
+  /// route validation treat failed resources as unusable. With no model
+  /// attached -- or an attached model carrying no active fault -- behavior
+  /// is bit-identical to a fault-free network.
+  void attach_fault_model(const FaultModel* faults);
+  [[nodiscard]] const FaultModel* fault_model() const { return faults_; }
+
+  /// The fault model, but only when it currently carries at least one
+  /// active fault (the routing fast path: nullptr means "take the
+  /// fault-free code path").
+  [[nodiscard]] const FaultModel* active_fault_model() const;
+
+  /// Middle module j is powered and reachable (true when no faults active).
+  [[nodiscard]] bool middle_usable(std::size_t j) const;
+  /// Lane `lane` of the input-module-i -> middle-j link can carry a signal.
+  [[nodiscard]] bool link12_lane_usable(std::size_t i, std::size_t j,
+                                        Wavelength lane) const;
+  /// Lane `lane` of the middle-j -> output-module-p link can carry a signal.
+  [[nodiscard]] bool link23_lane_usable(std::size_t j, std::size_t p,
+                                        Wavelength lane) const;
 
   // -- admission ------------------------------------------------------------
   /// Shape legality under the network model plus endpoint availability.
@@ -134,6 +159,8 @@ class ThreeStageNetwork {
   std::vector<SwitchModule> inputs_;
   std::vector<SwitchModule> middles_;
   std::vector<SwitchModule> outputs_;
+
+  const FaultModel* faults_ = nullptr;  // not owned; nullptr = fault-free
 
   std::map<ConnectionId, std::pair<MulticastRequest, Route>> connections_;
   std::map<ConnectionId, InstalledTransits> transits_;

@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "faults/fault_model.h"
 #include "util/metrics.h"
 #include "util/trace_span.h"
 
@@ -65,10 +66,22 @@ std::vector<std::size_t> Router::candidate_middles(std::size_t in_module,
   RouterMetrics& counters = RouterMetrics::get();
   counters.middle_probes.add(params.m);
   TraceSpan span("routing.middle_probe_loop");
+  // Fault fast path: `faults` stays null unless a model is attached AND
+  // carries an active fault, so a healthy network takes the original
+  // branch-free checks.
+  const FaultModel* faults = network_->active_fault_model();
+  const bool msw = network_->construction() == Construction::kMswDominant;
   for (std::size_t j = 0; j < params.m; ++j) {
-    const bool usable = network_->construction() == Construction::kMswDominant
-                            ? input.out_lane_free(j, lane)
-                            : input.free_out_lanes(j) > 0;
+    if (faults != nullptr && faults->middle_failed(j)) continue;
+    bool usable;
+    if (msw) {
+      usable = input.out_lane_free(j, lane) &&
+               (faults == nullptr || faults->link12_usable(in_module, j, lane));
+    } else if (faults == nullptr) {
+      usable = input.free_out_lanes(j) > 0;
+    } else {
+      usable = usable_free_lane(input, j, LinkStage::kInputToMiddle, in_module);
+    }
     if (usable) candidates.push_back(j);
   }
   counters.candidates_per_attempt.record(candidates.size());
@@ -128,16 +141,26 @@ std::optional<Route> Router::find_route_impl(
   for (const auto& [module, demand] : demands) target_modules.push_back(module);
 
   const std::size_t n_targets = target_modules.size();
+  const FaultModel* faults = network_->active_fault_model();
   std::vector<std::vector<bool>> serves(candidates.size(),
                                         std::vector<bool>(n_targets, false));
   for (std::size_t c = 0; c < candidates.size(); ++c) {
     const SwitchModule& middle = network_->middle_module(candidates[c]);
     for (std::size_t t = 0; t < n_targets; ++t) {
       const ModuleDemand& demand = demands.at(target_modules[t]);
-      serves[c][t] = demand.required_link_lane == kNoWavelength
-                         ? middle.free_out_lanes(target_modules[t]) > 0
-                         : middle.out_lane_free(target_modules[t],
-                                                demand.required_link_lane);
+      if (demand.required_link_lane == kNoWavelength) {
+        serves[c][t] =
+            faults == nullptr
+                ? middle.free_out_lanes(target_modules[t]) > 0
+                : usable_free_lane(middle, target_modules[t],
+                                   LinkStage::kMiddleToOutput, candidates[c]);
+      } else {
+        serves[c][t] =
+            middle.out_lane_free(target_modules[t], demand.required_link_lane) &&
+            (faults == nullptr ||
+             faults->link23_usable(candidates[c], target_modules[t],
+                                   demand.required_link_lane));
+      }
     }
   }
 
@@ -266,7 +289,8 @@ std::optional<Route> Router::find_route_impl(
             break;
           }
         }
-        const auto lane = pick_lane(middle, module, preferred);
+        const auto lane = pick_lane(middle, module, preferred,
+                                    LinkStage::kMiddleToOutput, branch.middle);
         if (!lane) return std::nullopt;  // should not happen: serves[] said free
         leg.link_lane = *lane;
       }
@@ -277,7 +301,8 @@ std::optional<Route> Router::find_route_impl(
     if (network_->construction() == Construction::kMswDominant) {
       branch.link_lane = source_lane;
     } else {
-      const auto lane = pick_lane(input, branch.middle, source_lane);
+      const auto lane = pick_lane(input, branch.middle, source_lane,
+                                  LinkStage::kInputToMiddle, in_module);
       if (!lane) return std::nullopt;  // candidate check said a lane was free
       branch.link_lane = *lane;
     }
@@ -288,12 +313,44 @@ std::optional<Route> Router::find_route_impl(
 
 std::optional<Wavelength> Router::pick_lane(const SwitchModule& module,
                                             std::size_t out_port,
-                                            Wavelength preferred) const {
+                                            Wavelength preferred,
+                                            LinkStage stage,
+                                            std::size_t from_module) const {
+  const FaultModel* faults = network_->active_fault_model();
+  if (faults == nullptr) {
+    if (policy_.lanes == LanePolicy::kPreferSource &&
+        module.out_lane_free(out_port, preferred)) {
+      return preferred;
+    }
+    return module.lowest_free_out_lane(out_port);
+  }
+  const auto lane_usable = [&](Wavelength lane) {
+    return stage == LinkStage::kInputToMiddle
+               ? faults->link12_usable(from_module, out_port, lane)
+               : faults->link23_usable(from_module, out_port, lane);
+  };
   if (policy_.lanes == LanePolicy::kPreferSource &&
-      module.out_lane_free(out_port, preferred)) {
+      module.out_lane_free(out_port, preferred) && lane_usable(preferred)) {
     return preferred;
   }
-  return module.lowest_free_out_lane(out_port);
+  for (Wavelength lane = 0; lane < module.lanes(); ++lane) {
+    if (module.out_lane_free(out_port, lane) && lane_usable(lane)) return lane;
+  }
+  return std::nullopt;
+}
+
+bool Router::usable_free_lane(const SwitchModule& module, std::size_t out_port,
+                              LinkStage stage, std::size_t from_module) const {
+  const FaultModel* faults = network_->active_fault_model();
+  if (faults == nullptr) return module.free_out_lanes(out_port) > 0;
+  for (Wavelength lane = 0; lane < module.lanes(); ++lane) {
+    if (!module.out_lane_free(out_port, lane)) continue;
+    const bool usable = stage == LinkStage::kInputToMiddle
+                            ? faults->link12_usable(from_module, out_port, lane)
+                            : faults->link23_usable(from_module, out_port, lane);
+    if (usable) return true;
+  }
+  return false;
 }
 
 std::size_t conversions_in_route(const MulticastRequest& request,

@@ -74,14 +74,26 @@ class Router {
   [[nodiscard]] ConnectError last_error() const { return last_error_; }
 
  private:
+  /// Which inter-stage gap a link lives in (for fault lookups).
+  enum class LinkStage { kInputToMiddle, kMiddleToOutput };
+
   /// The uninstrumented search; find_route wraps it with the route-attempt
   /// counters and the "routing.find_route" timer (see docs/BENCHMARKS.md).
   [[nodiscard]] std::optional<Route> find_route_impl(
       const MulticastRequest& request) const;
-  /// Lane choice on a module's output link honoring the lane policy.
+  /// Lane choice on a module's output link honoring the lane policy. The
+  /// link runs `from_module` -> `out_port` in gap `stage`; with a degraded
+  /// fault model attached, failed lanes are skipped.
   [[nodiscard]] std::optional<Wavelength> pick_lane(const SwitchModule& module,
                                                     std::size_t out_port,
-                                                    Wavelength preferred) const;
+                                                    Wavelength preferred,
+                                                    LinkStage stage,
+                                                    std::size_t from_module) const;
+  /// Does the link have a lane that is both free and healthy? Equivalent to
+  /// free_out_lanes(out_port) > 0 on a fault-free network.
+  [[nodiscard]] bool usable_free_lane(const SwitchModule& module,
+                                      std::size_t out_port, LinkStage stage,
+                                      std::size_t from_module) const;
   /// Which middle modules could carry one more branch from input module i on
   /// source lane `lane`.
   [[nodiscard]] std::vector<std::size_t> candidate_middles(std::size_t in_module,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "faults/fault_model.h"
 #include "util/metrics.h"
 #include "util/trace_span.h"
 
@@ -54,8 +55,16 @@ std::optional<ConnectError> ConverterPoolSwitch::check_admissible(
   for (const auto& out : request.outputs) {
     if (busy_outputs_.contains(out)) return ConnectError::kOutputBusy;
   }
-  if (in_use_ + converter_demand(request) > pool_) return ConnectError::kBlocked;
+  if (in_use_ + converter_demand(request) > effective_pool_size()) {
+    return ConnectError::kBlocked;
+  }
   return std::nullopt;
+}
+
+std::size_t ConverterPoolSwitch::effective_pool_size() const {
+  if (faults_ == nullptr || !faults_->any()) return pool_;
+  const std::size_t failed = faults_->failed_converter_slots();
+  return failed >= pool_ ? 0 : pool_ - failed;
 }
 
 std::optional<ConnectionId> ConverterPoolSwitch::try_connect(

@@ -28,6 +28,8 @@
 
 namespace wdm {
 
+class FaultModel;
+
 class ConverterPoolSwitch {
  public:
   /// An N x N k-lane crossbar under MAW semantics with a shared bank of
@@ -38,6 +40,18 @@ class ConverterPoolSwitch {
   [[nodiscard]] std::size_t lane_count() const { return k_; }
   [[nodiscard]] std::size_t pool_size() const { return pool_; }
   [[nodiscard]] std::size_t converters_in_use() const { return in_use_; }
+
+  /// Attach (or detach, with nullptr) a fault model; failed converter-pool
+  /// slots shrink the bank's effective capacity. Converters already in use
+  /// are unaffected (failures consume spare slots first -- in_use_ may
+  /// transiently exceed the effective capacity, which only delays new
+  /// admissions). The caller keeps ownership.
+  void attach_fault_model(const FaultModel* faults) { faults_ = faults; }
+  [[nodiscard]] const FaultModel* fault_model() const { return faults_; }
+
+  /// Bank capacity minus currently-failed slots (= pool_size() when no
+  /// fault model is attached).
+  [[nodiscard]] std::size_t effective_pool_size() const;
   [[nodiscard]] std::size_t active_connections() const { return connections_.size(); }
 
   /// Conversions this request would consume from the bank.
@@ -55,6 +69,7 @@ class ConverterPoolSwitch {
  private:
   std::size_t n_, k_, pool_;
   std::size_t in_use_ = 0;
+  const FaultModel* faults_ = nullptr;  // not owned; nullptr = fault-free
   std::map<ConnectionId, std::pair<MulticastRequest, std::size_t>> connections_;
   std::map<WavelengthEndpoint, ConnectionId> busy_inputs_;
   std::map<WavelengthEndpoint, ConnectionId> busy_outputs_;

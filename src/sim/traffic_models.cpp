@@ -49,9 +49,8 @@ double exponential(Rng& rng, double mean) {
   return -mean * std::log(u);
 }
 
-/// Build an admissible request with Zipf-skewed destination ports. Falls
-/// back to the uniform generator when unskewed. nullopt if endpoints are
-/// exhausted.
+}  // namespace
+
 std::optional<MulticastRequest> skewed_admissible_request(
     Rng& rng, const ThreeStageNetwork& network, FanoutRange fanout,
     const ZipfSampler* popularity) {
@@ -103,8 +102,6 @@ std::optional<MulticastRequest> skewed_admissible_request(
   if (request.outputs.size() < fanout.min) return std::nullopt;
   return request;
 }
-
-}  // namespace
 
 ErlangStats run_erlang_sim(MultistageSwitch& sw, const ErlangConfig& config) {
   if (config.arrival_rate <= 0 || config.mean_holding <= 0 ||

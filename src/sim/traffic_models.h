@@ -55,6 +55,15 @@ struct ErlangStats {
 [[nodiscard]] ErlangStats run_erlang_sim(MultistageSwitch& sw,
                                          const ErlangConfig& config);
 
+class ZipfSampler;
+
+/// Build an admissible request with Zipf-skewed destination ports (the
+/// hot-content arrival draw run_erlang_sim uses). Falls back to the uniform
+/// generator when `popularity` is null. nullopt if endpoints are exhausted.
+[[nodiscard]] std::optional<MulticastRequest> skewed_admissible_request(
+    Rng& rng, const ThreeStageNetwork& network, FanoutRange fanout,
+    const ZipfSampler* popularity);
+
 /// Zipf(s) sampler over [0, n): P(i) proportional to 1/(i+1)^s. s = 0 is
 /// uniform. Deterministic per rng stream; O(n) setup, O(log n) per draw.
 class ZipfSampler {

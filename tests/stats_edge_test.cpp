@@ -1,0 +1,95 @@
+// Degenerate-denominator audit of every ratio-producing stats helper: a run
+// with 0 attempts, 0 duration, or 0 capacity must report well-defined values
+// (never NaN/inf), because bench emitters serialize these straight to JSON.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "faults/availability.h"
+#include "sim/blocking_sim.h"
+#include "sim/converter_pool.h"
+#include "sim/traffic_models.h"
+
+namespace wdm {
+namespace {
+
+TEST(SimStatsEdge, ZeroAttemptsAndZeroSteps) {
+  const SimStats stats;  // all-zero: nothing ever ran
+  EXPECT_EQ(stats.blocking_probability(), 0.0);
+  EXPECT_EQ(stats.mean_conversions(), 0.0);
+  EXPECT_EQ(stats.mean_utilization(64), 0.0);
+  EXPECT_EQ(stats.mean_utilization(0), 0.0);  // zero capacity as well
+
+  const auto [low, high] = stats.blocking_ci95();
+  EXPECT_FALSE(std::isnan(low));
+  EXPECT_FALSE(std::isnan(high));
+  EXPECT_LE(low, high);
+  EXPECT_GE(low, 0.0);
+  EXPECT_LE(high, 1.0);
+}
+
+TEST(SimStatsEdge, ZeroCapacityWithNonzeroSteps) {
+  SimStats stats;
+  stats.steps = 100;
+  stats.active_connection_steps = 50;
+  EXPECT_EQ(stats.mean_utilization(0), 0.0);  // must not divide by zero
+}
+
+TEST(ErlangStatsEdge, ZeroArrivalsAndZeroDuration) {
+  const ErlangStats stats;
+  EXPECT_EQ(stats.blocking_probability(), 0.0);
+  EXPECT_EQ(stats.carried_erlangs(), 0.0);
+  EXPECT_FALSE(stats.to_string().empty());
+}
+
+TEST(ErlangSimEdge, NonPositiveConfigRejected) {
+  auto sw = MultistageSwitch::nonblocking(2, 2, 1, Construction::kMswDominant,
+                                          MulticastModel::kMSW);
+  ErlangConfig config;
+  config.duration = 0.0;
+  EXPECT_THROW((void)run_erlang_sim(sw, config), std::invalid_argument);
+  config.duration = 10.0;
+  config.arrival_rate = 0.0;
+  EXPECT_THROW((void)run_erlang_sim(sw, config), std::invalid_argument);
+  config.arrival_rate = 1.0;
+  config.mean_holding = -1.0;
+  EXPECT_THROW((void)run_erlang_sim(sw, config), std::invalid_argument);
+}
+
+TEST(PoolSweepEdge, ZeroAttemptsAndZeroPool) {
+  const PoolSweepPoint empty;
+  EXPECT_EQ(empty.converter_blocking_probability(), 0.0);
+
+  // pool_size 0 is a legal sweep point: utilization must stay 0, not NaN.
+  const auto points = sweep_converter_pool(4, 2, {0}, 50, 0x90E);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].pool_size, 0u);
+  EXPECT_EQ(points[0].peak_pool_utilization, 0.0);
+  EXPECT_FALSE(std::isnan(points[0].peak_pool_utilization));
+}
+
+TEST(AvailabilityStatsEdge, ZeroDurationAndZeroAdmitted) {
+  const AvailabilityStats stats;
+  EXPECT_EQ(stats.capacity_availability(), 1.0);  // never degraded
+  EXPECT_EQ(stats.session_survival(), 1.0);       // nothing to lose
+  EXPECT_FALSE(std::isnan(stats.capacity_availability()));
+  EXPECT_FALSE(std::isnan(stats.session_survival()));
+  EXPECT_FALSE(stats.to_string().empty());
+}
+
+TEST(AvailabilitySimEdge, NonPositiveConfigRejected) {
+  auto sw = MultistageSwitch::nonblocking(2, 2, 1, Construction::kMswDominant,
+                                          MulticastModel::kMSW);
+  FaultModel faults(sw.network().params());
+  AvailabilityConfig config;
+  config.traffic.duration = 0.0;
+  EXPECT_THROW((void)run_availability_sim(sw, faults, config),
+               std::invalid_argument);
+  config.traffic.duration = 10.0;
+  config.faults.mttr = 0.0;
+  EXPECT_THROW((void)run_availability_sim(sw, faults, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,6 +1,8 @@
 // Continuous-time traffic models: Zipf sampler and the Erlang simulator.
 #include "sim/traffic_models.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace wdm {
@@ -36,6 +38,30 @@ TEST(Zipf, EmpiricalFrequenciesTrackTheory) {
         << "rank " << i;
   }
   EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(Zipf, LargeExponentConcentratesOnRankZero) {
+  // With a huge exponent essentially all mass sits on rank 0; the sampler
+  // must stay numerically well-behaved (normalized, no NaN) and draw rank 0.
+  ZipfSampler sampler(16, 50.0);
+  EXPECT_NEAR(sampler.probability(0), 1.0, 1e-12);
+  double total = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const double p = sampler.probability(i);
+    EXPECT_GE(p, 0.0);
+    EXPECT_FALSE(std::isnan(p));
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(Zipf, SingleElementDistributionIsDegenerate) {
+  ZipfSampler sampler(1, 1.3);
+  EXPECT_NEAR(sampler.probability(0), 1.0, 1e-12);
+  Rng rng(6);
+  EXPECT_EQ(sampler.sample(rng), 0u);
 }
 
 TEST(ErlangSim, ValidatesConfig) {
@@ -106,6 +132,32 @@ TEST(ErlangSim, DeterministicUnderSeed) {
   EXPECT_EQ(a.arrivals, b.arrivals);
   EXPECT_EQ(a.admitted, b.admitted);
   EXPECT_DOUBLE_EQ(a.time_weighted_sessions, b.time_weighted_sessions);
+}
+
+TEST(ErlangSim, BitIdenticalStatsUnderSeedWithSkew) {
+  // The full determinism contract: every tally and every accumulated double
+  // is bit-identical across runs, including the Zipf-skewed arrival path.
+  ErlangConfig config;
+  config.arrival_rate = 6.0;
+  config.mean_holding = 1.5;
+  config.duration = 250.0;
+  config.fanout = {1, 3};
+  config.zipf_exponent = 1.2;
+  config.seed = 0xB17;
+  const auto run = [&] {
+    MultistageSwitch sw = MultistageSwitch::nonblocking(
+        3, 3, 2, Construction::kMswDominant, MulticastModel::kMSW);
+    return run_erlang_sim(sw, config);
+  };
+  const ErlangStats a = run();
+  const ErlangStats b = run();
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_EQ(a.duration, b.duration);
+  // Bit-identical, not merely close: same events in the same order.
+  EXPECT_EQ(a.time_weighted_sessions, b.time_weighted_sessions);
 }
 
 TEST(ErlangSim, ZipfHotspotIncreasesAbandonment) {
