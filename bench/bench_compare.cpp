@@ -56,6 +56,7 @@ struct Thresholds {
       {"routing.middle_probes", 1.3},
       {"routing.spread_expansions", 1.3},
       {"routing.route_attempts", 1.2},
+      {"routing.connects", 1.2},
       {"sim.blocked", 1.05},  // growth in blocking is a correctness smell
   };
   // Timers whose p99 is gated.

@@ -122,6 +122,28 @@ BenchResult bench_routing_maw(bool tiny) {
   return result;
 }
 
+BenchResult bench_routing_hotpath(bool tiny) {
+  // Scale-up churn case: large enough (m middle modules, k lanes, 128 ports)
+  // that per-connection container overhead in the connect/disconnect path is
+  // visible, unlike the 4x4x2 design points above.
+  auto sw = MultistageSwitch::nonblocking(8, 16, 8, Construction::kMswDominant,
+                                          MulticastModel::kMSW);
+  SimConfig config;
+  config.steps = tiny ? 500 : 50000;
+  config.self_check_every = tiny ? 256 : 16384;
+  config.fanout = {1, 8};
+  const SimStats stats = run_dynamic_sim(sw, config);
+  BenchResult result;
+  result.params_json = params_of({{"n", 8},
+                                  {"r", 16},
+                                  {"k", 8},
+                                  {"m", sw.network().params().m},
+                                  {"steps", config.steps}},
+                                 {{"construction", "msw-dominant"}});
+  result.ok = stats.blocked == 0;  // at the Theorem 1 bound: never blocks
+  return result;
+}
+
 BenchResult bench_blocking_sweep(bool tiny) {
   SweepConfig config;
   config.n = tiny ? 2 : 4;
@@ -279,6 +301,9 @@ const std::vector<BenchCase>& bench_cases() {
       {"routing_maw_dominant",
        "dynamic churn on the Theorem 2 design point (MAW-dominant)",
        bench_routing_maw},
+      {"routing_hotpath",
+       "scale-up churn (n=8, r=16, k=8) stressing the connect/disconnect path",
+       bench_routing_hotpath},
       {"blocking_sweep", "parallel m-sweep around the Theorem 1 bound",
        bench_blocking_sweep},
       {"saturation_attack", "structured worst-case adversary rounds",

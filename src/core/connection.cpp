@@ -1,6 +1,5 @@
 #include "core/connection.h"
 
-#include <set>
 #include <sstream>
 
 namespace wdm {
@@ -39,13 +38,20 @@ std::optional<ConnectError> check_request_shape(const MulticastRequest& request,
   if (request.input.port >= N || request.input.lane >= k) {
     return ConnectError::kBadGeometry;
   }
-  std::set<WavelengthEndpoint> seen;
-  std::set<std::size_t> ports;
-  for (const auto& out : request.outputs) {
+  for (std::size_t i = 0; i < request.outputs.size(); ++i) {
+    const WavelengthEndpoint& out = request.outputs[i];
     if (out.port >= N || out.lane >= k) return ConnectError::kBadGeometry;
-    if (!seen.insert(out).second) return ConnectError::kBadGeometry;
-    // §2.1: no two wavelengths of the same output port in one connection.
-    if (!ports.insert(out.port).second) return ConnectError::kTwoLanesSamePort;
+    // Pairwise scan instead of std::set bookkeeping: fanout is at most N and
+    // typically small, and this keeps admission allocation-free. All earlier
+    // outputs have distinct ports (a repeat would have returned already), so
+    // at most one of them can share this port; an identical endpoint is a
+    // duplicate destination, a lane mismatch violates §2.1 (no two
+    // wavelengths of the same output port in one connection).
+    for (std::size_t j = 0; j < i; ++j) {
+      if (request.outputs[j].port != out.port) continue;
+      return request.outputs[j].lane == out.lane ? ConnectError::kBadGeometry
+                                                 : ConnectError::kTwoLanesSamePort;
+    }
   }
   switch (model) {
     case MulticastModel::kMSW:

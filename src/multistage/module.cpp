@@ -1,8 +1,6 @@
 #include "multistage/module.h"
 
-#include <algorithm>
-#include <set>
-#include <sstream>
+#include <bit>
 #include <stdexcept>
 
 namespace wdm {
@@ -17,8 +15,14 @@ SwitchModule::SwitchModule(std::size_t in_ports, std::size_t out_ports,
   if (in_ports == 0 || out_ports == 0 || lanes == 0) {
     throw std::invalid_argument("SwitchModule: ports and lanes must be >= 1");
   }
-  in_used_.assign(in_ports, std::vector<bool>(lanes, false));
-  out_used_.assign(out_ports, std::vector<bool>(lanes, false));
+  if (lanes > kMaxLanes) {
+    throw std::invalid_argument(
+        "SwitchModule: lanes must be <= 64 (per-port occupancy is one "
+        "64-bit word; requested " + std::to_string(lanes) + ")");
+  }
+  lane_mask_ = lanes == 64 ? ~0ull : (1ull << lanes) - 1;
+  in_used_.assign(in_ports, 0);
+  out_used_.assign(out_ports, 0);
 }
 
 std::optional<std::string> SwitchModule::check_transit(
@@ -27,19 +31,23 @@ std::optional<std::string> SwitchModule::check_transit(
   if (in.port >= in_ports() || in.lane >= lanes_) {
     return "inbound " + in.to_string() + " out of range";
   }
-  if (in_used_[in.port][in.lane]) {
+  if (in_used_[in.port] >> in.lane & 1u) {
     return "inbound " + in.to_string() + " already carries a connection";
   }
-  std::set<std::size_t> out_ports_seen;
-  for (const auto& out : outs) {
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    const ModulePortLane& out = outs[i];
     if (out.port >= out_ports() || out.lane >= lanes_) {
       return "outbound " + out.to_string() + " out of range";
     }
-    if (!out_ports_seen.insert(out.port).second) {
-      return "two outbound lanes on port " + std::to_string(out.port) +
-             " in one transit";
+    // Duplicate-port scan instead of a std::set: outs is small (one entry
+    // per distinct output port) and this keeps the check allocation-free.
+    for (std::size_t j = 0; j < i; ++j) {
+      if (outs[j].port == out.port) {
+        return "two outbound lanes on port " + std::to_string(out.port) +
+               " in one transit";
+      }
     }
-    if (out_used_[out.port][out.lane]) {
+    if (out_used_[out.port] >> out.lane & 1u) {
       return "outbound " + out.to_string() + " already carries a connection";
     }
   }
@@ -72,68 +80,88 @@ SwitchModule::TransitId SwitchModule::add_transit(
   if (const auto reason = check_transit(in, outs)) {
     throw std::logic_error("SwitchModule[" + name_ + "]::add_transit: " + *reason);
   }
-  in_used_[in.port][in.lane] = true;
-  for (const auto& out : outs) out_used_[out.port][out.lane] = true;
-  const TransitId id = next_id_++;
-  transits_.emplace(id, Transit{in, outs});
-  return id;
+  in_used_[in.port] |= 1ull << in.lane;
+  for (const auto& out : outs) out_used_[out.port] |= 1ull << out.lane;
+
+  std::uint32_t slot;
+  if (!free_transit_slots_.empty()) {
+    slot = free_transit_slots_.back();
+    free_transit_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(transit_slots_.size());
+    transit_slots_.emplace_back();
+  }
+  TransitSlot& entry = transit_slots_[slot];
+  entry.in = in;
+  entry.outs = outs;  // copy-assign: a reused slot keeps its capacity
+  ++entry.generation;
+  entry.active = true;
+  ++active_transits_;
+  return make_id(slot, entry.generation);
 }
 
 void SwitchModule::remove_transit(TransitId id) {
-  const auto it = transits_.find(id);
-  if (it == transits_.end()) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= transit_slots_.size() || !transit_slots_[slot].active ||
+      transit_slots_[slot].generation != generation) {
     throw std::out_of_range("SwitchModule[" + name_ + "]: unknown transit id");
   }
-  const Transit& transit = it->second;
-  in_used_[transit.in.port][transit.in.lane] = false;
-  for (const auto& out : transit.outs) out_used_[out.port][out.lane] = false;
-  transits_.erase(it);
-}
-
-bool SwitchModule::in_lane_free(std::size_t port, Wavelength lane) const {
-  return !in_used_.at(port).at(lane);
-}
-
-bool SwitchModule::out_lane_free(std::size_t port, Wavelength lane) const {
-  return !out_used_.at(port).at(lane);
+  TransitSlot& entry = transit_slots_[slot];
+  in_used_[entry.in.port] &= ~(1ull << entry.in.lane);
+  for (const auto& out : entry.outs) out_used_[out.port] &= ~(1ull << out.lane);
+  entry.active = false;
+  --active_transits_;
+  free_transit_slots_.push_back(slot);
 }
 
 std::size_t SwitchModule::free_out_lanes(std::size_t port) const {
-  const auto& slots = out_used_.at(port);
-  return static_cast<std::size_t>(std::count(slots.begin(), slots.end(), false));
+  if (port >= out_used_.size()) {
+    throw std::out_of_range("SwitchModule[" + name_ + "]: port out of range");
+  }
+  return static_cast<std::size_t>(
+      std::popcount(~out_used_[port] & lane_mask_));
 }
 
 std::size_t SwitchModule::free_in_lanes(std::size_t port) const {
-  const auto& slots = in_used_.at(port);
-  return static_cast<std::size_t>(std::count(slots.begin(), slots.end(), false));
+  if (port >= in_used_.size()) {
+    throw std::out_of_range("SwitchModule[" + name_ + "]: port out of range");
+  }
+  return static_cast<std::size_t>(std::popcount(~in_used_[port] & lane_mask_));
 }
 
 std::optional<Wavelength> SwitchModule::lowest_free_out_lane(std::size_t port) const {
-  const auto& slots = out_used_.at(port);
-  for (Wavelength lane = 0; lane < lanes_; ++lane) {
-    if (!slots[lane]) return lane;
+  if (port >= out_used_.size()) {
+    throw std::out_of_range("SwitchModule[" + name_ + "]: port out of range");
   }
-  return std::nullopt;
+  const std::uint64_t free = ~out_used_[port] & lane_mask_;
+  if (free == 0) return std::nullopt;
+  return static_cast<Wavelength>(std::countr_zero(free));
 }
 
 void SwitchModule::self_check() const {
-  std::vector<std::vector<bool>> in_expected(in_ports(),
-                                             std::vector<bool>(lanes_, false));
-  std::vector<std::vector<bool>> out_expected(out_ports(),
-                                              std::vector<bool>(lanes_, false));
-  for (const auto& [id, transit] : transits_) {
-    if (in_expected[transit.in.port][transit.in.lane]) {
+  std::vector<std::uint64_t> in_expected(in_ports(), 0);
+  std::vector<std::uint64_t> out_expected(out_ports(), 0);
+  std::size_t active = 0;
+  for (const TransitSlot& entry : transit_slots_) {
+    if (!entry.active) continue;
+    ++active;
+    if (in_expected[entry.in.port] >> entry.in.lane & 1u) {
       throw std::logic_error("SwitchModule[" + name_ +
                              "]: two transits share an inbound wavelength");
     }
-    in_expected[transit.in.port][transit.in.lane] = true;
-    for (const auto& out : transit.outs) {
-      if (out_expected[out.port][out.lane]) {
+    in_expected[entry.in.port] |= 1ull << entry.in.lane;
+    for (const auto& out : entry.outs) {
+      if (out_expected[out.port] >> out.lane & 1u) {
         throw std::logic_error("SwitchModule[" + name_ +
                                "]: two transits share an outbound wavelength");
       }
-      out_expected[out.port][out.lane] = true;
+      out_expected[out.port] |= 1ull << out.lane;
     }
+  }
+  if (active != active_transits_) {
+    throw std::logic_error("SwitchModule[" + name_ +
+                           "]: active transit count diverged from slot table");
   }
   if (in_expected != in_used_ || out_expected != out_used_) {
     throw std::logic_error("SwitchModule[" + name_ +

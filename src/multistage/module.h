@@ -12,11 +12,19 @@
 // SwitchModule records active transits and rejects illegal ones eagerly;
 // ThreeStageNetwork embeds these so every link's occupancy is visible from
 // both of its endpoint modules and can be cross-checked.
+//
+// Hot-path data layout: per-port lane occupancy is one uint64_t word per
+// port (k <= 64, enforced at construction), so the router's feasibility
+// queries are word ops -- free_out_lanes is a popcount, lowest_free_out_lane
+// a countr_zero -- instead of vector<bool> scans. Transits live in a
+// free-list slot vector whose per-slot `outs` buffers keep their capacity
+// across reuse, so steady-state add_transit/remove_transit churn performs no
+// heap allocations (see DESIGN.md "Hot-path data layout").
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -36,6 +44,9 @@ struct ModulePortLane {
 class SwitchModule {
  public:
   using TransitId = std::uint64_t;
+
+  /// Lanes per fiber are capped so a port's occupancy fits one machine word.
+  static constexpr std::size_t kMaxLanes = 64;
 
   SwitchModule(std::size_t in_ports, std::size_t out_ports, std::size_t lanes,
                MulticastModel model, std::string name = {});
@@ -58,8 +69,14 @@ class SwitchModule {
   /// Remove a transit; throws std::out_of_range for unknown ids.
   void remove_transit(TransitId id);
 
-  [[nodiscard]] bool in_lane_free(std::size_t port, Wavelength lane) const;
-  [[nodiscard]] bool out_lane_free(std::size_t port, Wavelength lane) const;
+  [[nodiscard]] bool in_lane_free(std::size_t port, Wavelength lane) const {
+    check_slot(port, lane, in_used_.size());
+    return (in_used_[port] >> lane & 1u) == 0;
+  }
+  [[nodiscard]] bool out_lane_free(std::size_t port, Wavelength lane) const {
+    check_slot(port, lane, out_used_.size());
+    return (out_used_[port] >> lane & 1u) == 0;
+  }
 
   /// Number of free lanes on an output port (link capacity remaining).
   [[nodiscard]] std::size_t free_out_lanes(std::size_t port) const;
@@ -68,7 +85,7 @@ class SwitchModule {
   /// Lowest free lane of an output port, if any.
   [[nodiscard]] std::optional<Wavelength> lowest_free_out_lane(std::size_t port) const;
 
-  [[nodiscard]] std::size_t active_transits() const { return transits_.size(); }
+  [[nodiscard]] std::size_t active_transits() const { return active_transits_; }
 
   /// Recompute occupancy from the transit list and compare with the cached
   /// bitmaps; throws std::logic_error on divergence. Used by network
@@ -76,22 +93,36 @@ class SwitchModule {
   void self_check() const;
 
  private:
-  struct Transit {
+  /// One entry of the transit free-list. A released slot keeps its `outs`
+  /// capacity for the next transit; `generation` is embedded in the public
+  /// TransitId so stale ids are detected in O(1).
+  struct TransitSlot {
     ModulePortLane in;
     std::vector<ModulePortLane> outs;
+    std::uint32_t generation = 0;
+    bool active = false;
   };
 
-  [[nodiscard]] bool& in_slot(std::size_t port, Wavelength lane);
-  [[nodiscard]] bool& out_slot(std::size_t port, Wavelength lane);
+  static TransitId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<TransitId>(generation) << 32) | slot;
+  }
+
+  void check_slot(std::size_t port, Wavelength lane, std::size_t ports) const {
+    if (port >= ports || lane >= lanes_) {
+      throw std::out_of_range("SwitchModule[" + name_ + "]: port/lane out of range");
+    }
+  }
 
   std::size_t lanes_;
+  std::uint64_t lane_mask_;  // low `lanes_` bits set
   MulticastModel model_;
   std::string name_;
-  // occupancy bitmaps: [port][lane]
-  std::vector<std::vector<bool>> in_used_;
-  std::vector<std::vector<bool>> out_used_;
-  std::map<TransitId, Transit> transits_;
-  TransitId next_id_ = 1;
+  // occupancy bitmasks: word per port, bit = lane
+  std::vector<std::uint64_t> in_used_;
+  std::vector<std::uint64_t> out_used_;
+  std::vector<TransitSlot> transit_slots_;
+  std::vector<std::uint32_t> free_transit_slots_;
+  std::size_t active_transits_ = 0;
 };
 
 }  // namespace wdm

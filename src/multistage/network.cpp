@@ -1,7 +1,6 @@
 #include "multistage/network.h"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -26,6 +25,59 @@ std::string Route::to_string() const {
   return os.str();
 }
 
+// -- ConnectionView ----------------------------------------------------------
+
+ThreeStageNetwork::ConnectionView::const_iterator::value_type
+ThreeStageNetwork::ConnectionView::const_iterator::operator*() const {
+  const ConnectionSlot& slot = network_->connection_slots_[slot_];
+  return {make_id(slot_, slot.generation), slot.entry};
+}
+
+ThreeStageNetwork::ConnectionView::const_iterator&
+ThreeStageNetwork::ConnectionView::const_iterator::operator++() {
+  slot_ = network_->connection_slots_[slot_].next;
+  return *this;
+}
+
+ThreeStageNetwork::ConnectionView::const_iterator
+ThreeStageNetwork::ConnectionView::begin() const {
+  return {network_, network_->head_};
+}
+
+ThreeStageNetwork::ConnectionView::const_iterator
+ThreeStageNetwork::ConnectionView::end() const {
+  return {network_, kNoSlot};
+}
+
+std::size_t ThreeStageNetwork::ConnectionView::size() const {
+  return network_->active_count_;
+}
+
+bool ThreeStageNetwork::ConnectionView::contains(ConnectionId id) const {
+  return network_->slot_of(id) != kNoSlot;
+}
+
+const ThreeStageNetwork::ConnectionView::Entry&
+ThreeStageNetwork::ConnectionView::at(ConnectionId id) const {
+  const std::uint32_t slot = network_->slot_of(id);
+  if (slot == kNoSlot) {
+    throw std::out_of_range("ThreeStageNetwork: unknown connection id");
+  }
+  return network_->connection_slots_[slot].entry;
+}
+
+std::uint32_t ThreeStageNetwork::slot_of(ConnectionId id) const {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= connection_slots_.size() || !connection_slots_[slot].active ||
+      connection_slots_[slot].generation != generation) {
+    return kNoSlot;
+  }
+  return slot;
+}
+
+// -- ThreeStageNetwork -------------------------------------------------------
+
 ThreeStageNetwork::ThreeStageNetwork(ClosParams params, Construction construction,
                                      MulticastModel network_model)
     : params_(params), construction_(construction), network_model_(network_model) {
@@ -44,6 +96,11 @@ ThreeStageNetwork::ThreeStageNetwork(ClosParams params, Construction constructio
     middles_.emplace_back(params_.r, params_.r, params_.k, inner,
                           "mid" + std::to_string(j));
   }
+  busy_inputs_.assign(port_count() * params_.k, 0);
+  busy_outputs_.assign(port_count() * params_.k, 0);
+  endpoint_stamp_.assign(port_count() * params_.k, 0);
+  middle_stamp_.assign(params_.m, 0);
+  module_stamp_.assign(params_.r, 0);
 }
 
 MulticastModel ThreeStageNetwork::inner_model() const {
@@ -98,9 +155,13 @@ std::optional<ConnectError> ThreeStageNetwork::check_admissible(
                                              network_model_)) {
     return error;
   }
-  if (busy_inputs_.contains(request.input)) return ConnectError::kInputBusy;
+  // The shape check guarantees every endpoint is in range, so the flat
+  // lookups below cannot go out of bounds.
+  if (busy_inputs_[endpoint_index(request.input)] != 0) {
+    return ConnectError::kInputBusy;
+  }
   for (const auto& out : request.outputs) {
-    if (busy_outputs_.contains(out)) return ConnectError::kOutputBusy;
+    if (busy_outputs_[endpoint_index(out)] != 0) return ConnectError::kOutputBusy;
   }
   return std::nullopt;
 }
@@ -109,40 +170,54 @@ std::optional<std::string> ThreeStageNetwork::check_route(
     const MulticastRequest& request, const Route& route) const {
   if (route.branches.empty()) return "route has no branches";
 
+  // One fresh stamp generation per validation: a stamp cell is "in the set"
+  // iff it equals the current generation, so the former per-call std::sets
+  // become array writes with no clearing and no allocation.
+  const std::uint64_t gen = ++stamp_generation_;
+  std::size_t routed_count = 0;
+
   // The legs must partition the request's destinations by output module.
-  std::set<WavelengthEndpoint> routed;
-  std::set<std::size_t> middles_used;
-  std::set<std::size_t> modules_delivered;
   for (const RouteBranch& branch : route.branches) {
     if (branch.middle >= params_.m) return "branch middle module out of range";
-    if (!middles_used.insert(branch.middle).second) {
+    if (middle_stamp_[branch.middle] == gen) {
       return "route uses middle module " + std::to_string(branch.middle) + " twice";
     }
+    middle_stamp_[branch.middle] = gen;
     if (branch.legs.empty()) return "branch with no legs";
     if (branch.link_lane >= params_.k) return "branch link lane out of range";
     for (const DeliveryLeg& leg : branch.legs) {
       if (leg.out_module >= params_.r) return "leg output module out of range";
       if (leg.link_lane >= params_.k) return "leg link lane out of range";
-      if (!modules_delivered.insert(leg.out_module).second) {
+      if (module_stamp_[leg.out_module] == gen) {
         return "two legs deliver to output module " + std::to_string(leg.out_module);
       }
+      module_stamp_[leg.out_module] = gen;
       if (leg.destinations.empty()) return "leg with no destinations";
       for (const auto& dest : leg.destinations) {
         if (output_module_of(dest.port) != leg.out_module) {
           return "destination " + dest.to_string() + " not in leg's output module";
         }
-        if (!routed.insert(dest).second) {
-          return "destination " + dest.to_string() + " routed twice";
+        // The module-membership check bounds dest.port; a lane beyond k
+        // cannot be stamped (it has no endpoint cell) but also cannot have
+        // been routed before, and the module dry-run below rejects it.
+        if (dest.lane < params_.k) {
+          const std::size_t index = endpoint_index(dest);
+          if (endpoint_stamp_[index] == gen) {
+            return "destination " + dest.to_string() + " routed twice";
+          }
+          endpoint_stamp_[index] = gen;
         }
+        ++routed_count;
       }
     }
   }
-  if (routed.size() != request.outputs.size()) {
-    return "route covers " + std::to_string(routed.size()) + " of " +
+  if (routed_count != request.outputs.size()) {
+    return "route covers " + std::to_string(routed_count) + " of " +
            std::to_string(request.outputs.size()) + " destinations";
   }
   for (const auto& out : request.outputs) {
-    if (!routed.contains(out)) {
+    if (out.port >= port_count() || out.lane >= params_.k ||
+        endpoint_stamp_[endpoint_index(out)] != gen) {
       return "destination " + out.to_string() + " missing from route";
     }
   }
@@ -171,20 +246,17 @@ std::optional<std::string> ThreeStageNetwork::check_route(
 
   // Module-level dry runs (lane discipline + occupancy).
   const std::size_t in_module = input_module_of(request.input.port);
-  {
-    std::vector<ModulePortLane> outs;
-    outs.reserve(route.branches.size());
-    for (const RouteBranch& branch : route.branches) {
-      outs.push_back({branch.middle, branch.link_lane});
-    }
-    if (const auto reason = inputs_[in_module].check_transit(
-            {local_port(request.input.port), request.input.lane}, outs)) {
-      return "input module: " + *reason;
-    }
+  std::vector<ModulePortLane>& outs = portlane_scratch_;
+  outs.clear();
+  for (const RouteBranch& branch : route.branches) {
+    outs.push_back({branch.middle, branch.link_lane});
+  }
+  if (const auto reason = inputs_[in_module].check_transit(
+          {local_port(request.input.port), request.input.lane}, outs)) {
+    return "input module: " + *reason;
   }
   for (const RouteBranch& branch : route.branches) {
-    std::vector<ModulePortLane> outs;
-    outs.reserve(branch.legs.size());
+    outs.clear();
     for (const DeliveryLeg& leg : branch.legs) {
       outs.push_back({leg.out_module, leg.link_lane});
     }
@@ -193,18 +265,64 @@ std::optional<std::string> ThreeStageNetwork::check_route(
       return "middle module " + std::to_string(branch.middle) + ": " + *reason;
     }
     for (const DeliveryLeg& leg : branch.legs) {
-      std::vector<ModulePortLane> deliveries;
-      deliveries.reserve(leg.destinations.size());
+      outs.clear();
       for (const auto& dest : leg.destinations) {
-        deliveries.push_back({local_port(dest.port), dest.lane});
+        outs.push_back({local_port(dest.port), dest.lane});
       }
       if (const auto reason = outputs_[leg.out_module].check_transit(
-              {branch.middle, leg.link_lane}, deliveries)) {
+              {branch.middle, leg.link_lane}, outs)) {
         return "output module " + std::to_string(leg.out_module) + ": " + *reason;
       }
     }
   }
   return std::nullopt;
+}
+
+void ThreeStageNetwork::copy_route_into(Route& dst, const Route& src) {
+  while (dst.branches.size() > src.branches.size()) {
+    RouteBranch& surplus = dst.branches.back();
+    while (!surplus.legs.empty()) {
+      surplus.legs.back().destinations.clear();
+      spare_route_legs_.push_back(std::move(surplus.legs.back()));
+      surplus.legs.pop_back();
+    }
+    spare_route_branches_.push_back(std::move(surplus));
+    dst.branches.pop_back();
+  }
+  while (dst.branches.size() < src.branches.size()) {
+    if (spare_route_branches_.empty()) {
+      dst.branches.emplace_back();
+    } else {
+      dst.branches.push_back(std::move(spare_route_branches_.back()));
+      spare_route_branches_.pop_back();
+    }
+  }
+  for (std::size_t b = 0; b < src.branches.size(); ++b) {
+    RouteBranch& dst_branch = dst.branches[b];
+    const RouteBranch& src_branch = src.branches[b];
+    dst_branch.middle = src_branch.middle;
+    dst_branch.link_lane = src_branch.link_lane;
+    while (dst_branch.legs.size() > src_branch.legs.size()) {
+      dst_branch.legs.back().destinations.clear();
+      spare_route_legs_.push_back(std::move(dst_branch.legs.back()));
+      dst_branch.legs.pop_back();
+    }
+    while (dst_branch.legs.size() < src_branch.legs.size()) {
+      if (spare_route_legs_.empty()) {
+        dst_branch.legs.emplace_back();
+      } else {
+        dst_branch.legs.push_back(std::move(spare_route_legs_.back()));
+        spare_route_legs_.pop_back();
+      }
+    }
+    for (std::size_t l = 0; l < src_branch.legs.size(); ++l) {
+      DeliveryLeg& dst_leg = dst_branch.legs[l];
+      const DeliveryLeg& src_leg = src_branch.legs[l];
+      dst_leg.out_module = src_leg.out_module;
+      dst_leg.link_lane = src_leg.link_lane;
+      dst_leg.destinations = src_leg.destinations;  // flat: capacity reuse
+    }
+  }
 }
 
 ConnectionId ThreeStageNetwork::install(const MulticastRequest& request,
@@ -217,18 +335,33 @@ ConnectionId ThreeStageNetwork::install(const MulticastRequest& request,
     throw std::logic_error("ThreeStageNetwork::install: " + *reason);
   }
 
-  const std::size_t in_module = input_module_of(request.input.port);
-  InstalledTransits installed;
-  {
-    std::vector<ModulePortLane> outs;
-    for (const RouteBranch& branch : route.branches) {
-      outs.push_back({branch.middle, branch.link_lane});
-    }
-    installed.input_transit = inputs_[in_module].add_transit(
-        {local_port(request.input.port), request.input.lane}, outs);
+  // Acquire a slot first so the transit lists can be built directly into its
+  // reusable vectors (a reused slot performs no allocations here).
+  std::uint32_t slot;
+  if (!free_connection_slots_.empty()) {
+    slot = free_connection_slots_.back();
+    free_connection_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(connection_slots_.size());
+    connection_slots_.emplace_back();
   }
+  ConnectionSlot& entry = connection_slots_[slot];
+  entry.entry.first = request;  // copy-assign: keeps vector capacity
+  copy_route_into(entry.entry.second, route);
+
+  const std::size_t in_module = input_module_of(request.input.port);
+  InstalledTransits& installed = entry.transits;
+  installed.middle_transits.clear();
+  installed.output_transits.clear();
+  std::vector<ModulePortLane>& outs = portlane_scratch_;
+  outs.clear();
   for (const RouteBranch& branch : route.branches) {
-    std::vector<ModulePortLane> outs;
+    outs.push_back({branch.middle, branch.link_lane});
+  }
+  installed.input_transit = inputs_[in_module].add_transit(
+      {local_port(request.input.port), request.input.lane}, outs);
+  for (const RouteBranch& branch : route.branches) {
+    outs.clear();
     for (const DeliveryLeg& leg : branch.legs) {
       outs.push_back({leg.out_module, leg.link_lane});
     }
@@ -236,31 +369,44 @@ ConnectionId ThreeStageNetwork::install(const MulticastRequest& request,
         branch.middle,
         middles_[branch.middle].add_transit({in_module, branch.link_lane}, outs));
     for (const DeliveryLeg& leg : branch.legs) {
-      std::vector<ModulePortLane> deliveries;
+      outs.clear();
       for (const auto& dest : leg.destinations) {
-        deliveries.push_back({local_port(dest.port), dest.lane});
+        outs.push_back({local_port(dest.port), dest.lane});
       }
       installed.output_transits.emplace_back(
-          leg.out_module, outputs_[leg.out_module].add_transit(
-                              {branch.middle, leg.link_lane}, deliveries));
+          leg.out_module,
+          outputs_[leg.out_module].add_transit({branch.middle, leg.link_lane}, outs));
     }
   }
 
-  const ConnectionId id = next_id_++;
-  busy_inputs_[request.input] = id;
-  for (const auto& out : request.outputs) busy_outputs_[out] = id;
-  connections_.emplace(id, std::make_pair(request, route));
-  transits_.emplace(id, std::move(installed));
+  // Commit: bump the generation (ids are nonzero because generation >= 1),
+  // link at the tail of the insertion-order list, mark the endpoints.
+  ++entry.generation;
+  entry.active = true;
+  entry.prev = tail_;
+  entry.next = kNoSlot;
+  if (tail_ != kNoSlot) {
+    connection_slots_[tail_].next = slot;
+  } else {
+    head_ = slot;
+  }
+  tail_ = slot;
+  ++active_count_;
+
+  const ConnectionId id = make_id(slot, entry.generation);
+  busy_inputs_[endpoint_index(request.input)] = id;
+  for (const auto& out : request.outputs) busy_outputs_[endpoint_index(out)] = id;
   return id;
 }
 
 void ThreeStageNetwork::release(ConnectionId id) {
-  const auto it = connections_.find(id);
-  if (it == connections_.end()) {
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot) {
     throw std::out_of_range("ThreeStageNetwork::release: unknown connection id");
   }
-  const auto& [request, route] = it->second;
-  const InstalledTransits& installed = transits_.at(id);
+  ConnectionSlot& entry = connection_slots_[slot];
+  const auto& [request, route] = entry.entry;
+  const InstalledTransits& installed = entry.transits;
 
   inputs_[input_module_of(request.input.port)].remove_transit(installed.input_transit);
   for (const auto& [module, transit] : installed.middle_transits) {
@@ -270,18 +416,32 @@ void ThreeStageNetwork::release(ConnectionId id) {
     outputs_[module].remove_transit(transit);
   }
 
-  busy_inputs_.erase(request.input);
-  for (const auto& out : request.outputs) busy_outputs_.erase(out);
-  transits_.erase(id);
-  connections_.erase(it);
+  busy_inputs_[endpoint_index(request.input)] = 0;
+  for (const auto& out : request.outputs) busy_outputs_[endpoint_index(out)] = 0;
+
+  if (entry.prev != kNoSlot) {
+    connection_slots_[entry.prev].next = entry.next;
+  } else {
+    head_ = entry.next;
+  }
+  if (entry.next != kNoSlot) {
+    connection_slots_[entry.next].prev = entry.prev;
+  } else {
+    tail_ = entry.prev;
+  }
+  entry.active = false;
+  --active_count_;
+  free_connection_slots_.push_back(slot);
 }
 
 bool ThreeStageNetwork::input_busy(const WavelengthEndpoint& endpoint) const {
-  return busy_inputs_.contains(endpoint);
+  if (endpoint.port >= port_count() || endpoint.lane >= params_.k) return false;
+  return busy_inputs_[endpoint_index(endpoint)] != 0;
 }
 
 bool ThreeStageNetwork::output_busy(const WavelengthEndpoint& endpoint) const {
-  return busy_outputs_.contains(endpoint);
+  if (endpoint.port >= port_count() || endpoint.lane >= params_.k) return false;
+  return busy_outputs_[endpoint_index(endpoint)] != 0;
 }
 
 DestinationMultiset ThreeStageNetwork::middle_destination_multiset(
@@ -336,12 +496,23 @@ void ThreeStageNetwork::self_check() const {
     }
   }
 
-  std::map<WavelengthEndpoint, ConnectionId> expected_inputs;
-  std::map<WavelengthEndpoint, ConnectionId> expected_outputs;
-  for (const auto& [id, entry] : connections_) {
+  // Rebuild the expected endpoint occupancy from the connection table and
+  // compare with the flat busy vectors; also re-derive the active count and
+  // insertion-list length so slot bookkeeping cannot silently diverge.
+  std::vector<ConnectionId> expected_inputs(busy_inputs_.size(), 0);
+  std::vector<ConnectionId> expected_outputs(busy_outputs_.size(), 0);
+  std::size_t walked = 0;
+  for (const auto& [id, entry] : connections()) {
+    ++walked;
     const auto& [request, route] = entry;
-    expected_inputs[request.input] = id;
-    for (const auto& out : request.outputs) expected_outputs[out] = id;
+    expected_inputs[endpoint_index(request.input)] = id;
+    for (const auto& out : request.outputs) {
+      expected_outputs[endpoint_index(out)] = id;
+    }
+  }
+  if (walked != active_count_) {
+    throw std::logic_error(
+        "ThreeStageNetwork: connection list length diverged from active count");
   }
   if (expected_inputs != busy_inputs_ || expected_outputs != busy_outputs_) {
     throw std::logic_error(

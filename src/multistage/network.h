@@ -15,12 +15,23 @@
 // every module's lane discipline before committing it, so the network state
 // can never become physically meaningless; the Router (routing.h) is the
 // component that *finds* routes.
+//
+// Hot-path data layout (see DESIGN.md): endpoint occupancy is flat
+// `port * k + lane`-indexed vectors (0 = free) and the connection/transit
+// tables are generation-checked free-list slots threaded on an
+// insertion-order list, so install()/release() are O(route size) with zero
+// steady-state heap allocations, and iteration over connections() preserves
+// the old map's ascending-id (i.e. insertion) order. Like install/release
+// themselves, the const validation queries reuse per-network scratch
+// buffers, so a network must not be shared across threads without external
+// synchronization (workloads that parallelize, e.g. sim/sweep, use one
+// network per task).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "combinatorics/multiset.h"
@@ -59,6 +70,43 @@ struct Route {
 
 class ThreeStageNetwork {
  public:
+  /// Read-only view over the active connections, map-compatible: iterates
+  /// (id, (request, route)) pairs in insertion order -- which is ascending
+  /// creation order, exactly what the former std::map produced -- and
+  /// supports at()/contains() in O(1) via the slot index embedded in the id.
+  class ConnectionView {
+   public:
+    using Entry = std::pair<MulticastRequest, Route>;
+
+    class const_iterator {
+     public:
+      using value_type = std::pair<ConnectionId, const Entry&>;
+
+      const_iterator(const ThreeStageNetwork* network, std::uint32_t slot)
+          : network_(network), slot_(slot) {}
+      [[nodiscard]] value_type operator*() const;
+      const_iterator& operator++();
+      [[nodiscard]] bool operator==(const const_iterator&) const = default;
+
+     private:
+      const ThreeStageNetwork* network_;
+      std::uint32_t slot_;
+    };
+
+    [[nodiscard]] const_iterator begin() const;
+    [[nodiscard]] const_iterator end() const;
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] bool empty() const { return size() == 0; }
+    [[nodiscard]] bool contains(ConnectionId id) const;
+    /// Throws std::out_of_range for unknown ids (map::at contract).
+    [[nodiscard]] const Entry& at(ConnectionId id) const;
+
+   private:
+    friend class ThreeStageNetwork;
+    explicit ConnectionView(const ThreeStageNetwork* network) : network_(network) {}
+    const ThreeStageNetwork* network_;
+  };
+
   ThreeStageNetwork(ClosParams params, Construction construction,
                     MulticastModel network_model);
 
@@ -125,11 +173,8 @@ class ThreeStageNetwork {
 
   [[nodiscard]] bool input_busy(const WavelengthEndpoint& endpoint) const;
   [[nodiscard]] bool output_busy(const WavelengthEndpoint& endpoint) const;
-  [[nodiscard]] std::size_t active_connections() const { return connections_.size(); }
-  [[nodiscard]] const std::map<ConnectionId, std::pair<MulticastRequest, Route>>&
-  connections() const {
-    return connections_;
-  }
+  [[nodiscard]] std::size_t active_connections() const { return active_count_; }
+  [[nodiscard]] ConnectionView connections() const { return ConnectionView(this); }
 
   // -- analysis views (§3.3) ------------------------------------------------
   /// The destination multiset M_j of middle module j: multiplicity of output
@@ -146,11 +191,46 @@ class ThreeStageNetwork {
   void self_check() const;
 
  private:
+  friend class ConnectionView;
+
   struct InstalledTransits {
     SwitchModule::TransitId input_transit = 0;
     std::vector<std::pair<std::size_t, SwitchModule::TransitId>> middle_transits;
     std::vector<std::pair<std::size_t, SwitchModule::TransitId>> output_transits;
   };
+
+  /// One connection of the slot-reuse table. `entry`'s request/route vectors
+  /// and the transit lists keep their capacity across slot reuse;
+  /// `generation` is embedded in the public ConnectionId so stale ids are
+  /// rejected in O(1); prev/next thread the insertion-order list behind
+  /// ConnectionView.
+  struct ConnectionSlot {
+    ConnectionView::Entry entry;
+    InstalledTransits transits;
+    std::uint32_t generation = 0;
+    std::uint32_t prev = kNoSlot;
+    std::uint32_t next = kNoSlot;
+    bool active = false;
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  static ConnectionId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<ConnectionId>(generation) << 32) | slot;
+  }
+  /// Slot index of an id if it names an active connection, else kNoSlot.
+  [[nodiscard]] std::uint32_t slot_of(ConnectionId id) const;
+
+  /// Structural copy of `src` into a slot's stored route that conserves
+  /// nested-vector capacity: shrinking hands surplus branches/legs to the
+  /// spare pools instead of destroying them, growing pulls them back. Plain
+  /// vector copy-assign would free the nested buffers on every shrink, so a
+  /// slot alternating between route shapes would re-allocate forever.
+  void copy_route_into(Route& dst, const Route& src);
+
+  [[nodiscard]] std::size_t endpoint_index(const WavelengthEndpoint& endpoint) const {
+    return endpoint.port * params_.k + endpoint.lane;
+  }
 
   ClosParams params_;
   Construction construction_;
@@ -162,11 +242,32 @@ class ThreeStageNetwork {
 
   const FaultModel* faults_ = nullptr;  // not owned; nullptr = fault-free
 
-  std::map<ConnectionId, std::pair<MulticastRequest, Route>> connections_;
-  std::map<ConnectionId, InstalledTransits> transits_;
-  std::map<WavelengthEndpoint, ConnectionId> busy_inputs_;
-  std::map<WavelengthEndpoint, ConnectionId> busy_outputs_;
-  ConnectionId next_id_ = 1;
+  // Flat endpoint occupancy: index = port * k + lane, value = owning
+  // connection id (0 = free; ids are always nonzero).
+  std::vector<ConnectionId> busy_inputs_;
+  std::vector<ConnectionId> busy_outputs_;
+
+  std::vector<ConnectionSlot> connection_slots_;
+  std::vector<std::uint32_t> free_connection_slots_;
+  // Branch/leg pools behind copy_route_into. Pooled objects hold emptied but
+  // capacity-bearing nested vectors; since buffers are pooled rather than
+  // freed, every buffer's capacity grows monotonically toward the workload
+  // maximum and steady-state install() performs no heap allocations.
+  std::vector<RouteBranch> spare_route_branches_;
+  std::vector<DeliveryLeg> spare_route_legs_;
+  std::uint32_t head_ = kNoSlot;  // oldest active connection
+  std::uint32_t tail_ = kNoSlot;  // newest active connection
+  std::size_t active_count_ = 0;
+
+  // Reusable scratch for check_route/install (capacity survives calls, so
+  // steady-state validation is allocation-free). The stamp arrays implement
+  // "was this seen during generation g" sets without clearing: a cell is set
+  // iff it equals the current generation counter.
+  mutable std::vector<ModulePortLane> portlane_scratch_;
+  mutable std::vector<std::uint64_t> endpoint_stamp_;  // per (port, lane)
+  mutable std::vector<std::uint64_t> middle_stamp_;    // per middle module
+  mutable std::vector<std::uint64_t> module_stamp_;    // per output module
+  mutable std::uint64_t stamp_generation_ = 0;
 };
 
 }  // namespace wdm

@@ -1,7 +1,7 @@
 #include "multistage/routing.h"
 
 #include <algorithm>
-#include <map>
+#include <bit>
 #include <stdexcept>
 
 #include "faults/fault_model.h"
@@ -11,14 +11,6 @@
 namespace wdm {
 
 namespace {
-
-/// Per-output-module delivery requirements of one request.
-struct ModuleDemand {
-  std::vector<WavelengthEndpoint> destinations;
-  /// Set when the output module cannot convert (MSW): the one link lane that
-  /// can feed it. kNoWavelength = any free lane acceptable.
-  Wavelength required_link_lane = kNoWavelength;
-};
 
 /// Router hot-path instruments (see docs/BENCHMARKS.md for definitions).
 struct RouterMetrics {
@@ -39,6 +31,16 @@ struct RouterMetrics {
   }
 };
 
+inline bool test_bit(const std::vector<std::uint64_t>& words, std::size_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1u;
+}
+inline void set_bit(std::vector<std::uint64_t>& words, std::size_t i) {
+  words[i >> 6] |= 1ull << (i & 63);
+}
+inline void clear_bit(std::vector<std::uint64_t>& words, std::size_t i) {
+  words[i >> 6] &= ~(1ull << (i & 63));
+}
+
 }  // namespace
 
 Router::Router(ThreeStageNetwork& network, RoutingPolicy policy)
@@ -46,6 +48,12 @@ Router::Router(ThreeStageNetwork& network, RoutingPolicy policy)
   if (policy_.max_spread == 0) {
     throw std::invalid_argument("Router: max_spread must be >= 1");
   }
+  const ClosParams& params = network_->params();
+  demands_.resize(params.r);
+  demand_stamp_.assign(params.r, 0);
+  targets_.reserve(params.r);
+  candidates_.reserve(params.m);
+  chosen_.reserve(policy_.max_spread);
 }
 
 RoutingPolicy Router::recommended_policy(const ClosParams& params,
@@ -57,12 +65,10 @@ RoutingPolicy Router::recommended_policy(const ClosParams& params,
   return {bound.x, RouteSearch::kExhaustive};
 }
 
-std::vector<std::size_t> Router::candidate_middles(std::size_t in_module,
-                                                   Wavelength lane) const {
+void Router::candidate_middles(std::size_t in_module, Wavelength lane) const {
   const ClosParams& params = network_->params();
   const SwitchModule& input = network_->input_module(in_module);
-  std::vector<std::size_t> candidates;
-  candidates.reserve(params.m);
+  candidates_.clear();
   RouterMetrics& counters = RouterMetrics::get();
   counters.middle_probes.add(params.m);
   TraceSpan span("routing.middle_probe_loop");
@@ -82,40 +88,72 @@ std::vector<std::size_t> Router::candidate_middles(std::size_t in_module,
     } else {
       usable = usable_free_lane(input, j, LinkStage::kInputToMiddle, in_module);
     }
-    if (usable) candidates.push_back(j);
+    if (usable) candidates_.push_back(j);
   }
-  counters.candidates_per_attempt.record(candidates.size());
+  counters.candidates_per_attempt.record(candidates_.size());
   span.arg("probed", static_cast<std::int64_t>(params.m));
-  span.arg("candidates", static_cast<std::int64_t>(candidates.size()));
-  return candidates;
+  span.arg("candidates", static_cast<std::int64_t>(candidates_.size()));
 }
 
-std::optional<Route> Router::find_route(const MulticastRequest& request) const {
+const Route* Router::find_route_instrumented(const MulticastRequest& request) const {
   RouterMetrics& counters = RouterMetrics::get();
   counters.attempts.add();
   ScopedTimer timer(counters.find_route);
   TraceSpan span("routing.find_route");
   span.arg("fanout", static_cast<std::int64_t>(request.outputs.size()));
-  auto route = find_route_impl(request);
-  span.arg("found", route ? 1 : 0);
-  (route ? counters.found : counters.blocked).add();
+  const Route* route = find_route_impl(request);
+  span.arg("found", route != nullptr ? 1 : 0);
+  (route != nullptr ? counters.found : counters.blocked).add();
   return route;
 }
 
-std::optional<Route> Router::find_route_impl(
-    const MulticastRequest& request) const {
+std::optional<Route> Router::find_route(const MulticastRequest& request) const {
+  const Route* route = find_route_instrumented(request);
+  if (route == nullptr) return std::nullopt;
+  return *route;  // copy out of the scratch
+}
+
+void Router::recycle_route() const {
+  for (RouteBranch& branch : route_.branches) {
+    for (DeliveryLeg& leg : branch.legs) {
+      leg.destinations.clear();
+      spare_legs_.push_back(std::move(leg));
+    }
+    branch.legs.clear();
+    spare_branches_.push_back(std::move(branch));
+  }
+  route_.branches.clear();
+}
+
+const Route* Router::find_route_impl(const MulticastRequest& request) const {
+  recycle_route();
+
   const Construction construction = network_->construction();
   const MulticastModel output_model = network_->network_model();
   const std::size_t in_module = network_->input_module_of(request.input.port);
   const Wavelength source_lane = request.input.lane;
 
   // Group destinations by output module and work out each module's link-lane
-  // requirement.
-  std::map<std::size_t, ModuleDemand> demands;
+  // requirement. The demand slots are stamp-gated: a slot belongs to this
+  // request iff its stamp equals the fresh generation, so nothing is cleared
+  // between requests. Targets are sorted ascending, reproducing the
+  // iteration order of the std::map this replaced.
+  const std::uint64_t gen = ++demand_gen_;
+  targets_.clear();
   for (const auto& out : request.outputs) {
-    demands[network_->output_module_of(out.port)].destinations.push_back(out);
+    const std::size_t module = network_->output_module_of(out.port);
+    ModuleDemand& demand = demands_[module];
+    if (demand_stamp_[module] != gen) {
+      demand_stamp_[module] = gen;
+      demand.destinations.clear();
+      demand.required_link_lane = kNoWavelength;
+      targets_.push_back(module);
+    }
+    demand.destinations.push_back(out);
   }
-  for (auto& [module, demand] : demands) {
+  std::sort(targets_.begin(), targets_.end());
+  for (const std::size_t module : targets_) {
+    ModuleDemand& demand = demands_[module];
     if (construction == Construction::kMswDominant) {
       // Stages 1-2 hold the source lane, so every module is fed on it.
       demand.required_link_lane = source_lane;
@@ -125,108 +163,120 @@ std::optional<Route> Router::find_route_impl(
       // destinations in the module share it under an MSW network model).
       const Wavelength lane = demand.destinations.front().lane;
       for (const auto& dest : demand.destinations) {
-        if (dest.lane != lane) return std::nullopt;  // unsatisfiable demand
+        if (dest.lane != lane) return nullptr;  // unsatisfiable demand
       }
       demand.required_link_lane = lane;
     }
   }
 
-  const std::vector<std::size_t> candidates =
-      candidate_middles(in_module, source_lane);
-  if (candidates.empty()) return std::nullopt;
+  candidate_middles(in_module, source_lane);
+  if (candidates_.empty()) return nullptr;
 
-  // serves[c][t]: can candidate c feed target t (demands in map order)?
-  std::vector<std::size_t> target_modules;
-  target_modules.reserve(demands.size());
-  for (const auto& [module, demand] : demands) target_modules.push_back(module);
-
-  const std::size_t n_targets = target_modules.size();
+  // serves_ row c, bit t: can candidate c feed target t (targets ascending)?
+  const std::size_t n_targets = targets_.size();
+  const std::size_t n_candidates = candidates_.size();
+  const std::size_t serve_words = (n_targets + 63) / 64;
+  const std::size_t cand_words = (n_candidates + 63) / 64;
   const FaultModel* faults = network_->active_fault_model();
-  std::vector<std::vector<bool>> serves(candidates.size(),
-                                        std::vector<bool>(n_targets, false));
-  for (std::size_t c = 0; c < candidates.size(); ++c) {
-    const SwitchModule& middle = network_->middle_module(candidates[c]);
+  serves_.assign(n_candidates * serve_words, 0);
+  for (std::size_t c = 0; c < n_candidates; ++c) {
+    const SwitchModule& middle = network_->middle_module(candidates_[c]);
+    std::uint64_t* row = serves_.data() + c * serve_words;
     for (std::size_t t = 0; t < n_targets; ++t) {
-      const ModuleDemand& demand = demands.at(target_modules[t]);
+      const ModuleDemand& demand = demands_[targets_[t]];
+      bool serves;
       if (demand.required_link_lane == kNoWavelength) {
-        serves[c][t] =
-            faults == nullptr
-                ? middle.free_out_lanes(target_modules[t]) > 0
-                : usable_free_lane(middle, target_modules[t],
-                                   LinkStage::kMiddleToOutput, candidates[c]);
+        serves = faults == nullptr
+                     ? middle.free_out_lanes(targets_[t]) > 0
+                     : usable_free_lane(middle, targets_[t],
+                                        LinkStage::kMiddleToOutput, candidates_[c]);
       } else {
-        serves[c][t] =
-            middle.out_lane_free(target_modules[t], demand.required_link_lane) &&
+        serves =
+            middle.out_lane_free(targets_[t], demand.required_link_lane) &&
             (faults == nullptr ||
-             faults->link23_usable(candidates[c], target_modules[t],
+             faults->link23_usable(candidates_[c], targets_[t],
                                    demand.required_link_lane));
       }
+      if (serves) row[t >> 6] |= 1ull << (t & 63);
     }
   }
 
   // --- cover search: at most max_spread candidates covering all targets ---
-  std::vector<std::size_t> chosen;  // indices into `candidates`
-  std::vector<bool> covered(n_targets, false);
+  chosen_.clear();
+  chosen_mask_.assign(cand_words, 0);
+  covered_.assign(serve_words, 0);
   std::size_t uncovered = n_targets;
+  if (newly_stack_.size() < policy_.max_spread * serve_words) {
+    newly_stack_.resize(policy_.max_spread * serve_words);
+  }
 
   auto coverage_gain = [&](std::size_t c) {
+    const std::uint64_t* row = serves_.data() + c * serve_words;
     std::size_t gain = 0;
-    for (std::size_t t = 0; t < n_targets; ++t) {
-      if (!covered[t] && serves[c][t]) ++gain;
+    for (std::size_t w = 0; w < serve_words; ++w) {
+      gain += static_cast<std::size_t>(std::popcount(row[w] & ~covered_[w]));
     }
     return gain;
   };
-  auto apply = [&](std::size_t c, std::vector<std::size_t>& newly) {
+  // apply/undo record the targets newly covered at each search level in
+  // newly_stack_ row `level` (= chosen_.size() before/after the push).
+  auto apply = [&](std::size_t c) {
     RouterMetrics::get().spread_expansions.add();
-    for (std::size_t t = 0; t < n_targets; ++t) {
-      if (!covered[t] && serves[c][t]) {
-        covered[t] = true;
-        newly.push_back(t);
-        --uncovered;
-      }
+    const std::uint64_t* row = serves_.data() + c * serve_words;
+    std::uint64_t* newly = newly_stack_.data() + chosen_.size() * serve_words;
+    for (std::size_t w = 0; w < serve_words; ++w) {
+      newly[w] = row[w] & ~covered_[w];
+      covered_[w] |= newly[w];
+      uncovered -= static_cast<std::size_t>(std::popcount(newly[w]));
     }
-    chosen.push_back(c);
+    chosen_.push_back(c);
+    set_bit(chosen_mask_, c);
   };
-  auto undo = [&](const std::vector<std::size_t>& newly) {
-    for (const std::size_t t : newly) {
-      covered[t] = false;
-      ++uncovered;
+  auto undo = [&]() {
+    const std::size_t c = chosen_.back();
+    chosen_.pop_back();
+    clear_bit(chosen_mask_, c);
+    const std::uint64_t* newly = newly_stack_.data() + chosen_.size() * serve_words;
+    for (std::size_t w = 0; w < serve_words; ++w) {
+      covered_[w] &= ~newly[w];
+      uncovered += static_cast<std::size_t>(std::popcount(newly[w]));
     }
-    chosen.pop_back();
   };
 
   bool found = false;
   if (policy_.search == RouteSearch::kGreedy) {
-    while (uncovered > 0 && chosen.size() < policy_.max_spread) {
-      std::size_t best = candidates.size();
+    while (uncovered > 0 && chosen_.size() < policy_.max_spread) {
+      std::size_t best = n_candidates;
       std::size_t best_gain = 0;
-      for (std::size_t c = 0; c < candidates.size(); ++c) {
-        if (std::find(chosen.begin(), chosen.end(), c) != chosen.end()) continue;
+      for (std::size_t c = 0; c < n_candidates; ++c) {
+        if (test_bit(chosen_mask_, c)) continue;
         const std::size_t gain = coverage_gain(c);
         if (gain > best_gain) {
           best_gain = gain;
           best = c;
         }
       }
-      if (best == candidates.size()) break;
-      std::vector<std::size_t> newly;
-      apply(best, newly);
+      if (best == n_candidates) break;
+      apply(best);
     }
     found = (uncovered == 0);
   } else {
     // Exhaustive: branch on the uncovered target with the fewest servers;
     // complete because any cover must include one of that target's servers.
+    if (options_stack_.size() < policy_.max_spread) {
+      options_stack_.resize(policy_.max_spread);
+    }
     auto dfs = [&](auto&& self) -> bool {
       if (uncovered == 0) return true;
-      if (chosen.size() >= policy_.max_spread) return false;
+      if (chosen_.size() >= policy_.max_spread) return false;
       std::size_t pivot = n_targets;
-      std::size_t pivot_servers = candidates.size() + 1;
+      std::size_t pivot_servers = n_candidates + 1;
       for (std::size_t t = 0; t < n_targets; ++t) {
-        if (covered[t]) continue;
+        if (test_bit(covered_, t)) continue;
         std::size_t servers = 0;
-        for (std::size_t c = 0; c < candidates.size(); ++c) {
-          if (serves[c][t] &&
-              std::find(chosen.begin(), chosen.end(), c) == chosen.end()) {
+        for (std::size_t c = 0; c < n_candidates; ++c) {
+          if (test_bit(serves_, c * serve_words * 64 + t) &&
+              !test_bit(chosen_mask_, c)) {
             ++servers;
           }
         }
@@ -237,10 +287,11 @@ std::optional<Route> Router::find_route_impl(
         }
       }
       // Try the pivot's servers, highest additional coverage first.
-      std::vector<std::size_t> options;
-      for (std::size_t c = 0; c < candidates.size(); ++c) {
-        if (serves[c][pivot] &&
-            std::find(chosen.begin(), chosen.end(), c) == chosen.end()) {
+      std::vector<std::size_t>& options = options_stack_[chosen_.size()];
+      options.clear();
+      for (std::size_t c = 0; c < n_candidates; ++c) {
+        if (test_bit(serves_, c * serve_words * 64 + pivot) &&
+            !test_bit(chosen_mask_, c)) {
           options.push_back(c);
         }
       }
@@ -248,33 +299,46 @@ std::optional<Route> Router::find_route_impl(
         return coverage_gain(a) > coverage_gain(b);
       });
       for (const std::size_t c : options) {
-        std::vector<std::size_t> newly;
-        apply(c, newly);
+        apply(c);
         if (self(self)) return true;
-        undo(newly);
+        undo();
       }
       return false;
     };
     found = dfs(dfs);
   }
-  if (!found) return std::nullopt;
+  if (!found) return nullptr;
 
   // --- materialize the route: assign each target to its covering branch ---
   // Re-derive the assignment: walk chosen in order, give each chosen middle
-  // the targets it serves that are still unassigned.
-  std::vector<bool> assigned(n_targets, false);
-  Route route;
+  // the targets it serves that are still unassigned. Branches and legs come
+  // from the spare pools so their nested vectors keep their capacity.
+  assigned_.assign(serve_words, 0);
   const SwitchModule& input = network_->input_module(in_module);
-  for (const std::size_t c : chosen) {
-    RouteBranch branch;
-    branch.middle = candidates[c];
+  for (const std::size_t c : chosen_) {
+    if (!spare_branches_.empty()) {
+      route_.branches.push_back(std::move(spare_branches_.back()));
+      spare_branches_.pop_back();
+    } else {
+      route_.branches.emplace_back();
+    }
+    RouteBranch& branch = route_.branches.back();
+    branch.middle = candidates_[c];
     const SwitchModule& middle = network_->middle_module(branch.middle);
     for (std::size_t t = 0; t < n_targets; ++t) {
-      if (assigned[t] || !serves[c][t]) continue;
-      assigned[t] = true;
-      const std::size_t module = target_modules[t];
-      const ModuleDemand& demand = demands.at(module);
-      DeliveryLeg leg;
+      if (test_bit(assigned_, t) || !test_bit(serves_, c * serve_words * 64 + t)) {
+        continue;
+      }
+      set_bit(assigned_, t);
+      const std::size_t module = targets_[t];
+      const ModuleDemand& demand = demands_[module];
+      if (!spare_legs_.empty()) {
+        branch.legs.push_back(std::move(spare_legs_.back()));
+        spare_legs_.pop_back();
+      } else {
+        branch.legs.emplace_back();
+      }
+      DeliveryLeg& leg = branch.legs.back();
       leg.out_module = module;
       if (demand.required_link_lane != kNoWavelength) {
         leg.link_lane = demand.required_link_lane;
@@ -291,24 +355,27 @@ std::optional<Route> Router::find_route_impl(
         }
         const auto lane = pick_lane(middle, module, preferred,
                                     LinkStage::kMiddleToOutput, branch.middle);
-        if (!lane) return std::nullopt;  // should not happen: serves[] said free
+        if (!lane) return nullptr;  // should not happen: serves_ said free
         leg.link_lane = *lane;
       }
-      leg.destinations = demand.destinations;
-      branch.legs.push_back(std::move(leg));
+      leg.destinations = demand.destinations;  // copy-assign: keeps capacity
     }
-    if (branch.legs.empty()) continue;  // greedy may over-pick; drop idle branch
+    if (branch.legs.empty()) {
+      // Greedy may over-pick; drop the idle branch back into the pool.
+      spare_branches_.push_back(std::move(route_.branches.back()));
+      route_.branches.pop_back();
+      continue;
+    }
     if (network_->construction() == Construction::kMswDominant) {
       branch.link_lane = source_lane;
     } else {
       const auto lane = pick_lane(input, branch.middle, source_lane,
                                   LinkStage::kInputToMiddle, in_module);
-      if (!lane) return std::nullopt;  // candidate check said a lane was free
+      if (!lane) return nullptr;  // candidate check said a lane was free
       branch.link_lane = *lane;
     }
-    route.branches.push_back(std::move(branch));
   }
-  return route;
+  return &route_;
 }
 
 std::optional<Wavelength> Router::pick_lane(const SwitchModule& module,
@@ -373,8 +440,8 @@ std::optional<ConnectionId> Router::try_connect(const MulticastRequest& request)
     last_error_ = *error;
     return std::nullopt;
   }
-  const auto route = find_route(request);
-  if (!route) {
+  const Route* route = find_route_instrumented(request);
+  if (route == nullptr) {
     last_error_ = ConnectError::kBlocked;
     return std::nullopt;
   }

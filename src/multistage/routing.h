@@ -21,6 +21,14 @@
 // branch on the uncovered output module with the fewest serving candidates.
 // A greedy most-coverage-first variant exists for ablation; it can block
 // where the exhaustive search would not.
+//
+// Hot-path data layout (see DESIGN.md): the search runs entirely on
+// per-router scratch buffers -- demands in a flat array indexed by output
+// module (with stamp-based reset), the serves relation and cover state as
+// 64-bit word masks, and the result route in a pooled scratch Route whose
+// nested vectors keep their capacity -- so steady-state find_route +
+// try_connect performs zero heap allocations. The scratch makes a Router
+// single-threaded by construction (as it already was via its network).
 #pragma once
 
 #include <cstdint>
@@ -62,7 +70,8 @@ class Router {
   [[nodiscard]] ThreeStageNetwork& network() { return *network_; }
 
   /// Find a route for an (assumed admissible) request under the current
-  /// network state. nullopt = blocked at the middle stage.
+  /// network state. nullopt = blocked at the middle stage. The returned
+  /// Route is a copy of the router's scratch; try_connect avoids the copy.
   [[nodiscard]] std::optional<Route> find_route(const MulticastRequest& request) const;
 
   /// Admission + routing + installation. nullopt on failure; the reason is
@@ -77,9 +86,22 @@ class Router {
   /// Which inter-stage gap a link lives in (for fault lookups).
   enum class LinkStage { kInputToMiddle, kMiddleToOutput };
 
-  /// The uninstrumented search; find_route wraps it with the route-attempt
-  /// counters and the "routing.find_route" timer (see docs/BENCHMARKS.md).
-  [[nodiscard]] std::optional<Route> find_route_impl(
+  /// Per-output-module delivery requirements of one request (scratch slot;
+  /// `destinations` keeps its capacity across requests).
+  struct ModuleDemand {
+    std::vector<WavelengthEndpoint> destinations;
+    /// Set when the output module cannot convert (MSW): the one link lane
+    /// that can feed it. kNoWavelength = any free lane acceptable.
+    Wavelength required_link_lane = kNoWavelength;
+  };
+
+  /// The uninstrumented search: fills the scratch `route_` and returns its
+  /// address, or nullptr when blocked at the middle stage.
+  [[nodiscard]] const Route* find_route_impl(const MulticastRequest& request) const;
+  /// find_route_impl wrapped with the route-attempt counters and the
+  /// "routing.find_route" timer (see docs/BENCHMARKS.md); the result still
+  /// points into the router's scratch.
+  [[nodiscard]] const Route* find_route_instrumented(
       const MulticastRequest& request) const;
   /// Lane choice on a module's output link honoring the lane policy. The
   /// link runs `from_module` -> `out_port` in gap `stage`; with a degraded
@@ -94,14 +116,43 @@ class Router {
   [[nodiscard]] bool usable_free_lane(const SwitchModule& module,
                                       std::size_t out_port, LinkStage stage,
                                       std::size_t from_module) const;
-  /// Which middle modules could carry one more branch from input module i on
-  /// source lane `lane`.
-  [[nodiscard]] std::vector<std::size_t> candidate_middles(std::size_t in_module,
-                                                           Wavelength lane) const;
+  /// Fill `candidates_` with the middle modules that could carry one more
+  /// branch from input module `in_module` on source lane `lane`.
+  void candidate_middles(std::size_t in_module, Wavelength lane) const;
+
+  /// Move the previous scratch route's branches/legs back into the pools so
+  /// their nested vectors' capacity is reused by the next request.
+  void recycle_route() const;
 
   ThreeStageNetwork* network_;
   RoutingPolicy policy_;
   ConnectError last_error_ = ConnectError::kBlocked;
+
+  // -- reusable per-request scratch (see the header comment) ---------------
+  // Demand slot per output module; a slot is live for the current request
+  // iff its stamp equals demand_gen_ (no clearing between requests).
+  mutable std::vector<ModuleDemand> demands_;
+  mutable std::vector<std::uint64_t> demand_stamp_;
+  mutable std::uint64_t demand_gen_ = 0;
+  mutable std::vector<std::size_t> targets_;     // modules with demand, ascending
+  mutable std::vector<std::size_t> candidates_;  // usable middle modules
+  // serves_[c * serve_words + w]: bit t of word w set iff candidate c can
+  // feed target t. covered_/assigned_ are word masks over targets,
+  // chosen_mask_ a word mask over candidates (replaces std::find scans).
+  mutable std::vector<std::uint64_t> serves_;
+  mutable std::vector<std::uint64_t> covered_;
+  mutable std::vector<std::uint64_t> assigned_;
+  mutable std::vector<std::uint64_t> chosen_mask_;
+  mutable std::vector<std::size_t> chosen_;
+  // Per-DFS-level scratch: the targets newly covered at each level (word
+  // mask rows) and each level's candidate option list.
+  mutable std::vector<std::uint64_t> newly_stack_;
+  mutable std::vector<std::vector<std::size_t>> options_stack_;
+  // Scratch result route plus branch/leg pools that conserve the capacity
+  // of nested vectors while the route shrinks and grows across requests.
+  mutable Route route_;
+  mutable std::vector<RouteBranch> spare_branches_;
+  mutable std::vector<DeliveryLeg> spare_legs_;
 };
 
 /// Number of wavelength conversions the route performs inside the network:

@@ -71,10 +71,13 @@ std::vector<SweepPoint> sweep_middle_count(const SweepConfig& config) {
     Rng attack_rng = Rng(config.sim.seed ^ 0xA77A).split(task);
     const AttackResult attack = saturation_attack(attack_switch, attack_rng);
 
-    std::lock_guard lock(merge_mutex);
-    points[point].stats += stats;
-    if (attack.challenge_blocked) ++points[point].attack_blocked;
-    (void)trial;
+    // Scoped so the trailing span/timer destructors run outside the lock:
+    // the critical section covers only the shared-state merge.
+    {
+      std::lock_guard lock(merge_mutex);
+      points[point].stats += stats;
+      if (attack.challenge_blocked) ++points[point].attack_blocked;
+    }
   });
 
   return points;

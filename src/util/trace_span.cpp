@@ -116,22 +116,22 @@ bool tracing_armed_relaxed() {
   return g_tracing.load(std::memory_order_relaxed) &&
          metrics_enabled_relaxed();
 }
+
+std::uint64_t trace_now_ns() { return now_ns(); }
+
+void trace_counter_slow(const char* name, std::int64_t value) {
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = now_ns();
+  event.is_counter = true;
+  event.arg_keys[0] = "value";
+  event.arg_values[0] = value;
+  event.arg_count = 1;
+  thread_ring().push(event);
+}
 }  // namespace detail
 
-TraceSpan::TraceSpan(const char* name)
-    : name_(name), armed_(detail::tracing_armed_relaxed()) {
-  if (armed_) start_ns_ = now_ns();
-}
-
-void TraceSpan::arg(const char* key, std::int64_t value) {
-  if (!armed_ || arg_count_ >= kMaxArgs) return;
-  arg_keys_[arg_count_] = key;
-  arg_values_[arg_count_] = value;
-  ++arg_count_;
-}
-
-TraceSpan::~TraceSpan() {
-  if (!armed_) return;
+void TraceSpan::record() {
   TraceEvent event;
   event.name = name_;
   event.start_ns = start_ns_;
@@ -141,18 +141,6 @@ TraceSpan::~TraceSpan() {
     event.arg_values[i] = arg_values_[i];
   }
   event.arg_count = arg_count_;
-  thread_ring().push(event);
-}
-
-void trace_counter(const char* name, std::int64_t value) {
-  if (!detail::tracing_armed_relaxed()) return;
-  TraceEvent event;
-  event.name = name;
-  event.start_ns = now_ns();
-  event.is_counter = true;
-  event.arg_keys[0] = "value";
-  event.arg_values[0] = value;
-  event.arg_count = 1;
   thread_ring().push(event);
 }
 

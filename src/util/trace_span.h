@@ -42,6 +42,10 @@ namespace detail {
 /// True when span recording is armed (tracing AND metrics enabled); one
 /// relaxed load pair, the only per-event cost while tracing is off.
 [[nodiscard]] bool tracing_armed_relaxed();
+/// Nanoseconds since the process's trace epoch (first observability touch).
+[[nodiscard]] std::uint64_t trace_now_ns();
+/// Buffer a counter sample; callers must already have checked arming.
+void trace_counter_slow(const char* name, std::int64_t value);
 }  // namespace detail
 
 /// Completed events each ring holds before overwriting the oldest.
@@ -50,20 +54,38 @@ inline constexpr std::size_t kTraceRingCapacity = 1u << 16;
 /// RAII begin/end span. The event is recorded at destruction (Chrome "X"
 /// complete event: begin timestamp + duration). `name` must be a string
 /// literal. Up to kMaxArgs integer annotations attach via arg().
+///
+/// Construction, arg(), and destruction are inline early-out no-ops while
+/// tracing is disarmed: one relaxed load at construction, then a branch on
+/// the cached flag -- no clock reads, no formatting, no out-of-line calls on
+/// the `--trace`-off hot path.
 class TraceSpan {
  public:
   static constexpr std::size_t kMaxArgs = 2;
 
-  explicit TraceSpan(const char* name);
-  ~TraceSpan();
+  explicit TraceSpan(const char* name)
+      : name_(name), armed_(detail::tracing_armed_relaxed()) {
+    if (armed_) start_ns_ = detail::trace_now_ns();
+  }
+  ~TraceSpan() {
+    if (armed_) record();
+  }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
   /// Attach a counter annotation ("candidates":13). `key` must be a string
   /// literal. Beyond kMaxArgs, silently ignored. No-op when disarmed.
-  void arg(const char* key, std::int64_t value);
+  void arg(const char* key, std::int64_t value) {
+    if (!armed_ || arg_count_ >= kMaxArgs) return;
+    arg_keys_[arg_count_] = key;
+    arg_values_[arg_count_] = value;
+    ++arg_count_;
+  }
 
  private:
+  /// Buffer the completed span (the armed slow path).
+  void record();
+
   const char* name_;
   std::uint64_t start_ns_ = 0;
   const char* arg_keys_[kMaxArgs] = {};
@@ -73,8 +95,12 @@ class TraceSpan {
 };
 
 /// Record a counter-track sample ("C" event): `name` plots as a value-over-
-/// time track in the viewer. `name` must be a string literal.
-void trace_counter(const char* name, std::int64_t value);
+/// time track in the viewer. `name` must be a string literal. Inline
+/// early-out no-op while tracing is disarmed.
+inline void trace_counter(const char* name, std::int64_t value) {
+  if (!detail::tracing_armed_relaxed()) return;
+  detail::trace_counter_slow(name, value);
+}
 
 /// Serialize every thread's buffered events as Chrome trace-event JSON
 /// (object form: {"traceEvents":[...],"otherData":{...}}), oldest first per

@@ -1,0 +1,82 @@
+// Golden-determinism pins for the routing hot path.
+//
+// These tests replay the exact fixed-seed workloads of the
+// `routing_msw_dominant` and `routing_maw_dominant` bench cases and assert
+// the deterministic router counters bit-for-bit against the committed
+// BENCH_results.json baseline. The routing hot path is heavily optimized
+// (bitmask occupancy, scratch-buffer search, slot-reuse tables); any change
+// that perturbs a routing *decision* -- candidate order, cover-search
+// tie-breaks, lane picks -- shifts these totals and must fail here, while
+// pure data-layout or speed changes keep them identical. If a future PR
+// changes routing behavior ON PURPOSE, it must refresh BENCH_results.json
+// and update these constants in the same commit.
+#include <gtest/gtest.h>
+
+#include "multistage/builder.h"
+#include "sim/blocking_sim.h"
+#include "util/metrics.h"
+
+namespace wdm {
+namespace {
+
+struct GoldenCounters {
+  std::uint64_t connects;
+  std::uint64_t disconnects;
+  std::uint64_t middle_probes;
+  std::uint64_t route_attempts;
+  std::uint64_t routes_found;
+  std::uint64_t spread_expansions;
+};
+
+/// Run the bench workload (full-size, default 0x5EED sim seed) and compare
+/// the router counters against the committed baseline values.
+void run_and_check(Construction construction, MulticastModel model,
+                   const GoldenCounters& golden) {
+  set_metrics_enabled(true);
+  metrics().reset();
+
+  auto sw = MultistageSwitch::nonblocking(4, 4, 2, construction, model);
+  SimConfig config;
+  config.steps = 20000;
+  config.self_check_every = 4096;
+  const SimStats stats = run_dynamic_sim(sw, config);
+  EXPECT_EQ(stats.blocked, 0u);  // provisioned at the theorem bound
+
+  EXPECT_EQ(metrics().counter("routing.connects").value(), golden.connects);
+  EXPECT_EQ(metrics().counter("routing.disconnects").value(), golden.disconnects);
+  EXPECT_EQ(metrics().counter("routing.middle_probes").value(),
+            golden.middle_probes);
+  EXPECT_EQ(metrics().counter("routing.route_attempts").value(),
+            golden.route_attempts);
+  EXPECT_EQ(metrics().counter("routing.routes_found").value(),
+            golden.routes_found);
+  EXPECT_EQ(metrics().counter("routing.spread_expansions").value(),
+            golden.spread_expansions);
+
+  metrics().reset();
+}
+
+// Values from BENCH_results.json: benchmarks[routing_msw_dominant].counters.
+TEST(GoldenCounters, MswDominantChurnIsBitIdentical) {
+  run_and_check(Construction::kMswDominant, MulticastModel::kMSW,
+                {.connects = 6952,
+                 .disconnects = 6937,
+                 .middle_probes = 90376,
+                 .route_attempts = 6952,
+                 .routes_found = 6952,
+                 .spread_expansions = 6952});
+}
+
+// Values from BENCH_results.json: benchmarks[routing_maw_dominant].counters.
+TEST(GoldenCounters, MawDominantChurnIsBitIdentical) {
+  run_and_check(Construction::kMawDominant, MulticastModel::kMAW,
+                {.connects = 7021,
+                 .disconnects = 7003,
+                 .middle_probes = 98294,
+                 .route_attempts = 7021,
+                 .routes_found = 7021,
+                 .spread_expansions = 7021});
+}
+
+}  // namespace
+}  // namespace wdm

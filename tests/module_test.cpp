@@ -93,6 +93,116 @@ TEST(SwitchModule, RemoveTransitRestoresState) {
   module.self_check();
 }
 
+TEST(SwitchModule, RejectsMoreLanesThanOneWord) {
+  // Per-port occupancy is a single uint64_t word, so k is capped at 64.
+  EXPECT_THROW(SwitchModule(2, 2, SwitchModule::kMaxLanes + 1, MulticastModel::kMAW),
+               std::invalid_argument);
+  EXPECT_THROW(SwitchModule(2, 2, 100, MulticastModel::kMSW), std::invalid_argument);
+}
+
+TEST(SwitchModule, SixtyFourLaneBoundary) {
+  // k = 64 exercises the all-ones lane mask (1 << 64 would be UB).
+  SwitchModule module(1, 1, SwitchModule::kMaxLanes, MulticastModel::kMAW);
+  EXPECT_EQ(module.free_out_lanes(0), 64u);
+  std::vector<SwitchModule::TransitId> ids;
+  for (Wavelength lane = 0; lane < 64; ++lane) {
+    EXPECT_EQ(module.lowest_free_out_lane(0), lane);
+    ids.push_back(module.add_transit({0, lane}, {{0, lane}}));
+    EXPECT_EQ(module.free_out_lanes(0), 63u - lane);
+  }
+  EXPECT_EQ(module.lowest_free_out_lane(0), std::nullopt);
+  EXPECT_EQ(module.free_in_lanes(0), 0u);
+  module.self_check();
+  module.remove_transit(ids[63]);
+  EXPECT_EQ(module.lowest_free_out_lane(0), 63u);
+  for (std::size_t i = 0; i < 63; ++i) module.remove_transit(ids[i]);
+  EXPECT_EQ(module.free_out_lanes(0), 64u);
+  module.self_check();
+}
+
+TEST(SwitchModule, SlotReuseAfterRemoveTransit) {
+  SwitchModule module(2, 2, 2, MulticastModel::kMAW);
+  const auto first = module.add_transit({0, 0}, {{0, 0}});
+  module.remove_transit(first);
+  // The freed slot is reused under a new generation: the old id must stay
+  // dead even though its slot is live again.
+  const auto second = module.add_transit({1, 1}, {{1, 1}});
+  EXPECT_NE(first, second);
+  EXPECT_THROW(module.remove_transit(first), std::out_of_range);
+  EXPECT_EQ(module.active_transits(), 1u);
+  module.remove_transit(second);
+  EXPECT_EQ(module.active_transits(), 0u);
+  module.self_check();
+}
+
+// Random churn cross-checked against a naive per-lane bool-matrix reference:
+// the word-parallel popcount/countr_zero queries must agree with the obvious
+// O(k) implementation at every step.
+TEST(SwitchModule, BitmaskQueriesMatchNaiveReference) {
+  constexpr std::size_t kPorts = 4;
+  constexpr std::size_t kLanes = 7;  // odd width: exercises the partial mask
+  Rng rng(42);
+  SwitchModule module(kPorts, kPorts, kLanes, MulticastModel::kMAW);
+
+  struct NaiveTransit {
+    ModulePortLane in;
+    std::vector<ModulePortLane> outs;
+  };
+  std::vector<std::vector<bool>> in_used(kPorts, std::vector<bool>(kLanes));
+  std::vector<std::vector<bool>> out_used(kPorts, std::vector<bool>(kLanes));
+  std::vector<std::pair<SwitchModule::TransitId, NaiveTransit>> live;
+
+  const auto check_against_reference = [&] {
+    for (std::size_t port = 0; port < kPorts; ++port) {
+      std::size_t free_out = 0;
+      std::size_t free_in = 0;
+      std::optional<Wavelength> lowest;
+      for (Wavelength lane = 0; lane < kLanes; ++lane) {
+        EXPECT_EQ(module.out_lane_free(port, lane), !out_used[port][lane]);
+        EXPECT_EQ(module.in_lane_free(port, lane), !in_used[port][lane]);
+        if (!out_used[port][lane]) {
+          ++free_out;
+          if (!lowest) lowest = lane;
+        }
+        if (!in_used[port][lane]) ++free_in;
+      }
+      EXPECT_EQ(module.free_out_lanes(port), free_out);
+      EXPECT_EQ(module.free_in_lanes(port), free_in);
+      EXPECT_EQ(module.lowest_free_out_lane(port), lowest);
+    }
+    EXPECT_EQ(module.active_transits(), live.size());
+  };
+
+  for (int step = 0; step < 500; ++step) {
+    if (live.empty() || rng.next_bool(0.55)) {
+      const ModulePortLane in{rng.next_below(kPorts),
+                              static_cast<Wavelength>(rng.next_below(kLanes))};
+      std::vector<ModulePortLane> outs;
+      const std::size_t fanout = 1 + rng.next_below(3);
+      for (std::size_t i = 0; i < fanout; ++i) {
+        outs.push_back({rng.next_below(kPorts),
+                        static_cast<Wavelength>(rng.next_below(kLanes))});
+      }
+      if (!module.check_transit(in, outs)) {
+        const auto id = module.add_transit(in, outs);
+        in_used[in.port][in.lane] = true;
+        for (const auto& out : outs) out_used[out.port][out.lane] = true;
+        live.emplace_back(id, NaiveTransit{in, outs});
+      }
+    } else {
+      const std::size_t victim = rng.next_below(live.size());
+      const auto& [id, transit] = live[victim];
+      module.remove_transit(id);
+      in_used[transit.in.port][transit.in.lane] = false;
+      for (const auto& out : transit.outs) out_used[out.port][out.lane] = false;
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    check_against_reference();
+    module.self_check();
+  }
+}
+
 TEST(SwitchModule, SelfCheckPassesUnderChurn) {
   Rng rng(7);
   SwitchModule module(4, 4, 2, MulticastModel::kMAW);

@@ -123,6 +123,20 @@ TEST_F(TraceSpanTest, MetricsKillSwitchDisarmsTracing) {
   EXPECT_EQ(trace_event_count(), 1u);
 }
 
+TEST_F(TraceSpanTest, SpanDisarmedAtConstructionStaysSilentAfterReenable) {
+  // The inline early-out latches "disarmed" at construction: a span created
+  // while tracing is off buffers nothing, even if tracing is re-enabled (and
+  // args are attached) before the span completes.
+  set_tracing_enabled(false);
+  {
+    TraceSpan span("trace_span_test.born_disarmed");
+    set_tracing_enabled(true);
+    span.arg("late", 1);
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_EQ(trace_dropped_count(), 0u);
+}
+
 TEST_F(TraceSpanTest, SpansArmedAtConstructionRecordAcrossMidSpanDisable) {
   // The armed decision is latched at construction; flipping the switch while
   // a span is open must not crash (the span still completes).
