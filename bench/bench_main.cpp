@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "core/export.h"
+#include "engine/churn_driver.h"
+#include "engine/sharded_engine.h"
 #include "faults/availability.h"
 #include "multistage/builder.h"
 #include "sim/blocking_sim.h"
@@ -293,6 +295,42 @@ BenchResult bench_availability(bool tiny) {
   return result;
 }
 
+BenchResult bench_engine_churn(bool tiny) {
+  // The tentpole contract, enforced on every artifact: multithreaded churn
+  // over the sharded engine reproduces the single-threaded replay
+  // bit-identically, and every stale-id probe is rejected.
+  engine::EngineConfig config;
+  config.params = {4, 4, 5, 2};
+  config.shards = tiny ? 3 : 8;
+  engine::ChurnConfig churn;
+  churn.ops_per_shard = tiny ? 400 : 8000;
+  churn.batch = 64;
+  churn.workers = 4;
+  churn.self_check_every = tiny ? 200 : 4096;
+
+  engine::ShardedEngine engine(config);
+  engine::ChurnDriver driver(engine, churn);
+  ThreadPool pool(churn.workers);
+  const engine::ChurnStats threaded = driver.run(pool);
+
+  engine::ShardedEngine replay_engine(config);
+  engine::ChurnDriver replay(replay_engine, churn);
+  const engine::ChurnStats serial = replay.run_serial();
+
+  BenchResult result;
+  result.params_json = params_of({{"n", 4},
+                                  {"r", 4},
+                                  {"k", 2},
+                                  {"shards", config.shards},
+                                  {"ops_per_shard", churn.ops_per_shard},
+                                  {"workers", churn.workers},
+                                  {"batch", churn.batch}});
+  result.ok = threaded == serial && threaded.total.stale_accepted == 0 &&
+              threaded.leftover_sessions == engine.active_sessions() &&
+              threaded.total.grows > 0;
+  return result;
+}
+
 const std::vector<BenchCase>& bench_cases() {
   static const std::vector<BenchCase> cases = {
       {"routing_msw_dominant",
@@ -316,6 +354,9 @@ const std::vector<BenchCase>& bench_cases() {
        bench_trace_replay},
       {"availability", "Erlang traffic with MTBF/MTTR failures + restoration",
        bench_availability},
+      {"engine_churn",
+       "sharded concurrent churn, verified bit-identical to a serial replay",
+       bench_engine_churn},
   };
   return cases;
 }

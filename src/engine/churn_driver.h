@@ -1,0 +1,142 @@
+// Multithreaded connect/disconnect/grow churn over a ShardedEngine, with
+// bit-identical results at any thread count.
+//
+// The driver turns the engine's shard decomposition into a deterministic
+// concurrent workload:
+//
+//   * Each shard carries its own op stream: a shard-resident Rng
+//     (Rng(seed).split(shard)) drives every decision -- arrival vs departure
+//     vs grow, request shape, victim choice, stale-id probes -- and arrivals
+//     draw their source port only from the shard's owned_ports(). The stream
+//     is therefore a pure function of (seed, shard, ops executed so far).
+//
+//   * Work is cut into fixed-size batches scheduled round-robin across
+//     shards. Worker threads claim batches from an atomic cursor, submit
+//     each claim into the owning shard's mutex-guarded queue, then drain
+//     that queue under the shard's mutex. Draining serializes each shard, so
+//     its op stream advances exactly as in a single-threaded run no matter
+//     which worker executes which batch or in which order batches land --
+//     batches carry op *counts*, not op content, and content comes from the
+//     shard-resident stream.
+//
+//   * A submitter always drains after enqueueing, so by the time run()
+//     joins, every queue is empty: a pushed batch is executed either by a
+//     concurrent drainer that saw it or by its own submitter's drain.
+//
+// Aggregation merges per-shard stats in ascending shard order, so ChurnStats
+// -- down to every counter -- is bit-identical for 1, 2, or 64 workers
+// (enforced by tests/engine_test.cpp and bench_churn). run_serial() executes
+// the same streams with no queues, batches, or pool, as an independent
+// replay reference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/sharded_engine.h"
+#include "sim/blocking_sim.h"
+#include "sim/request.h"
+#include "util/thread_pool.h"
+
+namespace wdm::engine {
+
+struct ChurnConfig {
+  /// Churn ops (ticks) each shard executes.
+  std::size_t ops_per_shard = 2000;
+  /// Ops per queued batch (the submission granularity).
+  std::size_t batch = 64;
+  /// Worker threads for run(); clamped to >= 1. The thread count must never
+  /// change results -- that is the point.
+  std::size_t workers = 4;
+  /// Probability a tick attempts an arrival (otherwise departure/grow).
+  double arrival_fraction = 0.6;
+  /// Probability a non-arrival tick attempts a multicast grow.
+  double grow_fraction = 0.25;
+  /// Probability per tick of replaying a disposed connection id against the
+  /// shard (must be cleanly rejected; counted in stale_probes/_rejected).
+  double stale_probe_fraction = 0.05;
+  FanoutRange fanout{1, 4};
+  std::uint64_t seed = 0xC0FFEE;
+  /// Deep-check a shard every this many of its ticks (0 = never).
+  std::size_t self_check_every = 0;
+};
+
+/// One shard's outcome tally. Deterministic per (engine config, churn
+/// config, shard) -- independent of worker count and batch interleaving.
+struct ShardChurnStats {
+  SimStats sim;  // attempts/admitted/blocked/departures/steps/...
+  std::size_t grow_attempts = 0;
+  std::size_t grows = 0;         // sessions that gained a destination
+  std::size_t grow_blocked = 0;  // no candidate or middle-stage block
+  std::size_t stale_probes = 0;
+  std::size_t stale_rejected = 0;
+  /// Stale ids the network *accepted* -- any nonzero value is a bug.
+  std::size_t stale_accepted = 0;
+
+  friend bool operator==(const ShardChurnStats&, const ShardChurnStats&) = default;
+};
+
+struct ChurnStats {
+  /// Shard-ordered merge of per_shard (shard 0 first -- fixed order, so the
+  /// merge itself cannot introduce nondeterminism).
+  ShardChurnStats total;
+  std::vector<ShardChurnStats> per_shard;
+  /// Driver-owned sessions still live at the end of the run.
+  std::size_t leftover_sessions = 0;
+
+  friend bool operator==(const ChurnStats&, const ChurnStats&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+class ChurnDriver {
+ public:
+  ChurnDriver(ShardedEngine& engine, ChurnConfig config);
+
+  [[nodiscard]] const ChurnConfig& config() const { return config_; }
+
+  /// Multithreaded churn on `pool` (the overload without a pool uses
+  /// default_pool()). Safe to call from inside a pool task: the nested
+  /// parallel_for runs inline (see thread_pool.h).
+  ChurnStats run(ThreadPool& pool);
+  ChurnStats run();
+
+  /// Single-threaded reference replay: the same per-shard op streams,
+  /// executed shard 0..S-1 with no queues, batches, or pool. Produces
+  /// bit-identical ChurnStats to run() on an identically-configured engine.
+  ChurnStats run_serial();
+
+ private:
+  /// Per-shard run state: the shard-resident stream plus the driver's
+  /// session bookkeeping and the mutex-guarded batch queue.
+  struct Lane {
+    explicit Lane(std::size_t shard_index, const ChurnConfig& config)
+        : shard(shard_index), rng(Rng(config.seed).split(shard_index)) {}
+
+    const std::size_t shard;
+    Rng rng;
+    std::vector<ConnectionId> active;  // driver-owned live sessions
+    /// Ring of recently disposed ids for stale probes (kStaleRing entries).
+    std::vector<ConnectionId> stale;
+    std::size_t stale_cursor = 0;
+    ShardChurnStats stats;
+
+    std::mutex queue_mutex;
+    std::vector<std::size_t> queue;  // pending batch sizes (FIFO)
+    std::size_t queue_head = 0;
+  };
+
+  static constexpr std::size_t kStaleRing = 32;
+
+  void tick(Lane& lane);
+  void grow_tick(Lane& lane, std::size_t victim);
+  void remember_stale(Lane& lane, ConnectionId id);
+  /// Execute every queued batch of `lane` under the shard mutex.
+  void drain(Lane& lane);
+  ChurnStats merge(std::vector<std::unique_ptr<Lane>>& lanes) const;
+
+  ShardedEngine* engine_;
+  ChurnConfig config_;
+};
+
+}  // namespace wdm::engine

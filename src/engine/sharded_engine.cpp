@@ -1,0 +1,181 @@
+#include "engine/sharded_engine.h"
+
+#include <stdexcept>
+
+#include "util/metrics.h"
+
+namespace wdm::engine {
+
+namespace {
+
+/// Engine-plane instruments (see docs/BENCHMARKS.md glossary). All counters
+/// here track deterministic per-shard outcomes, so their totals are
+/// bit-identical at any thread count.
+struct EngineMetrics {
+  Counter& connects = metrics().counter("engine.connects");
+  Counter& disconnects = metrics().counter("engine.disconnects");
+  Counter& grows = metrics().counter("engine.grows");
+  Counter& grow_blocked = metrics().counter("engine.grow_blocked");
+  Counter& stale_rejected = metrics().counter("engine.stale_rejected");
+
+  static EngineMetrics& get() {
+    static EngineMetrics instance;
+    return instance;
+  }
+};
+
+/// splitmix64 finalizer: the bijective mixer behind Rng seeding, reused here
+/// to score (port, shard) pairs for rendezvous hashing.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t rendezvous_shard(std::size_t port, std::size_t shard_count) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("rendezvous_shard: shard_count must be > 0");
+  }
+  std::size_t winner = 0;
+  std::uint64_t best = 0;
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    // Score both inputs through one mix so neither port nor shard ordering
+    // leaks into the weights.
+    const std::uint64_t weight =
+        mix64(mix64(static_cast<std::uint64_t>(port)) ^
+              static_cast<std::uint64_t>(shard) * 0xD1B54A32D192ED03ull);
+    if (shard == 0 || weight > best) {
+      winner = shard;
+      best = weight;
+    }
+  }
+  return winner;
+}
+
+ShardedEngine::Shard::Shard(const EngineConfig& config)
+    : sw(config.params, config.construction, config.network_model,
+         config.policy) {}
+
+ShardedEngine::ShardedEngine(const EngineConfig& config) : config_(config) {
+  if (config_.shards == 0) {
+    throw std::invalid_argument("ShardedEngine: need at least one shard");
+  }
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(config_));
+  }
+  owned_ports_.resize(config_.shards);
+  for (std::size_t port = 0; port < port_count(); ++port) {
+    owned_ports_[rendezvous_shard(port, config_.shards)].push_back(port);
+  }
+}
+
+std::size_t ShardedEngine::shard_of(std::size_t source_port) const {
+  return rendezvous_shard(source_port, shards_.size());
+}
+
+const std::vector<std::size_t>& ShardedEngine::owned_ports(
+    std::size_t shard) const {
+  return owned_ports_.at(shard);
+}
+
+std::mutex& ShardedEngine::shard_mutex(std::size_t shard) const {
+  return shards_.at(shard)->mutex;
+}
+
+MultistageSwitch& ShardedEngine::shard_switch(std::size_t shard) {
+  return shards_.at(shard)->sw;
+}
+
+std::optional<SessionId> ShardedEngine::connect(const MulticastRequest& request) {
+  const std::size_t shard = shard_of(request.input.port);
+  std::lock_guard lock(shards_[shard]->mutex);
+  const auto id = connect_locked(shard, request);
+  if (!id) return std::nullopt;
+  return SessionId{static_cast<std::uint32_t>(shard), *id};
+}
+
+bool ShardedEngine::disconnect(SessionId session) {
+  if (session.shard >= shards_.size()) return false;
+  std::lock_guard lock(shards_[session.shard]->mutex);
+  return disconnect_locked(session.shard, session.connection);
+}
+
+GrowResult ShardedEngine::grow(SessionId session,
+                               const WavelengthEndpoint& destination) {
+  if (session.shard >= shards_.size()) return {};
+  std::lock_guard lock(shards_[session.shard]->mutex);
+  return grow_locked(session.shard, session.connection, destination);
+}
+
+std::size_t ShardedEngine::active_sessions() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->sw.active_connections();
+  }
+  return total;
+}
+
+void ShardedEngine::self_check() const {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->sw.network().self_check();
+  }
+}
+
+std::optional<ConnectionId> ShardedEngine::connect_locked(
+    std::size_t shard, const MulticastRequest& request) {
+  const auto id = shards_[shard]->sw.try_connect(request);
+  if (id) EngineMetrics::get().connects.add();
+  return id;
+}
+
+bool ShardedEngine::disconnect_locked(std::size_t shard, ConnectionId id) {
+  EngineMetrics& counters = EngineMetrics::get();
+  if (!shards_[shard]->sw.try_disconnect(id)) {
+    counters.stale_rejected.add();
+    return false;
+  }
+  counters.disconnects.add();
+  return true;
+}
+
+GrowResult ShardedEngine::grow_locked(std::size_t shard, ConnectionId id,
+                                      const WavelengthEndpoint& destination) {
+  EngineMetrics& counters = EngineMetrics::get();
+  MultistageSwitch& sw = shards_[shard]->sw;
+  ThreeStageNetwork& network = sw.network();
+
+  const auto* entry = network.find_connection(id);
+  if (entry == nullptr) {
+    counters.stale_rejected.add();
+    return {};
+  }
+
+  // Copies must be taken before the release disposes the slot.
+  MulticastRequest grown = entry->first;
+  grown.outputs.push_back(destination);
+  const MulticastRequest original_request = entry->first;
+  const Route original_route = entry->second;
+
+  // Break-before-make: the grown request reuses the session's own input
+  // wavelength, so it is inadmissible while the session stands.
+  network.release(id);
+  if (const auto grown_id = sw.try_connect(grown)) {
+    counters.grows.add();
+    return {GrowResult::Status::kGrown, *grown_id};
+  }
+
+  // Roll back. The release freed exactly the original route's resources and
+  // the failed try_connect installed nothing, so reinstalling the original
+  // route over the original request cannot fail.
+  const ConnectionId restored = network.install(original_request, original_route);
+  counters.grow_blocked.add();
+  return {GrowResult::Status::kBlocked, restored};
+}
+
+}  // namespace wdm::engine

@@ -1,0 +1,134 @@
+// Sharded concurrent session engine over ThreeStageNetwork replicas.
+//
+// A ThreeStageNetwork/Router pair is single-threaded by construction (the
+// routing hot path runs on mutable per-object scratch; see network.h), so
+// one fabric can never use more than one core for connect/disconnect churn.
+// The engine scales the session plane the way modular Clos deployments scale
+// hardware -- and the way the AWG-based Clos literature decomposes fabrics
+// into independent planes: S full MultistageSwitch replicas ("shards"), each
+// guarded by its own mutex, with every session pinned to the shard that owns
+// its source port.
+//
+// Port ownership uses rendezvous (highest-random-weight) hashing: shard s
+// owns port p iff mix(p, s) is the maximum over all shards. That gives the
+// consistent-hash properties the session plane needs with no ring state:
+//   * deterministic and uniform (each shard owns ~N/S ports),
+//   * stable -- adding a shard moves only the ~N/(S+1) ports the new shard
+//     wins; no port ever moves between two surviving shards.
+//
+// Thread-safety contract: the public session API (connect / disconnect /
+// grow) locks exactly the owning shard, so sessions on distinct shards never
+// contend. The *_locked variants are for drivers that batch many operations
+// under one shard_mutex() hold (see churn_driver.h); they must be called
+// with that mutex held. Determinism across thread counts is a driver
+// property: the engine itself is deterministic per shard because a shard is
+// just a serial MultistageSwitch behind a mutex.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "multistage/builder.h"
+
+namespace wdm::engine {
+
+/// A live session: the owning shard plus the shard-local connection id.
+struct SessionId {
+  std::uint32_t shard = 0;
+  ConnectionId connection = 0;
+
+  friend bool operator==(const SessionId&, const SessionId&) = default;
+};
+
+struct EngineConfig {
+  /// Geometry of each shard replica.
+  ClosParams params{4, 4, 5, 2};
+  Construction construction = Construction::kMswDominant;
+  MulticastModel network_model = MulticastModel::kMSW;
+  /// Routing policy per shard; nullopt = Router::recommended_policy.
+  std::optional<RoutingPolicy> policy;
+  std::size_t shards = 4;
+};
+
+/// Rendezvous hash: the shard that owns `port` among `shard_count` shards.
+/// Exposed standalone so tests can verify the consistent-hash properties.
+[[nodiscard]] std::size_t rendezvous_shard(std::size_t port,
+                                           std::size_t shard_count);
+
+/// The outcome of a grow() call. Growing is break-before-make (the grown
+/// request reuses the session's own input wavelength, so the old route must
+/// come down before the new one can be admitted); consequently the session
+/// carries a NEW id after both kGrown and kBlocked -- on kBlocked the
+/// original route is reinstalled under a fresh generation. kStaleSession
+/// means the id no longer names a live session; nothing changed.
+struct GrowResult {
+  enum class Status { kGrown, kBlocked, kStaleSession };
+  Status status = Status::kStaleSession;
+  ConnectionId connection = 0;  // the session's id after the call
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(const EngineConfig& config);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Ports per shard replica (every replica has the same geometry).
+  [[nodiscard]] std::size_t port_count() const { return config_.params.port_count(); }
+
+  /// The shard that owns sessions originating at `source_port`.
+  [[nodiscard]] std::size_t shard_of(std::size_t source_port) const;
+  /// The source ports shard `shard` owns, ascending.
+  [[nodiscard]] const std::vector<std::size_t>& owned_ports(std::size_t shard) const;
+
+  // -- session API (thread-safe: locks the owning shard) --------------------
+  /// Route + install on the owning shard; nullopt when inadmissible or
+  /// blocked there.
+  [[nodiscard]] std::optional<SessionId> connect(const MulticastRequest& request);
+  /// Tear down; false for stale ids (double-disconnect safe).
+  bool disconnect(SessionId session);
+  /// Add one destination to a live session (multicast grow); see GrowResult.
+  GrowResult grow(SessionId session, const WavelengthEndpoint& destination);
+  /// Live sessions across all shards (locks each shard briefly).
+  [[nodiscard]] std::size_t active_sessions() const;
+  /// Deep-check every shard replica (throws std::logic_error on corruption).
+  void self_check() const;
+
+  // -- shard plumbing for batching drivers ----------------------------------
+  /// The mutex guarding shard `shard`'s switch. Hold it across any use of
+  /// shard_switch() or the *_locked calls.
+  [[nodiscard]] std::mutex& shard_mutex(std::size_t shard) const;
+  /// The shard's replica; requires shard_mutex(shard) (or a quiescent engine).
+  [[nodiscard]] MultistageSwitch& shard_switch(std::size_t shard);
+
+  /// connect/disconnect/grow bodies without the lock; callers hold
+  /// shard_mutex(shard). connect_locked does NOT re-check ownership of the
+  /// request's source port -- drivers that generate per-shard traffic from
+  /// owned_ports() satisfy it by construction.
+  [[nodiscard]] std::optional<ConnectionId> connect_locked(
+      std::size_t shard, const MulticastRequest& request);
+  bool disconnect_locked(std::size_t shard, ConnectionId id);
+  GrowResult grow_locked(std::size_t shard, ConnectionId id,
+                         const WavelengthEndpoint& destination);
+
+ private:
+  /// Mutex + replica, heap-pinned (mutexes are immovable) and padded so two
+  /// shards' hot state never shares a cache line.
+  struct alignas(64) Shard {
+    explicit Shard(const EngineConfig& config);
+    mutable std::mutex mutex;
+    MultistageSwitch sw;
+  };
+
+  EngineConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::vector<std::size_t>> owned_ports_;  // [shard] -> ports
+};
+
+}  // namespace wdm::engine

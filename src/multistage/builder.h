@@ -55,6 +55,10 @@ class MultistageSwitch {
 
   void disconnect(ConnectionId id) { router_.disconnect(id); }
 
+  /// Non-throwing disconnect; false for stale ids (see
+  /// ThreeStageNetwork::try_release).
+  bool try_disconnect(ConnectionId id) { return router_.try_disconnect(id); }
+
   [[nodiscard]] ConnectError last_error() const { return router_.last_error(); }
   [[nodiscard]] std::size_t active_connections() const {
     return network_.active_connections();

@@ -434,6 +434,18 @@ void ThreeStageNetwork::release(ConnectionId id) {
   free_connection_slots_.push_back(slot);
 }
 
+bool ThreeStageNetwork::try_release(ConnectionId id) {
+  if (slot_of(id) == kNoSlot) return false;
+  release(id);
+  return true;
+}
+
+const ThreeStageNetwork::ConnectionView::Entry* ThreeStageNetwork::find_connection(
+    ConnectionId id) const {
+  const std::uint32_t slot = slot_of(id);
+  return slot == kNoSlot ? nullptr : &connection_slots_[slot].entry;
+}
+
 bool ThreeStageNetwork::input_busy(const WavelengthEndpoint& endpoint) const {
   if (endpoint.port >= port_count() || endpoint.lane >= params_.k) return false;
   return busy_inputs_[endpoint_index(endpoint)] != 0;

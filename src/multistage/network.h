@@ -25,7 +25,16 @@
 // themselves, the const validation queries reuse per-network scratch
 // buffers, so a network must not be shared across threads without external
 // synchronization (workloads that parallelize, e.g. sim/sweep, use one
-// network per task).
+// network per task; src/engine shards sessions across replicas, one mutex
+// per network).
+//
+// Thread-safety contract, per method class:
+//   * install/release/try_release and check_route mutate network state or
+//     the mutable validation scratch -- exclusive access required.
+//   * check_admissible, input_busy/output_busy, find_connection,
+//     connections(), and the topology getters read only committed state
+//     (flat busy vectors + slot table, no scratch), so concurrent readers
+//     are safe with each other -- though still not with a concurrent writer.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +59,8 @@ struct DeliveryLeg {
   Wavelength link_lane = 0;
   /// Final destinations, all inside `out_module`.
   std::vector<WavelengthEndpoint> destinations;
+
+  friend bool operator==(const DeliveryLeg&, const DeliveryLeg&) = default;
 };
 
 /// One middle-module subtree of a route.
@@ -58,6 +69,8 @@ struct RouteBranch {
   /// Lane used on the input-module -> middle-module link.
   Wavelength link_lane = 0;
   std::vector<DeliveryLeg> legs;
+
+  friend bool operator==(const RouteBranch&, const RouteBranch&) = default;
 };
 
 struct Route {
@@ -66,6 +79,7 @@ struct Route {
   /// Number of middle modules used (the routing spread).
   [[nodiscard]] std::size_t spread() const { return branches.size(); }
   [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const Route&, const Route&) = default;
 };
 
 class ThreeStageNetwork {
@@ -170,6 +184,18 @@ class ThreeStageNetwork {
 
   /// Tear down a connection; throws std::out_of_range for unknown ids.
   void release(ConnectionId id);
+
+  /// Non-throwing release. Returns false -- touching no state at all -- when
+  /// `id` is stale: an unknown slot, a double-release, or a
+  /// generation-tagged id from a slot that has since been disposed (and
+  /// possibly reused by a newer connection). The free list and the live
+  /// occupant of a reused slot are untouched either way.
+  bool try_release(ConnectionId id);
+
+  /// O(1) lookup of an active connection's (request, route); nullptr for
+  /// stale ids. Reads only committed state (no validation scratch), so it is
+  /// safe alongside other concurrent readers.
+  [[nodiscard]] const ConnectionView::Entry* find_connection(ConnectionId id) const;
 
   [[nodiscard]] bool input_busy(const WavelengthEndpoint& endpoint) const;
   [[nodiscard]] bool output_busy(const WavelengthEndpoint& endpoint) const;

@@ -450,8 +450,16 @@ std::optional<ConnectionId> Router::try_connect(const MulticastRequest& request)
 }
 
 void Router::disconnect(ConnectionId id) {
-  RouterMetrics::get().disconnects.add();
+  // Release first: a stale id throws, and a rejected disconnect must not
+  // move the counter (it moved even on throw before the stale-id audit).
   network_->release(id);
+  RouterMetrics::get().disconnects.add();
+}
+
+bool Router::try_disconnect(ConnectionId id) {
+  if (!network_->try_release(id)) return false;
+  RouterMetrics::get().disconnects.add();
+  return true;
 }
 
 }  // namespace wdm

@@ -68,6 +68,7 @@ class Router {
 
   [[nodiscard]] const RoutingPolicy& policy() const { return policy_; }
   [[nodiscard]] ThreeStageNetwork& network() { return *network_; }
+  [[nodiscard]] const ThreeStageNetwork& network() const { return *network_; }
 
   /// Find a route for an (assumed admissible) request under the current
   /// network state. nullopt = blocked at the middle stage. The returned
@@ -79,6 +80,9 @@ class Router {
   [[nodiscard]] std::optional<ConnectionId> try_connect(const MulticastRequest& request);
 
   void disconnect(ConnectionId id);
+
+  /// Non-throwing disconnect; false (and no counter movement) for stale ids.
+  bool try_disconnect(ConnectionId id);
 
   [[nodiscard]] ConnectError last_error() const { return last_error_; }
 

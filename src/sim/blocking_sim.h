@@ -64,6 +64,9 @@ struct SimStats {
                                      static_cast<double>(admitted);
   }
   SimStats& operator+=(const SimStats& rhs);
+  /// Field-by-field equality: the bit-identical-determinism check used by
+  /// the concurrent engine ("same counters at any thread count").
+  friend bool operator==(const SimStats&, const SimStats&) = default;
   [[nodiscard]] std::string to_string() const;
 };
 

@@ -40,18 +40,30 @@ MulticastRequest random_request(Rng& rng, std::size_t N, std::size_t k,
   return request;
 }
 
-std::optional<MulticastRequest> random_admissible_request(
-    Rng& rng, const ThreeStageNetwork& network, FanoutRange fanout) {
+namespace {
+
+/// Shared generator body; `source_ports` restricts the input-wavelength draw
+/// when non-null (the engine's shard-ownership case).
+std::optional<MulticastRequest> admissible_request_impl(
+    Rng& rng, const ThreeStageNetwork& network, FanoutRange fanout,
+    const std::vector<std::size_t>* source_ports) {
   const std::size_t N = network.port_count();
   const std::size_t k = network.lane_count();
   const MulticastModel model = network.network_model();
   const std::size_t upper = clamp_max_fanout(fanout, N);
 
-  // Free input wavelengths.
+  // Free input wavelengths (on the allowed source ports).
   std::vector<WavelengthEndpoint> free_inputs;
-  for (std::size_t port = 0; port < N; ++port) {
+  auto collect_port = [&](std::size_t port) {
     for (Wavelength lane = 0; lane < k; ++lane) {
       if (!network.input_busy({port, lane})) free_inputs.push_back({port, lane});
+    }
+  };
+  if (source_ports == nullptr) {
+    for (std::size_t port = 0; port < N; ++port) collect_port(port);
+  } else {
+    for (const std::size_t port : *source_ports) {
+      if (port < N) collect_port(port);
     }
   }
   if (free_inputs.empty()) return std::nullopt;
@@ -117,6 +129,19 @@ std::optional<MulticastRequest> random_admissible_request(
       rng.sample_without_replacement(available, size);
   for (const std::size_t pick : picks) request.outputs.push_back(candidates[pick]);
   return request;
+}
+
+}  // namespace
+
+std::optional<MulticastRequest> random_admissible_request(
+    Rng& rng, const ThreeStageNetwork& network, FanoutRange fanout) {
+  return admissible_request_impl(rng, network, fanout, nullptr);
+}
+
+std::optional<MulticastRequest> random_admissible_request(
+    Rng& rng, const ThreeStageNetwork& network, FanoutRange fanout,
+    const std::vector<std::size_t>& source_ports) {
+  return admissible_request_impl(rng, network, fanout, &source_ports);
 }
 
 Fig10Scenario fig10_scenario() {

@@ -35,6 +35,14 @@ struct FanoutRange {
 [[nodiscard]] std::optional<MulticastRequest> random_admissible_request(
     Rng& rng, const ThreeStageNetwork& network, FanoutRange fanout = {});
 
+/// As above, but the input wavelength is drawn only from `source_ports`
+/// (out-of-range ports are skipped); destinations stay unrestricted. This is
+/// the shard-ownership restriction of the concurrent session engine
+/// (src/engine): each shard originates sessions only from the ports it owns.
+[[nodiscard]] std::optional<MulticastRequest> random_admissible_request(
+    Rng& rng, const ThreeStageNetwork& network, FanoutRange fanout,
+    const std::vector<std::size_t>& source_ports);
+
 /// A connection pre-installed over an explicit route (bypassing the router)
 /// so scenarios can pin down the exact network state.
 struct ScriptedConnection {

@@ -153,6 +153,39 @@ class Parser {
     }
   }
 
+  /// Four hex digits of a \uXXXX escape (the "\u" already consumed).
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad \\u escape digit");
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned code_point) {
+    if (code_point < 0x80) {
+      out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      out += static_cast<char>(0xC0 | (code_point >> 6));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      out += static_cast<char>(0xE0 | (code_point >> 12));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code_point >> 18));
+      out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -177,21 +210,34 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape digit");
+          const unsigned code = parse_hex4();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            out += '?';  // lone low surrogate: not a valid code point
+            break;
           }
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else {
-            out += '?';  // non-ASCII: out of scope for our emitters
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: only valid immediately followed by a \uDC00..
+            // \uDFFF escape, which combines into one supplementary-plane
+            // code point (RFC 8259 §7).
+            if (pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              const std::size_t rewind = pos_;
+              pos_ += 2;
+              const unsigned low = parse_hex4();
+              if (low >= 0xDC00 && low <= 0xDFFF) {
+                append_utf8(out,
+                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00));
+              } else {
+                // Lone high surrogate; the following escape stands alone.
+                out += '?';
+                pos_ = rewind;
+              }
+            } else {
+              out += '?';  // lone high surrogate at end or before other text
+            }
+            break;
           }
+          append_utf8(out, code);
           break;
         }
         default: fail("unknown escape");

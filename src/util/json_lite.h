@@ -7,8 +7,9 @@
 // round-trip snapshots. It is a strict recursive-descent parser into a small
 // value tree -- not a streaming API, not tuned for huge documents.
 //
-// Unsupported on purpose: \uXXXX surrogate pairs decode to '?', numbers are
-// held as double (exact for the uint53 range our emitters produce).
+// \uXXXX escapes (including surrogate pairs) decode to UTF-8; a malformed
+// lone surrogate decodes to '?'. Numbers are held as double (exact for the
+// uint53 range our emitters produce).
 #pragma once
 
 #include <cstddef>

@@ -25,6 +25,11 @@ struct PoolInstruments {
   }
 };
 
+/// The pool whose worker_loop the calling thread is running, if any. Keyed
+/// by pool identity so nesting across *distinct* pools still parallelizes
+/// (only a same-pool nested parallel_for must run inline).
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+
 std::size_t resolve_thread_count(std::size_t requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("WDM_THREADS")) {
@@ -54,7 +59,10 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::in_worker_thread() const { return tl_worker_pool == this; }
+
 void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -126,8 +134,19 @@ void ThreadPool::parallel_for(std::size_t count,
     }
   };
 
-  // The calling thread participates too, so a 1-thread pool still makes
-  // progress even when called from within a pool task.
+  // Nested call from one of this pool's own workers: run everything inline.
+  // The caller occupies a worker slot, so blocking on helper futures could
+  // wait forever on queue service only an occupied worker could provide
+  // (certain deadlock on a 1-thread pool, where the enqueued helpers are
+  // behind the very task doing the waiting).
+  if (in_worker_thread()) {
+    chunk_worker();
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  // The calling thread participates too, so every index completes even if
+  // the workers are all busy with unrelated tasks.
   std::vector<std::future<void>> futures;
   const std::size_t helpers = std::min(workers_.size(), count);
   futures.reserve(helpers);

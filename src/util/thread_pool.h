@@ -29,11 +29,22 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
+  /// True when the calling thread is one of *this* pool's workers (i.e. the
+  /// call site is executing inside a task submitted to this pool).
+  [[nodiscard]] bool in_worker_thread() const;
+
   /// Enqueue an arbitrary task.
   std::future<void> submit(std::function<void()> task);
 
   /// Run body(i) for i in [0, count), blocking until all complete.
-  /// Exceptions from the body are rethrown (first one wins).
+  /// Exceptions from the body are rethrown (first one wins); every index is
+  /// still attempted.
+  ///
+  /// Safe to call from inside a task running on this pool: a nested call
+  /// runs the whole loop inline on the calling thread instead of enqueueing
+  /// helpers. Blocking on helper futures from a worker slot would deadlock a
+  /// fully-occupied pool (every worker waiting for queue service that only a
+  /// worker could provide -- guaranteed with one thread).
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
  private:

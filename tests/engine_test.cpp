@@ -1,0 +1,242 @@
+// Sharded session engine: rendezvous port ownership (consistent-hash
+// properties), the thread-safe session API incl. break-before-make grow with
+// rollback, and ChurnDriver's headline guarantee -- counters bit-identical
+// at any worker count, equal to a serial replay.
+#include "engine/churn_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <set>
+
+#include "engine/sharded_engine.h"
+
+namespace wdm::engine {
+namespace {
+
+EngineConfig small_config() {
+  EngineConfig config;
+  config.params = {2, 4, 3, 2};  // n=2 r=4 m=3 k=2, N=8 per shard
+  config.shards = 3;
+  return config;
+}
+
+TEST(RendezvousShard, DeterministicAndInRange) {
+  for (std::size_t port = 0; port < 64; ++port) {
+    const std::size_t shard = rendezvous_shard(port, 5);
+    EXPECT_LT(shard, 5u);
+    EXPECT_EQ(shard, rendezvous_shard(port, 5));
+  }
+  EXPECT_THROW((void)rendezvous_shard(0, 0), std::invalid_argument);
+}
+
+TEST(RendezvousShard, SpreadsPortsAcrossShards) {
+  // 256 ports over 4 shards: every shard should win a healthy share. A
+  // uniform hash puts ~64 on each; we only require none is starved.
+  std::vector<std::size_t> owned(4, 0);
+  for (std::size_t port = 0; port < 256; ++port) {
+    ++owned[rendezvous_shard(port, 4)];
+  }
+  for (std::size_t shard = 0; shard < 4; ++shard) {
+    EXPECT_GT(owned[shard], 32u) << "shard " << shard << " starved";
+    EXPECT_LT(owned[shard], 96u) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST(RendezvousShard, AddingAShardOnlyMovesPortsToTheNewShard) {
+  // The consistent-hash property: growing S -> S+1 may move a port only if
+  // the *new* shard wins it. No port ever moves between surviving shards.
+  for (std::size_t shard_count = 1; shard_count < 8; ++shard_count) {
+    for (std::size_t port = 0; port < 128; ++port) {
+      const std::size_t before = rendezvous_shard(port, shard_count);
+      const std::size_t after = rendezvous_shard(port, shard_count + 1);
+      if (after != before) {
+        EXPECT_EQ(after, shard_count);
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, OwnedPortsPartitionThePortSpace) {
+  const ShardedEngine engine(small_config());
+  std::set<std::size_t> seen;
+  for (std::size_t shard = 0; shard < engine.shard_count(); ++shard) {
+    for (const std::size_t port : engine.owned_ports(shard)) {
+      EXPECT_EQ(engine.shard_of(port), shard);
+      EXPECT_TRUE(seen.insert(port).second) << "port owned twice: " << port;
+    }
+  }
+  EXPECT_EQ(seen.size(), engine.port_count());
+}
+
+TEST(ShardedEngine, ConnectDisconnectRoundTrip) {
+  ShardedEngine engine(small_config());
+  const MulticastRequest request{{0, 0}, {{3, 0}, {5, 0}}};
+  const auto session = engine.connect(request);
+  ASSERT_TRUE(session.has_value());
+  EXPECT_EQ(session->shard, engine.shard_of(0));
+  EXPECT_EQ(engine.active_sessions(), 1u);
+  engine.self_check();
+
+  EXPECT_TRUE(engine.disconnect(*session));
+  EXPECT_EQ(engine.active_sessions(), 0u);
+  // Double disconnect: cleanly rejected, nothing changes.
+  EXPECT_FALSE(engine.disconnect(*session));
+  engine.self_check();
+}
+
+TEST(ShardedEngine, GrowAddsADestinationUnderAFreshId) {
+  ShardedEngine engine(small_config());
+  const auto session = engine.connect({{0, 0}, {{3, 0}}});
+  ASSERT_TRUE(session.has_value());
+
+  const GrowResult grown = engine.grow(*session, {5, 0});
+  ASSERT_EQ(grown.status, GrowResult::Status::kGrown);
+  EXPECT_NE(grown.connection, session->connection);
+  EXPECT_EQ(engine.active_sessions(), 1u);
+
+  // The old id is stale after the break-before-make cycle.
+  EXPECT_FALSE(engine.disconnect(*session));
+  EXPECT_EQ(engine.grow(*session, {6, 0}).status,
+            GrowResult::Status::kStaleSession);
+
+  // The grown session carries both destinations.
+  const auto* entry = engine.shard_switch(session->shard)
+                          .network()
+                          .find_connection(grown.connection);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->first.outputs.size(), 2u);
+  engine.self_check();
+
+  EXPECT_TRUE(engine.disconnect({session->shard, grown.connection}));
+  EXPECT_EQ(engine.active_sessions(), 0u);
+}
+
+TEST(ShardedEngine, BlockedGrowRollsBackToTheOriginalRoute) {
+  ShardedEngine engine(small_config());
+  // Both connections must land on the same replica for one to block the
+  // other's grow, so draw both source ports from one shard's owned set.
+  std::size_t shard = 0;
+  while (engine.owned_ports(shard).size() < 2) ++shard;
+  const std::size_t source_a = engine.owned_ports(shard)[0];
+  const std::size_t source_b = engine.owned_ports(shard)[1];
+
+  const auto session = engine.connect({{source_a, 0}, {{3, 0}}});
+  ASSERT_TRUE(session.has_value());
+  ASSERT_EQ(session->shard, shard);
+  ThreeStageNetwork& network = engine.shard_switch(session->shard).network();
+  const Route route_before =
+      network.find_connection(session->connection)->second;
+
+  // Occupy the target output so the grow cannot be admitted.
+  const auto blocker = engine.connect({{source_b, 0}, {{5, 0}}});
+  ASSERT_TRUE(blocker.has_value());
+  ASSERT_EQ(blocker->shard, session->shard);
+
+  const GrowResult result = engine.grow(*session, {5, 0});
+  ASSERT_EQ(result.status, GrowResult::Status::kBlocked);
+  // Rolled back: same route, fresh id, nothing leaked.
+  const auto* entry = network.find_connection(result.connection);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->second, route_before);
+  EXPECT_EQ(entry->first.outputs.size(), 1u);
+  EXPECT_EQ(engine.active_sessions(), 2u);
+  engine.self_check();
+}
+
+ChurnConfig churn_config(std::size_t workers) {
+  ChurnConfig config;
+  config.ops_per_shard = 600;
+  config.batch = 32;
+  config.workers = workers;
+  config.self_check_every = 200;
+  return config;
+}
+
+TEST(ChurnDriver, CountersBitIdenticalAcrossWorkerCounts) {
+  // The tentpole guarantee: the same engine/churn config produces the same
+  // ChurnStats -- every counter, every shard -- at 1, 2, and 8 workers, and
+  // a serial replay agrees.
+  std::optional<ChurnStats> reference;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ShardedEngine engine(small_config());
+    ThreadPool pool(workers);
+    ChurnDriver driver(engine, churn_config(workers));
+    const ChurnStats stats = driver.run(pool);
+    EXPECT_EQ(stats.leftover_sessions, engine.active_sessions());
+    EXPECT_EQ(stats.total.stale_accepted, 0u);
+    engine.self_check();
+    if (!reference) {
+      reference = stats;
+    } else {
+      EXPECT_EQ(stats, *reference) << "workers=" << workers << "\n got "
+                                   << stats.to_string() << "\n want "
+                                   << reference->to_string();
+    }
+  }
+
+  ShardedEngine serial_engine(small_config());
+  ChurnDriver serial_driver(serial_engine, churn_config(1));
+  EXPECT_EQ(serial_driver.run_serial(), *reference);
+}
+
+TEST(ChurnDriver, ExercisesEveryOperationKind) {
+  ShardedEngine engine(small_config());
+  ChurnConfig config = churn_config(2);
+  config.ops_per_shard = 1500;
+  ChurnDriver driver(engine, config);
+  ThreadPool pool(2);
+  const ChurnStats stats = driver.run(pool);
+
+  EXPECT_EQ(stats.per_shard.size(), engine.shard_count());
+  EXPECT_GT(stats.total.sim.admitted, 0u);
+  EXPECT_GT(stats.total.sim.departures, 0u);
+  EXPECT_GT(stats.total.grows, 0u);
+  EXPECT_GT(stats.total.stale_probes, 0u);
+  EXPECT_EQ(stats.total.stale_rejected, stats.total.stale_probes);
+  EXPECT_EQ(stats.total.stale_accepted, 0u);
+  EXPECT_EQ(stats.total.sim.steps,
+            engine.shard_count() * config.ops_per_shard);
+}
+
+TEST(ChurnDriver, RunsNestedInsideAPoolTaskWithoutDeadlock) {
+  // Regression for the nested-parallelism deadlock: run() calls
+  // parallel_for; invoked from a task already on the same pool, the old
+  // ThreadPool would block forever on a 1-thread pool.
+  ThreadPool pool(1);
+  ShardedEngine engine(small_config());
+  ChurnDriver driver(engine, churn_config(2));
+  ChurnStats nested;
+  auto future = pool.submit([&] { nested = driver.run(pool); });
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready);
+  future.get();
+
+  ShardedEngine reference_engine(small_config());
+  ChurnDriver reference(reference_engine, churn_config(2));
+  EXPECT_EQ(nested, reference.run_serial());
+}
+
+TEST(ChurnDriver, MawModelGrowsAcrossLanes) {
+  EngineConfig config = small_config();
+  config.construction = Construction::kMawDominant;
+  config.network_model = MulticastModel::kMAW;
+  config.params = {2, 4, 5, 2};  // MAW needs the Theorem 2 middle count
+  ShardedEngine engine(config);
+  ChurnConfig churn = churn_config(2);
+  churn.ops_per_shard = 800;
+  ChurnDriver driver(engine, churn);
+  ThreadPool pool(2);
+  const ChurnStats threaded = driver.run(pool);
+  EXPECT_GT(threaded.total.grow_attempts, 0u);
+  EXPECT_EQ(threaded.total.stale_accepted, 0u);
+
+  ShardedEngine replay_engine(config);
+  ChurnDriver replay(replay_engine, churn);
+  EXPECT_EQ(replay.run_serial(), threaded);
+}
+
+}  // namespace
+}  // namespace wdm::engine

@@ -348,6 +348,52 @@ TEST(JsonLiteTest, RejectsMalformedDocuments) {
   EXPECT_THROW((void)parse_json("01x"), std::invalid_argument);
 }
 
+TEST(JsonLiteTest, DecodesUnicodeEscapesToUtf8) {
+  // BMP escapes encode straight to 1-3 byte UTF-8.
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("\u00e9")").as_string(), "\xC3\xA9");  // e-acute
+  EXPECT_EQ(parse_json(R"("\u20AC")").as_string(), "\xE2\x82\xAC");  // euro
+  EXPECT_EQ(parse_json(R"("x\u0031y")").as_string(), "x1y");
+}
+
+TEST(JsonLiteTest, CombinesSurrogatePairs) {
+  // U+1F600 (emoji, four UTF-8 bytes).
+  EXPECT_EQ(parse_json(R"("\uD83D\uDE00")").as_string(),
+            "\xF0\x9F\x98\x80");
+  // Pair embedded in surrounding text, plus lowercase hex digits
+  // (U+1D11E, musical G clef).
+  EXPECT_EQ(parse_json(R"("a\ud834\udd1eb")").as_string(),
+            "a\xF0\x9D\x84\x9E"
+            "b");
+}
+
+TEST(JsonLiteTest, LoneSurrogatesDecodeToPlaceholder) {
+  // Lone low surrogate.
+  EXPECT_EQ(parse_json(R"("\uDC00")").as_string(), "?");
+  // Lone high surrogate: at end of string and before plain text.
+  EXPECT_EQ(parse_json(R"("\uD800")").as_string(), "?");
+  EXPECT_EQ(parse_json(R"("\uD800x")").as_string(), "?x");
+  // High surrogate followed by a non-low escape: the parser must rewind so
+  // the following escape still decodes on its own.
+  EXPECT_EQ(parse_json(R"("\uD800A")").as_string(), "?A");
+  EXPECT_EQ(parse_json(R"("\uD800\uD800")").as_string(), "??");
+  // ...including when the following escape opens a valid pair.
+  EXPECT_EQ(parse_json(R"("\uD800\uD83D\uDE00")").as_string(),
+            "?\xF0\x9F\x98\x80");
+  // Escapes with bad hex still fail loudly.
+  EXPECT_THROW((void)parse_json(R"("\uD8zz")"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json(R"("\u12")"), std::invalid_argument);
+}
+
+TEST(JsonLiteTest, UnicodeEscapesRoundTripThroughDocuments) {
+  // The snapshot pipeline writes plain ASCII, but a hand-authored document
+  // with escapes must survive a parse -> value comparison.
+  const JsonValue root =
+      parse_json(R"({"name":"caf\u00E9","tags":["\u2713"]})");
+  EXPECT_EQ(root.at("name").as_string(), "caf\xC3\xA9");
+  EXPECT_EQ(root.at("tags").as_array()[0].as_string(), "\xE2\x9C\x93");
+}
+
 TEST(JsonLiteTest, TypedAccessorsThrowOnMismatch) {
   const JsonValue root = parse_json("{\"a\":1}");
   EXPECT_THROW((void)root.at("a").as_string(), std::runtime_error);

@@ -186,5 +186,63 @@ TEST(ThreeStageNetwork, MultiBranchMulticastInstall) {
   network.self_check();
 }
 
+TEST(ThreeStageNetwork, TryReleaseRejectsStaleGenerations) {
+  ThreeStageNetwork network(small_params(), Construction::kMswDominant,
+                            MulticastModel::kMSW);
+  const MulticastRequest request{{0, 1}, {{2, 1}}};
+  const Route route = unicast_route(0, 1, 1, 1, {2, 1});
+
+  const ConnectionId first = network.install(request, route);
+  EXPECT_TRUE(network.try_release(first));
+  // Double release: rejected without touching state.
+  EXPECT_FALSE(network.try_release(first));
+  EXPECT_EQ(network.find_connection(first), nullptr);
+
+  // The slot is recycled under a fresh generation; the disposed id must
+  // keep failing even though its slot is live again.
+  const ConnectionId second = network.install(request, route);
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(network.try_release(first));
+  EXPECT_EQ(network.find_connection(first), nullptr);
+  ASSERT_NE(network.find_connection(second), nullptr);
+  EXPECT_EQ(network.find_connection(second)->first, request);
+  EXPECT_EQ(network.active_connections(), 1u);
+  network.self_check();
+  EXPECT_TRUE(network.try_release(second));
+  // Garbage ids (unknown slot far past the table) are also rejected.
+  EXPECT_FALSE(network.try_release(~ConnectionId{0}));
+}
+
+TEST(ThreeStageNetwork, StaleIdHammerKeepsFreeListIntact) {
+  // Satellite audit: heavy install/release cycling with constant replays of
+  // disposed ids. A stale acceptance would corrupt the slot free list and
+  // blow up active_connections / self_check.
+  ThreeStageNetwork network(small_params(), Construction::kMswDominant,
+                            MulticastModel::kMSW);
+  const MulticastRequest even{{0, 0}, {{2, 0}}};
+  const Route even_route = unicast_route(0, 0, 1, 0, {2, 0});
+  const MulticastRequest odd{{1, 1}, {{3, 1}}};
+  const Route odd_route = unicast_route(1, 1, 1, 1, {3, 1});
+
+  std::vector<ConnectionId> graveyard;
+  for (int cycle = 0; cycle < 500; ++cycle) {
+    const ConnectionId a = network.install(even, even_route);
+    const ConnectionId b = network.install(odd, odd_route);
+    for (const ConnectionId ghost : graveyard) {
+      ASSERT_FALSE(network.try_release(ghost));
+      ASSERT_EQ(network.find_connection(ghost), nullptr);
+    }
+    EXPECT_EQ(network.active_connections(), 2u);
+    network.release(b);
+    network.release(a);
+    graveyard.push_back(a);
+    graveyard.push_back(b);
+    if (graveyard.size() > 16) graveyard.erase(graveyard.begin());
+    if (cycle % 100 == 0) network.self_check();
+  }
+  EXPECT_EQ(network.active_connections(), 0u);
+  network.self_check();
+}
+
 }  // namespace
 }  // namespace wdm

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <sstream>
 
@@ -129,6 +130,53 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
                                    if (i == 5) throw std::runtime_error("boom");
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlockOnSingleThreadPool) {
+  // Regression: parallel_for from inside a pool task used to enqueue helper
+  // chunks and block on their futures -- a guaranteed deadlock when the
+  // calling task occupies the pool's only worker. Nested calls now run the
+  // loop inline on the calling thread.
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(50);
+  auto future = pool.submit([&] {
+    pool.parallel_for(50, [&hits](std::size_t i) { ++hits[i]; });
+  });
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  future.get();
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesExceptionsInline) {
+  ThreadPool pool(1);
+  auto future = pool.submit([&] {
+    pool.parallel_for(10, [](std::size_t i) {
+      if (i == 3) throw std::runtime_error("nested boom");
+    });
+  });
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, InWorkerThreadIdentifiesOnlyItsOwnPool) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  EXPECT_FALSE(a.in_worker_thread());  // the test thread is in neither pool
+  bool in_a = false;
+  bool in_b = true;
+  a.submit([&] {
+     in_a = a.in_worker_thread();
+     in_b = b.in_worker_thread();
+   }).get();
+  EXPECT_TRUE(in_a);
+  EXPECT_FALSE(in_b);
+  // A task on pool B that fans out through pool A still parallelizes: the
+  // inline fallback only triggers for nesting within the *same* pool.
+  std::atomic<int> covered{0};
+  b.submit([&] { a.parallel_for(20, [&](std::size_t) { ++covered; }); }).get();
+  EXPECT_EQ(covered.load(), 20);
 }
 
 // --- Table ----------------------------------------------------------------------
