@@ -61,7 +61,8 @@ struct Thresholds {
   };
   // Timers whose p99 is gated.
   std::vector<std::string> p99_timers = {
-      "routing.find_route", "sim.connect",          "sim.disconnect",
+      "routing.find_route",     "routing.batch_amortized_ns",
+      "sim.connect",            "sim.disconnect",
       "converter_pool.acquire", "thread_pool.task_run",
   };
 };

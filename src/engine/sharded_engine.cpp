@@ -134,6 +134,16 @@ std::optional<ConnectionId> ShardedEngine::connect_locked(
   return id;
 }
 
+std::size_t ShardedEngine::connect_batch_locked(std::size_t shard,
+                                                const MulticastRequest* requests,
+                                                std::size_t count,
+                                                BatchOutcome* outcomes) {
+  const std::size_t admitted =
+      shards_[shard]->sw.connect_batch(requests, count, outcomes);
+  if (admitted != 0) EngineMetrics::get().connects.add(admitted);
+  return admitted;
+}
+
 bool ShardedEngine::disconnect_locked(std::size_t shard, ConnectionId id) {
   EngineMetrics& counters = EngineMetrics::get();
   if (!shards_[shard]->sw.try_disconnect(id)) {

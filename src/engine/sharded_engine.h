@@ -113,6 +113,12 @@ class ShardedEngine {
   /// owned_ports() satisfy it by construction.
   [[nodiscard]] std::optional<ConnectionId> connect_locked(
       std::size_t shard, const MulticastRequest& request);
+  /// Batched connect_locked: one Router::connect_batch call on the shard's
+  /// replica (submission order, bit-identical outcomes to serial replay;
+  /// see routing.h). Returns the number admitted.
+  std::size_t connect_batch_locked(std::size_t shard,
+                                   const MulticastRequest* requests,
+                                   std::size_t count, BatchOutcome* outcomes);
   bool disconnect_locked(std::size_t shard, ConnectionId id);
   GrowResult grow_locked(std::size_t shard, ConnectionId id,
                          const WavelengthEndpoint& destination);

@@ -59,6 +59,18 @@ class MultistageSwitch {
   /// ThreeStageNetwork::try_release).
   bool try_disconnect(ConnectionId id) { return router_.try_disconnect(id); }
 
+  /// Mixed connect/disconnect batch; see Router::run_batch for the ordering
+  /// and bit-identity guarantees. Returns the number of successful ops.
+  std::size_t run_batch(const BatchOp* ops, std::size_t count, BatchOutcome* outcomes) {
+    return router_.run_batch(ops, count, outcomes);
+  }
+
+  /// Connect-only batch; see Router::connect_batch.
+  std::size_t connect_batch(const MulticastRequest* requests, std::size_t count,
+                            BatchOutcome* outcomes) {
+    return router_.connect_batch(requests, count, outcomes);
+  }
+
   [[nodiscard]] ConnectError last_error() const { return router_.last_error(); }
   [[nodiscard]] std::size_t active_connections() const {
     return network_.active_connections();

@@ -78,6 +78,17 @@ class SwitchModule {
     return (out_used_[port] >> lane & 1u) == 0;
   }
 
+  /// Raw occupancy word of an output port (bit = lane, 1 = busy). The word
+  /// view behind the batch router's mask priming: one load yields all k
+  /// lanes. No range check -- callers index from the network geometry.
+  [[nodiscard]] std::uint64_t out_word(std::size_t port) const {
+    return out_used_[port];
+  }
+  /// Low `lanes()` bits set; out_word(p) == out_lane_mask() means port full.
+  [[nodiscard]] std::uint64_t out_lane_mask() const { return lane_mask_; }
+  /// Contiguous out_word(0 .. out_ports()-1), for vectorized mask priming.
+  [[nodiscard]] const std::uint64_t* out_words() const { return out_used_.data(); }
+
   /// Number of free lanes on an output port (link capacity remaining).
   [[nodiscard]] std::size_t free_out_lanes(std::size_t port) const;
   [[nodiscard]] std::size_t free_in_lanes(std::size_t port) const;

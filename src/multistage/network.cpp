@@ -334,21 +334,49 @@ ConnectionId ThreeStageNetwork::install(const MulticastRequest& request,
   if (const auto reason = check_route(request, route)) {
     throw std::logic_error("ThreeStageNetwork::install: " + *reason);
   }
+  return commit_route(request, route);
+}
 
+std::uint32_t ThreeStageNetwork::acquire_slot() {
   // Acquire a slot first so the transit lists can be built directly into its
   // reusable vectors (a reused slot performs no allocations here).
-  std::uint32_t slot;
   if (!free_connection_slots_.empty()) {
-    slot = free_connection_slots_.back();
+    const std::uint32_t slot = free_connection_slots_.back();
     free_connection_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(connection_slots_.size());
-    connection_slots_.emplace_back();
+    return slot;
   }
+  const auto slot = static_cast<std::uint32_t>(connection_slots_.size());
+  connection_slots_.emplace_back();
+  return slot;
+}
+
+ConnectionId ThreeStageNetwork::commit_route(const MulticastRequest& request,
+                                             const Route& route) {
+  ++mutation_epoch_;
+  const std::uint32_t slot = acquire_slot();
   ConnectionSlot& entry = connection_slots_[slot];
   entry.entry.first = request;  // copy-assign: keeps vector capacity
   copy_route_into(entry.entry.second, route);
+  return commit_slot(slot);
+}
 
+ConnectionId ThreeStageNetwork::commit_route_swapping(const MulticastRequest& request,
+                                                      Route& route) {
+  ++mutation_epoch_;
+  const std::uint32_t slot = acquire_slot();
+  ConnectionSlot& entry = connection_slots_[slot];
+  entry.entry.first = request;  // copy-assign: keeps vector capacity
+  // O(1) ownership transfer: the slot takes the caller's branches and the
+  // caller is left holding the slot's previous storage (nested capacity the
+  // caller recycles into its own pools).
+  entry.entry.second.branches.swap(route.branches);
+  return commit_slot(slot);
+}
+
+ConnectionId ThreeStageNetwork::commit_slot(std::uint32_t slot) {
+  ConnectionSlot& entry = connection_slots_[slot];
+  const MulticastRequest& request = entry.entry.first;
+  const Route& route = entry.entry.second;
   const std::size_t in_module = input_module_of(request.input.port);
   InstalledTransits& installed = entry.transits;
   installed.middle_transits.clear();
@@ -404,6 +432,7 @@ void ThreeStageNetwork::release(ConnectionId id) {
   if (slot == kNoSlot) {
     throw std::out_of_range("ThreeStageNetwork::release: unknown connection id");
   }
+  ++mutation_epoch_;
   ConnectionSlot& entry = connection_slots_[slot];
   const auto& [request, route] = entry.entry;
   const InstalledTransits& installed = entry.transits;

@@ -182,6 +182,26 @@ class ThreeStageNetwork {
   /// any inconsistency.
   ConnectionId install(const MulticastRequest& request, const Route& route);
 
+  /// Commit a route WITHOUT the check_admissible/check_route re-validation.
+  /// Contract: `route` was produced by a Router against the network's
+  /// current state with no intervening mutation (the batch pipeline's
+  /// one-validation amortization; see DESIGN.md §3.10). A route violating
+  /// the contract still trips the modules' own transit checks (which throw),
+  /// but the caller owns the invariant -- misuse can leave a partial
+  /// install. Behavior on valid routes is bit-identical to install().
+  ConnectionId install_trusted(const MulticastRequest& request, const Route& route) {
+    return commit_route(request, route);
+  }
+
+  /// install_trusted variant that takes ownership of `route` by swapping its
+  /// branch vector into the connection slot (O(1) instead of a deep copy);
+  /// `route` is left holding the slot's previous storage, whose nested
+  /// capacity the caller can recycle. Same contract and committed state as
+  /// install_trusted above.
+  ConnectionId install_trusted(const MulticastRequest& request, Route&& route) {
+    return commit_route_swapping(request, route);
+  }
+
   /// Tear down a connection; throws std::out_of_range for unknown ids.
   void release(ConnectionId id);
 
@@ -196,6 +216,29 @@ class ThreeStageNetwork {
   /// stale ids. Reads only committed state (no validation scratch), so it is
   /// safe alongside other concurrent readers.
   [[nodiscard]] const ConnectionView::Entry* find_connection(ConnectionId id) const;
+
+  /// Monotone counter bumped by every occupancy mutation (commit_route and
+  /// release). Cache layers above the network -- the Router's batch mask
+  /// rows -- compare it against the epoch they last synced at to detect
+  /// mutations that bypassed their repair hooks (e.g. a test or tool
+  /// installing through the network directly) and invalidate wholesale
+  /// instead of serving stale occupancy bits.
+  [[nodiscard]] std::uint64_t mutation_epoch() const { return mutation_epoch_; }
+
+  /// Shared route-storage pools (emptied branches/legs whose nested vectors
+  /// keep their capacity). The slot copy machinery (copy_route_into) and the
+  /// Router's scratch recycling draw from the SAME pools: the swapping
+  /// install migrates storage between router scratch and connection slots,
+  /// so with separate pools objects would drift one way (scratch -> slot ->
+  /// network pool) and strand capacity, forcing the router to allocate fresh
+  /// objects in steady state. One economy keeps the total object population
+  /// monotone and the churn loop allocation-free once warm.
+  [[nodiscard]] std::vector<RouteBranch>& branch_pool() {
+    return spare_route_branches_;
+  }
+  [[nodiscard]] std::vector<DeliveryLeg>& leg_pool() {
+    return spare_route_legs_;
+  }
 
   [[nodiscard]] bool input_busy(const WavelengthEndpoint& endpoint) const;
   [[nodiscard]] bool output_busy(const WavelengthEndpoint& endpoint) const;
@@ -247,6 +290,19 @@ class ThreeStageNetwork {
   /// Slot index of an id if it names an active connection, else kNoSlot.
   [[nodiscard]] std::uint32_t slot_of(ConnectionId id) const;
 
+  /// The committing body of install(): slot acquisition, transit
+  /// installation, endpoint marking. Both install() (after validating) and
+  /// install_trusted() (router-validated routes) land here.
+  ConnectionId commit_route(const MulticastRequest& request, const Route& route);
+  /// commit_route with O(1) route ownership transfer instead of the deep
+  /// copy; `route` is left holding the slot's previous storage.
+  ConnectionId commit_route_swapping(const MulticastRequest& request, Route& route);
+  /// Pop a free connection slot (or grow the table by one).
+  [[nodiscard]] std::uint32_t acquire_slot();
+  /// Shared tail of the commit_route variants: install the transits of the
+  /// route already stored in `slot` and mark the endpoints busy.
+  ConnectionId commit_slot(std::uint32_t slot);
+
   /// Structural copy of `src` into a slot's stored route that conserves
   /// nested-vector capacity: shrinking hands surplus branches/legs to the
   /// spare pools instead of destroying them, growing pulls them back. Plain
@@ -275,15 +331,18 @@ class ThreeStageNetwork {
 
   std::vector<ConnectionSlot> connection_slots_;
   std::vector<std::uint32_t> free_connection_slots_;
-  // Branch/leg pools behind copy_route_into. Pooled objects hold emptied but
-  // capacity-bearing nested vectors; since buffers are pooled rather than
-  // freed, every buffer's capacity grows monotonically toward the workload
-  // maximum and steady-state install() performs no heap allocations.
+  // Branch/leg pools behind copy_route_into AND the Router's scratch
+  // recycling (see branch_pool()/leg_pool()). Pooled objects hold emptied
+  // but capacity-bearing nested vectors; since buffers are pooled rather
+  // than freed, every buffer's capacity grows monotonically toward the
+  // workload maximum and steady-state install() performs no heap
+  // allocations.
   std::vector<RouteBranch> spare_route_branches_;
   std::vector<DeliveryLeg> spare_route_legs_;
   std::uint32_t head_ = kNoSlot;  // oldest active connection
   std::uint32_t tail_ = kNoSlot;  // newest active connection
   std::size_t active_count_ = 0;
+  std::uint64_t mutation_epoch_ = 0;  // see mutation_epoch()
 
   // Reusable scratch for check_route/install (capacity survives calls, so
   // steady-state validation is allocation-free). The stamp arrays implement

@@ -1,0 +1,412 @@
+// Batch-equivalence suite for the batched request pipeline (DESIGN.md §3.10).
+//
+// The batch API's whole contract is "pure amortization": submitting requests
+// through connect_batch/run_batch must make every routing decision -- and
+// with it every deterministic counter, connection id, installed route, and
+// engine/sim statistic -- bit-identical to replaying the same operations one
+// at a time. These tests pin that contract at the three layers the batch
+// pipeline crosses:
+//   * Router/MultistageSwitch: identical outcomes, connection tables, and
+//     the six deterministic routing counters across batch sizes {1, 7, 32,
+//     65} and against a serial replay, through every mask-cache combination
+//     (MSW-dominant candidate lanes, MAW-dominant any-lane candidates,
+//     per-lane and any-lane plane rows) plus the fault-model fallback.
+//   * ChurnDriver: ChurnStats bit-identical across connect_batch values AND
+//     worker counts (the flush-before-state-read invariant).
+//   * BlockingSim: SimStats bit-identical across connect_batch values.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "engine/churn_driver.h"
+#include "faults/fault_model.h"
+#include "multistage/builder.h"
+#include "sim/blocking_sim.h"
+#include "sim/request.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace wdm {
+namespace {
+
+/// The deterministic router counters (the golden-counter sextet).
+struct RoutingCounters {
+  std::uint64_t connects = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t middle_probes = 0;
+  std::uint64_t route_attempts = 0;
+  std::uint64_t routes_found = 0;
+  std::uint64_t route_blocked = 0;
+  std::uint64_t spread_expansions = 0;
+
+  friend bool operator==(const RoutingCounters&, const RoutingCounters&) = default;
+};
+
+RoutingCounters snapshot_routing_counters() {
+  return {metrics().counter("routing.connects").value(),
+          metrics().counter("routing.disconnects").value(),
+          metrics().counter("routing.middle_probes").value(),
+          metrics().counter("routing.route_attempts").value(),
+          metrics().counter("routing.routes_found").value(),
+          metrics().counter("routing.route_blocked").value(),
+          metrics().counter("routing.spread_expansions").value()};
+}
+
+/// Full connection table: (id, request, route) in insertion order.
+using Table = std::vector<std::tuple<ConnectionId, MulticastRequest, Route>>;
+
+Table collect_table(const ThreeStageNetwork& network) {
+  Table table;
+  for (const auto& [id, entry] : network.connections()) {
+    table.emplace_back(id, entry.first, entry.second);
+  }
+  return table;
+}
+
+/// State-free request stream: legal shapes, ignoring occupancy, so the same
+/// list can be offered to every run (rejections included -- they are part of
+/// the contract too).
+std::vector<MulticastRequest> request_stream(std::uint64_t seed,
+                                             const MultistageSwitch& sw,
+                                             std::size_t count) {
+  Rng rng(seed);
+  std::vector<MulticastRequest> requests;
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    requests.push_back(random_request(rng, sw.port_count(), sw.lane_count(),
+                                      sw.model(), {1, 4}));
+  }
+  return requests;
+}
+
+struct RunResult {
+  std::vector<BatchOutcome> outcomes;
+  RoutingCounters counters;
+  Table table;
+};
+
+/// Offer `requests` through connect_batch in chunks of `batch` on a fresh
+/// switch (batch == 0 -> plain try_connect serial reference).
+RunResult run_connect_stream(std::size_t n, std::size_t r, std::size_t k,
+                             Construction construction, MulticastModel model,
+                             const std::vector<MulticastRequest>& requests,
+                             std::size_t batch) {
+  set_metrics_enabled(true);
+  metrics().reset();
+  auto sw = MultistageSwitch::nonblocking(n, r, k, construction, model);
+  RunResult result;
+  result.outcomes.resize(requests.size());
+  if (batch == 0) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const auto id = sw.try_connect(requests[i]);
+      result.outcomes[i] = {id.has_value(), id.value_or(0),
+                            id.has_value() ? ConnectError::kBlocked
+                                           : sw.last_error()};
+    }
+  } else {
+    for (std::size_t i = 0; i < requests.size(); i += batch) {
+      const std::size_t chunk = std::min(batch, requests.size() - i);
+      sw.connect_batch(requests.data() + i, chunk, result.outcomes.data() + i);
+    }
+  }
+  sw.network().self_check();
+  result.counters = snapshot_routing_counters();
+  result.table = collect_table(sw.network());
+  metrics().reset();
+  return result;
+}
+
+void expect_equal_runs(const RunResult& expected, const RunResult& actual,
+                       const char* what) {
+  EXPECT_EQ(expected.outcomes, actual.outcomes) << what;
+  EXPECT_EQ(expected.counters, actual.counters) << what;
+  EXPECT_EQ(expected.table, actual.table) << what;
+}
+
+void check_connect_equivalence(std::size_t n, std::size_t r, std::size_t k,
+                               Construction construction,
+                               MulticastModel model) {
+  const auto probe =
+      MultistageSwitch::nonblocking(n, r, k, construction, model);
+  const auto requests = request_stream(0x8A7C4, probe, 300);
+  const RunResult serial =
+      run_connect_stream(n, r, k, construction, model, requests, 0);
+  EXPECT_GT(serial.table.size(), 0u);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{32}, std::size_t{65}}) {
+    const RunResult batched =
+        run_connect_stream(n, r, k, construction, model, requests, batch);
+    expect_equal_runs(serial, batched,
+                      ("batch=" + std::to_string(batch)).c_str());
+  }
+}
+
+// MSW-dominant + MSW model: per-lane candidate rows + per-lane plane rows.
+TEST(BatchEquivalence, ConnectStreamMswDominant) {
+  check_connect_equivalence(4, 4, 2, Construction::kMswDominant,
+                            MulticastModel::kMSW);
+}
+
+// MAW-dominant + MAW model: any-lane candidate rows + any-lane plane rows.
+TEST(BatchEquivalence, ConnectStreamMawDominant) {
+  check_connect_equivalence(3, 4, 3, Construction::kMawDominant,
+                            MulticastModel::kMAW);
+}
+
+// MAW-dominant + MSW model: any-lane candidates + per-lane plane rows (the
+// output modules cannot convert, so links must carry the destination lane).
+TEST(BatchEquivalence, ConnectStreamMawDominantMswModel) {
+  check_connect_equivalence(3, 4, 3, Construction::kMawDominant,
+                            MulticastModel::kMSW);
+}
+
+// ---------------------------------------------------------------------------
+// Mixed connect/disconnect batches vs. serial replay
+// ---------------------------------------------------------------------------
+
+struct ScriptOp {
+  bool connect = false;
+  MulticastRequest request;     // connect ops
+  std::size_t victim_rank = 0;  // disconnect ops: index into live, mod size
+};
+
+std::vector<ScriptOp> make_mixed_script(std::uint64_t seed,
+                                        const MultistageSwitch& sw,
+                                        std::size_t steps) {
+  Rng rng(seed);
+  std::vector<ScriptOp> script;
+  script.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    ScriptOp op;
+    op.connect = rng.next_bool(0.6);
+    if (op.connect) {
+      op.request = random_request(rng, sw.port_count(), sw.lane_count(),
+                                  sw.model(), {1, 4});
+    } else {
+      op.victim_rank = static_cast<std::size_t>(rng.next_below(1u << 20));
+    }
+    script.push_back(std::move(op));
+  }
+  return script;
+}
+
+/// Execute the mixed script in chunks of `chunk_ops` script ops. Disconnect
+/// victims resolve against the live set as of the chunk start (minus victims
+/// already taken this chunk), so a chunk's ops are well-defined before it
+/// runs -- both executions build the identical op list as long as their
+/// admissions agree, which is exactly what the test asserts. `batched` runs
+/// each chunk through one run_batch call; otherwise ops replay one at a
+/// time.
+RunResult run_mixed_script(std::size_t n, std::size_t r, std::size_t k,
+                           Construction construction, MulticastModel model,
+                           const std::vector<ScriptOp>& script,
+                           std::size_t chunk_ops, bool batched,
+                           bool with_fault = false) {
+  set_metrics_enabled(true);
+  metrics().reset();
+  auto sw = MultistageSwitch::nonblocking(n, r, k, construction, model);
+  FaultModel faults(sw.network().params());
+  if (with_fault) {
+    faults.fail_middle(1);
+    sw.network().attach_fault_model(&faults);
+  }
+
+  RunResult result;
+  std::vector<ConnectionId> live;
+  std::vector<BatchOp> ops;
+  std::vector<BatchOutcome> outcomes;
+  for (std::size_t begin = 0; begin < script.size(); begin += chunk_ops) {
+    const std::size_t end = std::min(begin + chunk_ops, script.size());
+    ops.clear();
+    std::vector<ConnectionId> available = live;  // victims resolvable now
+    for (std::size_t i = begin; i < end; ++i) {
+      const ScriptOp& op = script[i];
+      BatchOp batch_op;
+      if (op.connect) {
+        batch_op.kind = BatchOp::Kind::kConnect;
+        batch_op.request = op.request;
+      } else {
+        if (available.empty()) continue;  // nothing to disconnect yet
+        const std::size_t victim = op.victim_rank % available.size();
+        batch_op.kind = BatchOp::Kind::kDisconnect;
+        batch_op.id = available[victim];
+        available[victim] = available.back();
+        available.pop_back();
+      }
+      ops.push_back(std::move(batch_op));
+    }
+    outcomes.resize(ops.size());
+    if (batched) {
+      sw.run_batch(ops.data(), ops.size(), outcomes.data());
+    } else {
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].kind == BatchOp::Kind::kConnect) {
+          const auto id = sw.try_connect(ops[i].request);
+          outcomes[i] = {id.has_value(), id.value_or(0),
+                         id.has_value() ? ConnectError::kBlocked
+                                        : sw.last_error()};
+        } else {
+          outcomes[i] = {sw.try_disconnect(ops[i].id), ops[i].id,
+                         ConnectError::kBlocked};
+        }
+      }
+    }
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind == BatchOp::Kind::kConnect) {
+        if (outcomes[i].ok) live.push_back(outcomes[i].id);
+      } else if (outcomes[i].ok) {
+        const auto it = std::find(live.begin(), live.end(), outcomes[i].id);
+        EXPECT_NE(it, live.end()) << "disconnected an untracked id";
+        if (it != live.end()) live.erase(it);
+      }
+      result.outcomes.push_back(outcomes[i]);
+    }
+  }
+  sw.network().self_check();
+  result.counters = snapshot_routing_counters();
+  result.table = collect_table(sw.network());
+  metrics().reset();
+  if (with_fault) sw.network().attach_fault_model(nullptr);
+  return result;
+}
+
+void check_mixed_equivalence(std::size_t n, std::size_t r, std::size_t k,
+                             Construction construction, MulticastModel model,
+                             bool with_fault = false) {
+  const auto probe =
+      MultistageSwitch::nonblocking(n, r, k, construction, model);
+  const auto script = make_mixed_script(0xD15C0, probe, 400);
+  for (const std::size_t chunk : {std::size_t{7}, std::size_t{32},
+                                  std::size_t{65}}) {
+    const RunResult serial = run_mixed_script(n, r, k, construction, model,
+                                              script, chunk, false, with_fault);
+    const RunResult batched = run_mixed_script(n, r, k, construction, model,
+                                               script, chunk, true, with_fault);
+    expect_equal_runs(serial, batched,
+                      ("chunk=" + std::to_string(chunk)).c_str());
+    EXPECT_GT(serial.counters.disconnects, 0u);
+  }
+}
+
+TEST(BatchEquivalence, MixedBatchesMswDominant) {
+  check_mixed_equivalence(4, 4, 2, Construction::kMswDominant,
+                          MulticastModel::kMSW);
+}
+
+TEST(BatchEquivalence, MixedBatchesMawDominant) {
+  check_mixed_equivalence(3, 4, 3, Construction::kMawDominant,
+                          MulticastModel::kMAW);
+}
+
+// With an active fault the batch path must fall back to fault-aware probing
+// -- decisions, counters, and tables still identical to serial replay.
+TEST(BatchEquivalence, MixedBatchesWithActiveFaultFallBackIdentically) {
+  check_mixed_equivalence(4, 4, 2, Construction::kMswDominant,
+                          MulticastModel::kMSW, /*with_fault=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Batch of one delegates to the single-request path
+// ---------------------------------------------------------------------------
+
+// A batch of size 1 must be indistinguishable from try_connect -- including
+// the routing.find_route timer's sample count, which the n >= 2 batch path
+// intentionally does not feed.
+TEST(BatchEquivalence, BatchOfOneIsTheSingleRequestPath) {
+  const auto probe = MultistageSwitch::nonblocking(
+      4, 4, 2, Construction::kMswDominant, MulticastModel::kMSW);
+  const auto requests = request_stream(0x0B17, probe, 120);
+
+  const RunResult serial =
+      run_connect_stream(4, 4, 2, Construction::kMswDominant,
+                         MulticastModel::kMSW, requests, 0);
+
+  set_metrics_enabled(true);
+  metrics().reset();
+  auto sw = MultistageSwitch::nonblocking(4, 4, 2, Construction::kMswDominant,
+                                          MulticastModel::kMSW);
+  std::vector<BatchOutcome> outcomes(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    BatchOp op;
+    op.kind = BatchOp::Kind::kConnect;
+    op.request = requests[i];
+    sw.run_batch(&op, 1, &outcomes[i]);
+  }
+  const RoutingCounters counters = snapshot_routing_counters();
+  EXPECT_EQ(serial.outcomes, outcomes);
+  EXPECT_EQ(serial.counters, counters);
+  EXPECT_EQ(serial.table, collect_table(sw.network()));
+  // The delegated path still feeds the per-request instruments one-for-one
+  // with the serial reference, plus one batch sample per call.
+  EXPECT_EQ(metrics().timer("routing.find_route").count(),
+            counters.route_attempts);
+  EXPECT_EQ(metrics().timer("routing.batch_amortized_ns").count(),
+            requests.size());
+  metrics().reset();
+}
+
+// ---------------------------------------------------------------------------
+// ChurnDriver: ChurnStats invariant across batch sizes and worker counts
+// ---------------------------------------------------------------------------
+
+engine::ChurnStats churn_once(std::size_t connect_batch, std::size_t workers,
+                              bool serial) {
+  engine::EngineConfig engine_config;
+  engine_config.params = {4, 4, 5, 2};
+  engine_config.shards = 4;
+  engine::ShardedEngine engine(engine_config);
+  engine::ChurnConfig churn_config;
+  churn_config.ops_per_shard = 3000;
+  churn_config.workers = workers;
+  churn_config.connect_batch = connect_batch;
+  churn_config.self_check_every = 1024;
+  engine::ChurnDriver driver(engine, churn_config);
+  return serial ? driver.run_serial() : driver.run();
+}
+
+TEST(BatchEquivalence, ChurnStatsInvariantAcrossBatchSizesAndWorkers) {
+  const engine::ChurnStats reference = churn_once(1, 1, /*serial=*/true);
+  EXPECT_GT(reference.total.sim.admitted, 0u);
+  EXPECT_GT(reference.total.sim.departures, 0u);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{8},
+                                  std::size_t{32}}) {
+    EXPECT_EQ(reference, churn_once(batch, 1, /*serial=*/true))
+        << "serial batch=" << batch;
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+      EXPECT_EQ(reference, churn_once(batch, workers, /*serial=*/false))
+          << "batch=" << batch << " workers=" << workers;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BlockingSim: SimStats invariant across batch sizes
+// ---------------------------------------------------------------------------
+
+SimStats sim_once(std::size_t connect_batch) {
+  auto sw = MultistageSwitch::nonblocking(4, 4, 2, Construction::kMswDominant,
+                                          MulticastModel::kMSW);
+  SimConfig config;
+  config.steps = 8000;
+  config.self_check_every = 2048;
+  config.connect_batch = connect_batch;
+  return run_dynamic_sim(sw, config);
+}
+
+TEST(BatchEquivalence, SimStatsInvariantAcrossBatchSizes) {
+  const SimStats reference = sim_once(1);
+  EXPECT_GT(reference.admitted, 0u);
+  EXPECT_GT(reference.departures, 0u);
+  EXPECT_EQ(reference.blocked, 0u);  // provisioned at the theorem bound
+  for (const std::size_t batch : {std::size_t{7}, std::size_t{32},
+                                  std::size_t{128}}) {
+    EXPECT_EQ(reference, sim_once(batch)) << "connect_batch=" << batch;
+  }
+}
+
+}  // namespace
+}  // namespace wdm

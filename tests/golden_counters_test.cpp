@@ -10,10 +10,19 @@
 // pure data-layout or speed changes keep them identical. If a future PR
 // changes routing behavior ON PURPOSE, it must refresh BENCH_results.json
 // and update these constants in the same commit.
+//
+// The same goldens also pin the batched pipeline (DESIGN.md §3.10): the
+// workload is captured as a trace and pushed through Router::run_batch in
+// chunks, and every counter must land on the identical values -- the
+// batch path is pure amortization, not a different router.
 #include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
 
 #include "multistage/builder.h"
 #include "sim/blocking_sim.h"
+#include "sim/trace.h"
 #include "util/metrics.h"
 
 namespace wdm {
@@ -28,20 +37,31 @@ struct GoldenCounters {
   std::uint64_t spread_expansions;
 };
 
-/// Run the bench workload (full-size, default 0x5EED sim seed) and compare
-/// the router counters against the committed baseline values.
-void run_and_check(Construction construction, MulticastModel model,
-                   const GoldenCounters& golden) {
-  set_metrics_enabled(true);
-  metrics().reset();
+// Values from BENCH_results.json: benchmarks[routing_msw_dominant].counters
+// and benchmarks[routing_maw_dominant].counters.
+constexpr GoldenCounters kMswGolden{.connects = 6952,
+                                    .disconnects = 6937,
+                                    .middle_probes = 90376,
+                                    .route_attempts = 6952,
+                                    .routes_found = 6952,
+                                    .spread_expansions = 6952};
+constexpr GoldenCounters kMawGolden{.connects = 7021,
+                                    .disconnects = 7003,
+                                    .middle_probes = 98294,
+                                    .route_attempts = 7021,
+                                    .routes_found = 7021,
+                                    .spread_expansions = 7021};
 
-  auto sw = MultistageSwitch::nonblocking(4, 4, 2, construction, model);
+/// The bench workload geometry and sim config (full-size, default 0x5EED
+/// seed) shared by the serial and batched pins.
+SimConfig bench_config() {
   SimConfig config;
   config.steps = 20000;
   config.self_check_every = 4096;
-  const SimStats stats = run_dynamic_sim(sw, config);
-  EXPECT_EQ(stats.blocked, 0u);  // provisioned at the theorem bound
+  return config;
+}
 
+void expect_golden(const GoldenCounters& golden) {
   EXPECT_EQ(metrics().counter("routing.connects").value(), golden.connects);
   EXPECT_EQ(metrics().counter("routing.disconnects").value(), golden.disconnects);
   EXPECT_EQ(metrics().counter("routing.middle_probes").value(),
@@ -52,30 +72,100 @@ void run_and_check(Construction construction, MulticastModel model,
             golden.routes_found);
   EXPECT_EQ(metrics().counter("routing.spread_expansions").value(),
             golden.spread_expansions);
+}
 
+/// Run the bench workload and compare the router counters against the
+/// committed baseline values.
+void run_and_check(Construction construction, MulticastModel model,
+                   const GoldenCounters& golden) {
+  set_metrics_enabled(true);
+  metrics().reset();
+
+  auto sw = MultistageSwitch::nonblocking(4, 4, 2, construction, model);
+  const SimStats stats = run_dynamic_sim(sw, bench_config());
+  EXPECT_EQ(stats.blocked, 0u);  // provisioned at the theorem bound
+
+  expect_golden(golden);
   metrics().reset();
 }
 
-// Values from BENCH_results.json: benchmarks[routing_msw_dominant].counters.
-TEST(GoldenCounters, MswDominantChurnIsBitIdentical) {
-  run_and_check(Construction::kMswDominant, MulticastModel::kMSW,
-                {.connects = 6952,
-                 .disconnects = 6937,
-                 .middle_probes = 90376,
-                 .route_attempts = 6952,
-                 .routes_found = 6952,
-                 .spread_expansions = 6952});
+/// Capture the identical workload as a trace, then replay it through
+/// run_batch in chunks of `chunk` ops. A disconnect whose connect landed in
+/// the still-pending chunk forces a flush (its ConnectionId does not exist
+/// until the batch executes); everything else batches freely. The router
+/// counters must hit the same goldens as the serial run.
+void run_batched_and_check(Construction construction, MulticastModel model,
+                           const GoldenCounters& golden, std::size_t chunk) {
+  const auto events = record_random_workload(
+      nonblocking_params(4, 4, 2, construction), construction, model,
+      bench_config());
+
+  set_metrics_enabled(true);
+  metrics().reset();
+
+  auto sw = MultistageSwitch::nonblocking(4, 4, 2, construction, model);
+  std::map<std::uint64_t, ConnectionId> live;
+  std::vector<BatchOp> ops;
+  std::vector<BatchOutcome> outcomes;
+  std::vector<std::uint64_t> pending_keys;  // keys of pending connects, by op
+
+  const auto flush = [&] {
+    if (ops.empty()) return;
+    outcomes.resize(ops.size());
+    sw.run_batch(ops.data(), ops.size(), outcomes.data());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind == BatchOp::Kind::kConnect && outcomes[i].ok) {
+        live[pending_keys[i]] = outcomes[i].id;
+      }
+      EXPECT_TRUE(outcomes[i].ok);  // theorem bound: nothing blocks
+    }
+    ops.clear();
+    pending_keys.clear();
+  };
+
+  for (const TraceEvent& event : events) {
+    BatchOp op;
+    if (event.type == TraceEvent::Type::kConnect) {
+      op.kind = BatchOp::Kind::kConnect;
+      op.request = event.request;
+      pending_keys.push_back(event.key);
+    } else {
+      auto it = live.find(event.key);
+      if (it == live.end()) {
+        flush();  // the connect is in the pending chunk
+        it = live.find(event.key);
+      }
+      ASSERT_NE(it, live.end()) << "disconnect for an unknown trace key";
+      op.kind = BatchOp::Kind::kDisconnect;
+      op.id = it->second;
+      live.erase(it);
+      pending_keys.push_back(0);  // keep ops/pending_keys index-aligned
+    }
+    ops.push_back(std::move(op));
+    if (ops.size() >= chunk) flush();
+  }
+  flush();
+
+  expect_golden(golden);
+  metrics().reset();
 }
 
-// Values from BENCH_results.json: benchmarks[routing_maw_dominant].counters.
+TEST(GoldenCounters, MswDominantChurnIsBitIdentical) {
+  run_and_check(Construction::kMswDominant, MulticastModel::kMSW, kMswGolden);
+}
+
 TEST(GoldenCounters, MawDominantChurnIsBitIdentical) {
-  run_and_check(Construction::kMawDominant, MulticastModel::kMAW,
-                {.connects = 7021,
-                 .disconnects = 7003,
-                 .middle_probes = 98294,
-                 .route_attempts = 7021,
-                 .routes_found = 7021,
-                 .spread_expansions = 7021});
+  run_and_check(Construction::kMawDominant, MulticastModel::kMAW, kMawGolden);
+}
+
+TEST(GoldenCounters, MswDominantBatchedReplayHitsTheSameGoldens) {
+  run_batched_and_check(Construction::kMswDominant, MulticastModel::kMSW,
+                        kMswGolden, 32);
+}
+
+TEST(GoldenCounters, MawDominantBatchedReplayHitsTheSameGoldens) {
+  run_batched_and_check(Construction::kMawDominant, MulticastModel::kMAW,
+                        kMawGolden, 32);
 }
 
 }  // namespace

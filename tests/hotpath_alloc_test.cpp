@@ -141,19 +141,69 @@ void run_pass(MultistageSwitch& sw, const std::vector<Op>& script,
   live.clear();
 }
 
+/// Batched replay of the same script shape: connects accumulate into a
+/// caller-owned BatchOp buffer flushed through run_batch at kBatch pending
+/// (and before every disconnect, which needs the live set current). The
+/// buffers are assigned in place, never resized, so once their nested
+/// request vectors reach the script's high-water capacity the batched path
+/// must be allocation-free too -- including the mask-cache priming, which
+/// the Router preallocates at construction.
+struct BatchedReplay {
+  static constexpr std::size_t kBatch = 32;
+
+  std::vector<BatchOp> ops = std::vector<BatchOp>(kBatch);
+  std::vector<BatchOutcome> outcomes = std::vector<BatchOutcome>(kBatch);
+  std::size_t pending = 0;
+
+  void flush(MultistageSwitch& sw, std::vector<ConnectionId>& live) {
+    if (pending == 0) return;
+    sw.run_batch(ops.data(), pending, outcomes.data());
+    for (std::size_t i = 0; i < pending; ++i) {
+      if (outcomes[i].ok) live.push_back(outcomes[i].id);
+    }
+    pending = 0;
+  }
+
+  void run_pass(MultistageSwitch& sw, const std::vector<Op>& script,
+                std::vector<ConnectionId>& live) {
+    for (const Op& op : script) {
+      if (op.connect) {
+        ops[pending].kind = BatchOp::Kind::kConnect;
+        ops[pending].request = op.request;  // copy-assign reuses capacity
+        if (++pending == kBatch) flush(sw, live);
+      } else {
+        flush(sw, live);  // victim choice reads the live set
+        if (live.empty()) continue;
+        const std::size_t victim = op.victim_rank % live.size();
+        ops[0].kind = BatchOp::Kind::kDisconnect;
+        ops[0].id = live[victim];
+        sw.run_batch(ops.data(), 1, outcomes.data());
+        live[victim] = live.back();
+        live.pop_back();
+      }
+    }
+    flush(sw, live);
+    for (const ConnectionId id : live) sw.disconnect(id);
+    live.clear();
+  }
+};
+
 /// Warm up until one full pass performs zero allocations (the capacity
 /// fixed point; slot-reuse order permutes request shapes across slots, so
 /// the pools take a few passes to absorb every shape), then assert two more
 /// passes stay allocation-free. A switch that allocates per call never
-/// reaches the fixed point and fails the warm-up assertion.
+/// reaches the fixed point and fails the warm-up assertion. `pass` is the
+/// replay flavor under audit (serial or batched).
+template <typename Pass>
 void warm_up_then_expect_no_allocations(MultistageSwitch& sw,
                                         const std::vector<Op>& script,
-                                        std::vector<ConnectionId>& live) {
+                                        std::vector<ConnectionId>& live,
+                                        Pass&& pass_fn) {
   constexpr int kMaxWarmupPasses = 40;
   bool converged = false;
   for (int pass = 0; pass < kMaxWarmupPasses && !converged; ++pass) {
     const std::size_t before = g_allocations.load();
-    run_pass(sw, script, live);
+    pass_fn(sw, script, live);
     converged = g_allocations.load() == before;
   }
   ASSERT_TRUE(converged)
@@ -162,9 +212,15 @@ void warm_up_then_expect_no_allocations(MultistageSwitch& sw,
 
   for (int pass = 0; pass < 2; ++pass) {
     const std::size_t before = g_allocations.load();
-    run_pass(sw, script, live);
+    pass_fn(sw, script, live);
     EXPECT_EQ(g_allocations.load() - before, 0u) << "measured pass " << pass;
   }
+}
+
+void warm_up_then_expect_no_allocations(MultistageSwitch& sw,
+                                        const std::vector<Op>& script,
+                                        std::vector<ConnectionId>& live) {
+  warm_up_then_expect_no_allocations(sw, script, live, run_pass);
 }
 
 TEST(HotPathAllocations, SteadyStateChurnIsAllocationFree) {
@@ -182,6 +238,28 @@ TEST(HotPathAllocations, SteadyStateChurnIsAllocationFree) {
   std::vector<ConnectionId> live;
   live.reserve(script.size());
   warm_up_then_expect_no_allocations(sw, script, live);
+}
+
+TEST(HotPathAllocations, BatchedChurnIsAllocationFree) {
+  // The batched pipeline (DESIGN.md §3.10) must match the per-call path's
+  // zero-steady-state-allocation contract: mask caches are preallocated at
+  // construction, BatchAccum lives on the stack, and the caller-owned
+  // op/outcome buffers are assigned in place.
+  set_metrics_enabled(true);
+
+  auto sw = MultistageSwitch::nonblocking(4, 8, 4, Construction::kMswDominant,
+                                          MulticastModel::kMSW);
+  Rng rng(0xA110C);
+  const std::vector<Op> script =
+      make_script(sw.port_count(), sw.lane_count(), rng, 2000);
+
+  std::vector<ConnectionId> live;
+  live.reserve(script.size());
+  BatchedReplay replay;
+  warm_up_then_expect_no_allocations(
+      sw, script, live,
+      [&replay](MultistageSwitch& s, const std::vector<Op>& ops,
+                std::vector<ConnectionId>& l) { replay.run_pass(s, ops, l); });
 }
 
 TEST(HotPathAllocations, MawDominantChurnIsAllocationFreeToo) {
