@@ -8,11 +8,16 @@
 // leftover sessions. A throughput column shows what the sharding buys on
 // multi-core hosts; on a 1-core container the speedup is ~1x by design and
 // only the determinism columns carry signal.
+//
+// WDM_TELEMETRY=<path> in the environment attaches a TelemetrySampler to the
+// 4-worker run and writes its wdm-telemetry/1 timeline there as JSON lines.
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 
 #include "engine/churn_driver.h"
 #include "engine/sharded_engine.h"
+#include "obs/telemetry.h"
 #include "util/table.h"
 
 using namespace wdm;
@@ -65,15 +70,33 @@ int main() {
             reference.total.sim.admitted, reference.total.grows,
             reference.total.stale_rejected, "ref");
 
+  const char* telemetry_path = std::getenv("WDM_TELEMETRY");
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
     ShardedEngine engine(config);
     ChurnDriver driver(engine, churn_config(workers));
     ThreadPool pool(workers);
+    // Watch the 4-worker row (the contended configuration) when asked: the
+    // sampler reads seqlock snapshots only, so attaching it cannot perturb
+    // the determinism columns.
+    const bool sample = telemetry_path != nullptr && *telemetry_path != '\0' &&
+                        workers == 4;
+    obs::TelemetrySampler sampler(engine, {std::chrono::milliseconds(5), true});
+    if (sample) sampler.start();
     const auto start = std::chrono::steady_clock::now();
     const ChurnStats stats = driver.run(pool);
     const double wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - start)
                                .count();
+    if (sample) {
+      sampler.stop();
+      if (sampler.write_file(telemetry_path)) {
+        std::cout << "wrote " << telemetry_path << " ("
+                  << sampler.sample_count() << " telemetry samples)\n";
+      } else {
+        std::cerr << "cannot write " << telemetry_path << "\n";
+        ok = false;
+      }
+    }
     const bool identical = stats == reference &&
                            stats.leftover_sessions == engine.active_sessions();
     ok = ok && identical;

@@ -58,12 +58,22 @@ struct Thresholds {
       {"routing.route_attempts", 1.2},
       {"routing.connects", 1.2},
       {"sim.blocked", 1.05},  // growth in blocking is a correctness smell
+      // Deterministic per-op tallies: any growth means the hot path gained
+      // work (observability publication included), so the band is tight.
+      {"engine.connects", 1.01},
+      {"engine.disconnects", 1.01},
+      {"engine.grows", 1.01},
+      {"engine.grow_blocked", 1.01},
+      {"engine.stale_rejected", 1.01},
+      {"engine.batches", 1.01},
+      {"obs.snapshot_publishes", 1.01},
   };
   // Timers whose p99 is gated.
   std::vector<std::string> p99_timers = {
       "routing.find_route",     "routing.batch_amortized_ns",
       "sim.connect",            "sim.disconnect",
       "converter_pool.acquire", "thread_pool.task_run",
+      "engine.drain_batch",     "obs.snapshot_read",
   };
 };
 

@@ -22,9 +22,16 @@
 // Flags: --tiny (smoke-sized parameters), --out=<path>, --filter=<substr>,
 //        --list, --include-zero (emit zero-valued instruments too),
 //        --trace=<path> (span timeline as Chrome trace-event JSON, for
-//        Perfetto / chrome://tracing).
+//        Perfetto / chrome://tracing),
+//        --telemetry=<path> (engine_churn's wdm-telemetry/1 timeline as JSON
+//        lines; see docs/BENCHMARKS.md).
+//
+// Environment: WDM_FLIGHT_DUMP=<path> writes the engine benches' flight
+// recorder rings there (the post-mortem artifact CI uploads).
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <fstream>
 #include <functional>
@@ -32,6 +39,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/export.h"
@@ -39,6 +47,7 @@
 #include "engine/sharded_engine.h"
 #include "faults/availability.h"
 #include "multistage/builder.h"
+#include "obs/telemetry.h"
 #include "sim/blocking_sim.h"
 #include "sim/converter_pool.h"
 #include "sim/sweep.h"
@@ -58,6 +67,24 @@ struct BenchResult {
   std::string params_json = "{}";  // JSON object literal
   bool ok = true;
 };
+
+/// engine_churn's telemetry timeline, captured for --telemetry=<path>. The
+/// runner writes it after the loop; empty when the bench was filtered out.
+std::vector<std::string> g_telemetry_lines;
+
+/// Dump every shard's flight recorder to WDM_FLIGHT_DUMP if set (append:
+/// both engine benches contribute to one artifact).
+void maybe_dump_flight(const engine::ShardedEngine& engine, const char* bench) {
+  const char* path = std::getenv("WDM_FLIGHT_DUMP");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream os(path, std::ios::app);
+  if (!os) {
+    std::cerr << "cannot append flight dump to " << path << "\n";
+    return;
+  }
+  os << "=== " << bench << " ===\n";
+  engine.dump_flight_recorders(os);
+}
 
 struct BenchCase {
   std::string name;
@@ -374,11 +401,45 @@ BenchResult bench_engine_churn(bool tiny) {
   engine::ShardedEngine engine(config);
   engine::ChurnDriver driver(engine, churn);
   ThreadPool pool(churn.workers);
+  obs::TelemetryConfig telemetry;
+  telemetry.interval = std::chrono::milliseconds(tiny ? 1 : 5);
+  obs::TelemetrySampler sampler(engine, telemetry);
+  sampler.start();
   const engine::ChurnStats threaded = driver.run(pool);
+  sampler.stop();  // closing sample observes the quiesced engine
 
   engine::ShardedEngine replay_engine(config);
   engine::ChurnDriver replay(replay_engine, churn);
   const engine::ChurnStats serial = replay.run_serial();
+
+  maybe_dump_flight(engine, "engine_churn");
+
+  // The telemetry contract: the timeline's final sample must agree exactly
+  // with the run's deterministic ChurnStats (the engine-side tallies and the
+  // driver-side stats are independent bookkeeping of the same ops).
+  g_telemetry_lines = sampler.lines();
+  bool telemetry_ok = !g_telemetry_lines.empty();
+  if (telemetry_ok) {
+    try {
+      const JsonValue last = parse_json(g_telemetry_lines.back());
+      const JsonValue& totals = last.at("totals");
+      telemetry_ok =
+          last.at("schema").as_string() == obs::kTelemetrySchema &&
+          last.at("sample").as_number() ==
+              static_cast<double>(g_telemetry_lines.size() - 1) &&
+          totals.at("connects").as_number() ==
+              static_cast<double>(threaded.total.sim.admitted) &&
+          totals.at("disconnects").as_number() ==
+              static_cast<double>(threaded.total.sim.departures) &&
+          totals.at("grows").as_number() ==
+              static_cast<double>(threaded.total.grows) &&
+          totals.at("sessions").as_number() ==
+              static_cast<double>(threaded.leftover_sessions);
+    } catch (const std::exception& error) {
+      std::cerr << "engine_churn telemetry: " << error.what() << "\n";
+      telemetry_ok = false;
+    }
+  }
 
   BenchResult result;
   result.params_json = params_of({{"n", 4},
@@ -387,10 +448,62 @@ BenchResult bench_engine_churn(bool tiny) {
                                   {"shards", config.shards},
                                   {"ops_per_shard", churn.ops_per_shard},
                                   {"workers", churn.workers},
-                                  {"batch", churn.batch}});
+                                  {"batch", churn.batch},
+                                  {"telemetry_samples",
+                                   g_telemetry_lines.size()}});
   result.ok = threaded == serial && threaded.total.stale_accepted == 0 &&
               threaded.leftover_sessions == engine.active_sessions() &&
-              threaded.total.grows > 0;
+              threaded.total.grows > 0 && telemetry_ok;
+  return result;
+}
+
+BenchResult bench_obs_snapshot(bool tiny) {
+  // Pins the observability overhead: a dedicated reader thread hammers
+  // lock-free health_snapshot() (timed as obs.snapshot_read, p99-gated in
+  // tools/bench_thresholds.json) while full-rate churn publishes at every
+  // commit point, and the churn side itself stays pinned by the engine.*
+  // 1.01-ratio counter gates. Every snapshot read mid-churn must be
+  // internally consistent -- the seqlock's whole claim.
+  engine::EngineConfig config;
+  config.params = {4, 4, 5, 2};
+  config.shards = tiny ? 2 : 4;
+  engine::ChurnConfig churn;
+  churn.ops_per_shard = tiny ? 300 : 6000;
+  churn.batch = 64;
+  churn.workers = 2;
+
+  engine::ShardedEngine engine(config);
+  engine::ChurnDriver driver(engine, churn);
+  TimerStat& read_timer = metrics().timer("obs.snapshot_read");
+
+  std::atomic<bool> done{false};
+  std::uint64_t reads = 0;
+  std::uint64_t inconsistent = 0;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      for (std::size_t s = 0; s < engine.shard_count(); ++s) {
+        ScopedTimer timer(read_timer);
+        if (!engine.health_snapshot(s).consistent()) ++inconsistent;
+        ++reads;
+      }
+    }
+  });
+  ThreadPool pool(churn.workers);
+  const engine::ChurnStats stats = driver.run(pool);
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  maybe_dump_flight(engine, "obs_snapshot");
+
+  BenchResult result;
+  result.params_json = params_of({{"n", 4},
+                                  {"r", 4},
+                                  {"k", 2},
+                                  {"shards", config.shards},
+                                  {"ops_per_shard", churn.ops_per_shard},
+                                  {"snapshot_reads", reads}});
+  result.ok = inconsistent == 0 && reads > 0 &&
+              stats.total.stale_accepted == 0;
   return result;
 }
 
@@ -424,6 +537,9 @@ const std::vector<BenchCase>& bench_cases() {
       {"engine_churn",
        "sharded concurrent churn, verified bit-identical to a serial replay",
        bench_engine_churn},
+      {"obs_snapshot",
+       "lock-free health snapshot reads hammered against full-rate churn",
+       bench_obs_snapshot},
   };
   return cases;
 }
@@ -552,6 +668,9 @@ int main(int argc, char** argv) {
   cli.describe("trace",
                "write the span timeline as Chrome trace-event JSON here "
                "(open in Perfetto / chrome://tracing)");
+  cli.describe("telemetry",
+               "write engine_churn's wdm-telemetry/1 timeline here as JSON "
+               "lines (one sample per line)");
   if (cli.wants_help()) {
     std::cout << cli.help_text(
         "run_benches: unified benchmark runner -> BENCH_results.json");
@@ -570,6 +689,7 @@ int main(int argc, char** argv) {
       cli.get_string("out").value_or("BENCH_results.json");
   const std::string filter = cli.get_string("filter").value_or("");
   const std::string trace_path = cli.get_string("trace").value_or("");
+  const std::string telemetry_path = cli.get_string("telemetry").value_or("");
 
   if (cli.get_bool("list")) {
     for (const BenchCase& bench : bench_cases()) {
@@ -668,8 +788,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  bool telemetry_file_ok = true;
+  if (!telemetry_path.empty()) {
+    if (g_telemetry_lines.empty()) {
+      std::cerr << "telemetry: no samples (engine_churn filtered out?)\n";
+      telemetry_file_ok = false;
+    } else {
+      std::ofstream telemetry_out(telemetry_path);
+      if (!telemetry_out) {
+        std::cerr << "cannot write " << telemetry_path << "\n";
+        telemetry_file_ok = false;
+      } else {
+        for (const std::string& line : g_telemetry_lines) {
+          telemetry_out << line << '\n';
+        }
+        std::cout << "wrote " << telemetry_path << " ("
+                  << g_telemetry_lines.size() << " samples)\n";
+      }
+    }
+  }
+
   const bool valid = validate_results_file(out_path, entries, filter.empty());
   std::cout << "schema validation: " << (valid ? "ok" : "FAILED") << "\n";
   if (!all_ok) std::cout << "NOTE: at least one benchmark reported ok=false\n";
-  return (valid && all_ok && trace_ok) ? 0 : 1;
+  return (valid && all_ok && trace_ok && telemetry_file_ok) ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -41,6 +42,11 @@ std::string ChurnStats::to_string() const {
 
 ChurnDriver::ChurnDriver(ShardedEngine& engine, ChurnConfig config)
     : engine_(&engine), config_(config) {}
+
+void ChurnDriver::fail(const char* what) const {
+  engine_->dump_flight_recorders(std::cerr);
+  throw std::logic_error(what);
+}
 
 void ChurnDriver::remember_stale(Lane& lane, ConnectionId id) {
   if (lane.stale.size() < kStaleRing) {
@@ -107,7 +113,7 @@ void ChurnDriver::tick(Lane& lane) {
         static_cast<std::size_t>(lane.rng.next_below(lane.active.size()));
     const ConnectionId id = lane.active[victim];
     if (!engine_->disconnect_locked(lane.shard, id)) {
-      throw std::logic_error("ChurnDriver: live session rejected as stale");
+      fail("ChurnDriver: live session rejected as stale");
     }
     remember_stale(lane, id);
     lane.active[victim] = lane.active.back();
@@ -160,7 +166,7 @@ void ChurnDriver::tick_batched(Lane& lane) {
           static_cast<std::size_t>(lane.rng.next_below(lane.active.size()));
       const ConnectionId id = lane.active[victim];
       if (!engine_->disconnect_locked(lane.shard, id)) {
-        throw std::logic_error("ChurnDriver: live session rejected as stale");
+        fail("ChurnDriver: live session rejected as stale");
       }
       lane.active[victim] = lane.active.back();
       lane.active.pop_back();
@@ -218,7 +224,7 @@ void ChurnDriver::grow_tick(Lane& lane, std::size_t victim) {
   const ConnectionId id = lane.active[victim];
   const auto* entry = network.find_connection(id);
   if (entry == nullptr) {
-    throw std::logic_error("ChurnDriver: lost track of a live session");
+    fail("ChurnDriver: lost track of a live session");
   }
   const MulticastRequest& request = entry->first;
   const std::size_t N = network.port_count();
@@ -288,7 +294,7 @@ void ChurnDriver::grow_tick(Lane& lane, std::size_t victim) {
       ++stats.grow_blocked;
       break;
     case GrowResult::Status::kStaleSession:
-      throw std::logic_error("ChurnDriver: grow lost a live session");
+      fail("ChurnDriver: grow lost a live session");
   }
   // Break-before-make: the session carries a fresh id either way, and the
   // old id is exactly the stale-probe material we want.

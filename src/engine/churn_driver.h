@@ -153,6 +153,10 @@ class ChurnDriver {
   void flush_pending(Lane& lane);
   void grow_tick(Lane& lane, std::size_t victim);
   void remember_stale(Lane& lane, ConnectionId id);
+  /// Invariant-violation exit: dump every shard's flight recorder to stderr
+  /// (the post-mortem window CI uploads as an artifact), then throw
+  /// std::logic_error(what).
+  [[noreturn]] void fail(const char* what) const;
   /// Execute every queued batch of `lane` under the shard mutex.
   void drain(Lane& lane);
   ChurnStats merge(std::vector<std::unique_ptr<Lane>>& lanes) const;

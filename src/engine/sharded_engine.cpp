@@ -1,7 +1,10 @@
 #include "engine/sharded_engine.h"
 
+#include <bit>
+#include <iostream>
 #include <stdexcept>
 
+#include "faults/fault_model.h"
 #include "util/metrics.h"
 
 namespace wdm::engine {
@@ -17,6 +20,9 @@ struct EngineMetrics {
   Counter& grows = metrics().counter("engine.grows");
   Counter& grow_blocked = metrics().counter("engine.grow_blocked");
   Counter& stale_rejected = metrics().counter("engine.stale_rejected");
+  Counter& snapshot_publishes = metrics().counter("obs.snapshot_publishes");
+  Counter& snapshot_reads = metrics().counter("obs.snapshot_reads");
+  Counter& snapshot_retries = metrics().counter("obs.snapshot_retries");
 
   static EngineMetrics& get() {
     static EngineMetrics instance;
@@ -55,21 +61,112 @@ std::size_t rendezvous_shard(std::size_t port, std::size_t shard_count) {
   return winner;
 }
 
-ShardedEngine::Shard::Shard(const EngineConfig& config)
+ShardedEngine::Shard::Shard(std::uint32_t index, const EngineConfig& config)
     : sw(config.params, config.construction, config.network_model,
-         config.policy) {}
+         config.policy),
+      flight(index),
+      health(obs::EngineHealthSnapshot::encoded_words(config.params.m,
+                                                      config.params.r)),
+      encode_scratch(obs::EngineHealthSnapshot::encoded_words(config.params.m,
+                                                              config.params.r),
+                     0) {}
 
-ShardedEngine::ShardedEngine(const EngineConfig& config) : config_(config) {
+ShardedEngine::ShardedEngine(const EngineConfig& config)
+    : config_(config),
+      bound_(config.construction == Construction::kMswDominant
+                 ? theorem1_min_m(config.params.n, config.params.r)
+                 : theorem2_min_m(config.params.n, config.params.r,
+                                  config.params.k)) {
   if (config_.shards == 0) {
     throw std::invalid_argument("ShardedEngine: need at least one shard");
   }
   shards_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(config_));
+    shards_.push_back(std::make_unique<Shard>(static_cast<std::uint32_t>(s),
+                                              config_));
+    // Publish the empty-fabric snapshot so readers never see version 0 /
+    // all-zero geometry, even before the first session arrives.
+    publish_health(*shards_.back());
   }
   owned_ports_.resize(config_.shards);
   for (std::size_t port = 0; port < port_count(); ++port) {
     owned_ports_[rendezvous_shard(port, config_.shards)].push_back(port);
+  }
+}
+
+void ShardedEngine::publish_health(Shard& shard) {
+  const ThreeStageNetwork& network = shard.sw.network();
+  const ClosParams& params = network.params();
+  std::uint64_t* words = shard.encode_scratch.data();
+
+  words[0] = ++shard.publish_version;
+  words[1] = shard.flight.shard();
+  words[2] = params.m;
+  words[3] = params.r;
+  words[4] = network.active_connections();
+  // words[5] (busy_middle_lanes) filled below from the occupancy sweep.
+  words[6] = shard.connects;
+  words[7] = shard.disconnects;
+  words[8] = shard.grows;
+  words[9] = shard.grow_blocked;
+  words[10] = shard.stale_rejected;
+  words[11] = bound_.m;
+  const FaultModel* faults = network.active_fault_model();
+  const std::uint64_t failed =
+      faults == nullptr ? 0 : faults->failed_middle_count();
+  words[12] = failed;
+  const std::uint64_t effective = failed >= params.m ? 0 : params.m - failed;
+  const std::int64_t margin = static_cast<std::int64_t>(effective) -
+                              static_cast<std::int64_t>(bound_.m);
+  words[13] = static_cast<std::uint64_t>(margin);
+  words[14] = margin >= 0 ? 1 : 0;
+
+  std::uint64_t busy = 0;
+  std::size_t cursor = obs::EngineHealthSnapshot::kHeaderWords;
+  for (std::size_t j = 0; j < params.m; ++j) {
+    const std::uint64_t* row = network.middle_module(j).out_words();
+    for (std::size_t p = 0; p < params.r; ++p) {
+      const std::uint64_t word = row[p];
+      words[cursor++] = word;
+      busy += static_cast<std::uint64_t>(std::popcount(word));
+    }
+  }
+  words[5] = busy;
+
+  shard.health.publish(words, shard.encode_scratch.size());
+  EngineMetrics::get().snapshot_publishes.add();
+}
+
+obs::EngineHealthSnapshot ShardedEngine::health_snapshot(
+    std::size_t shard) const {
+  const Shard& owner = *shards_.at(shard);
+  // Stack buffer sized from the (immutable) geometry: the read itself makes
+  // no heap allocation and takes no lock; only decoding copies to a vector.
+  std::vector<std::uint64_t> buffer(owner.health.capacity());
+  std::size_t retries = 0;
+  owner.health.read(buffer.data(), buffer.size(), &retries);
+  EngineMetrics& counters = EngineMetrics::get();
+  counters.snapshot_reads.add();
+  if (retries != 0) counters.snapshot_retries.add(retries);
+  return obs::EngineHealthSnapshot::decode(buffer.data(), buffer.size());
+}
+
+std::vector<obs::EngineHealthSnapshot> ShardedEngine::health_snapshots() const {
+  std::vector<obs::EngineHealthSnapshot> out;
+  out.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    out.push_back(health_snapshot(s));
+  }
+  return out;
+}
+
+obs::FlightRecorder::Dump ShardedEngine::flight_dump(std::size_t shard) const {
+  return shards_.at(shard)->flight.dump();
+}
+
+void ShardedEngine::dump_flight_recorders(std::ostream& os) const {
+  for (const auto& shard : shards_) {
+    obs::FlightRecorder::print(shard->flight.dump(), os);
   }
 }
 
@@ -123,14 +220,31 @@ std::size_t ShardedEngine::active_sessions() const {
 void ShardedEngine::self_check() const {
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
-    shard->sw.network().self_check();
+    try {
+      shard->sw.network().self_check();
+    } catch (const std::logic_error&) {
+      // The post-mortem window: what the shards did leading up to the
+      // corruption, before the exception unwinds the run away.
+      dump_flight_recorders(std::cerr);
+      throw;
+    }
   }
 }
 
 std::optional<ConnectionId> ShardedEngine::connect_locked(
     std::size_t shard, const MulticastRequest& request) {
-  const auto id = shards_[shard]->sw.try_connect(request);
-  if (id) EngineMetrics::get().connects.add();
+  Shard& owner = *shards_[shard];
+  const auto id = owner.sw.try_connect(request);
+  if (id) {
+    EngineMetrics::get().connects.add();
+    ++owner.connects;
+    owner.flight.record(obs::EngineOp::kConnect,
+                        obs::EngineOpOutcome::kAdmitted, *id);
+  } else {
+    owner.flight.record(obs::EngineOp::kConnect,
+                        obs::EngineOpOutcome::kBlocked, 0);
+  }
+  publish_health(owner);
   return id;
 }
 
@@ -138,31 +252,53 @@ std::size_t ShardedEngine::connect_batch_locked(std::size_t shard,
                                                 const MulticastRequest* requests,
                                                 std::size_t count,
                                                 BatchOutcome* outcomes) {
+  Shard& owner = *shards_[shard];
   const std::size_t admitted =
-      shards_[shard]->sw.connect_batch(requests, count, outcomes);
-  if (admitted != 0) EngineMetrics::get().connects.add(admitted);
+      owner.sw.connect_batch(requests, count, outcomes);
+  if (admitted != 0) {
+    EngineMetrics::get().connects.add(admitted);
+    owner.connects += admitted;
+  }
+  owner.flight.record(obs::EngineOp::kBatchConnect,
+                      admitted == count ? obs::EngineOpOutcome::kAdmitted
+                                        : obs::EngineOpOutcome::kBlocked,
+                      0, static_cast<std::uint32_t>(admitted));
+  publish_health(owner);
   return admitted;
 }
 
 bool ShardedEngine::disconnect_locked(std::size_t shard, ConnectionId id) {
   EngineMetrics& counters = EngineMetrics::get();
-  if (!shards_[shard]->sw.try_disconnect(id)) {
+  Shard& owner = *shards_[shard];
+  if (!owner.sw.try_disconnect(id)) {
     counters.stale_rejected.add();
+    ++owner.stale_rejected;
+    owner.flight.record(obs::EngineOp::kDisconnect,
+                        obs::EngineOpOutcome::kStale, id);
+    publish_health(owner);
     return false;
   }
   counters.disconnects.add();
+  ++owner.disconnects;
+  owner.flight.record(obs::EngineOp::kDisconnect,
+                      obs::EngineOpOutcome::kAdmitted, id);
+  publish_health(owner);
   return true;
 }
 
 GrowResult ShardedEngine::grow_locked(std::size_t shard, ConnectionId id,
                                       const WavelengthEndpoint& destination) {
   EngineMetrics& counters = EngineMetrics::get();
-  MultistageSwitch& sw = shards_[shard]->sw;
+  Shard& owner = *shards_[shard];
+  MultistageSwitch& sw = owner.sw;
   ThreeStageNetwork& network = sw.network();
 
   const auto* entry = network.find_connection(id);
   if (entry == nullptr) {
     counters.stale_rejected.add();
+    ++owner.stale_rejected;
+    owner.flight.record(obs::EngineOp::kGrow, obs::EngineOpOutcome::kStale, id);
+    publish_health(owner);
     return {};
   }
 
@@ -173,10 +309,15 @@ GrowResult ShardedEngine::grow_locked(std::size_t shard, ConnectionId id,
   const Route original_route = entry->second;
 
   // Break-before-make: the grown request reuses the session's own input
-  // wavelength, so it is inadmissible while the session stands.
+  // wavelength, so it is inadmissible while the session stands. The internal
+  // try_connect is a grow, not an admission -- it bumps no connect tallies.
   network.release(id);
   if (const auto grown_id = sw.try_connect(grown)) {
     counters.grows.add();
+    ++owner.grows;
+    owner.flight.record(obs::EngineOp::kGrow, obs::EngineOpOutcome::kGrown,
+                        *grown_id);
+    publish_health(owner);
     return {GrowResult::Status::kGrown, *grown_id};
   }
 
@@ -185,6 +326,10 @@ GrowResult ShardedEngine::grow_locked(std::size_t shard, ConnectionId id,
   // route over the original request cannot fail.
   const ConnectionId restored = network.install(original_request, original_route);
   counters.grow_blocked.add();
+  ++owner.grow_blocked;
+  owner.flight.record(obs::EngineOp::kGrow,
+                      obs::EngineOpOutcome::kGrowBlocked, restored);
+  publish_health(owner);
   return {GrowResult::Status::kBlocked, restored};
 }
 

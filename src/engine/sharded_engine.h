@@ -26,12 +26,16 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "multistage/builder.h"
+#include "multistage/nonblocking.h"
+#include "obs/flight_recorder.h"
+#include "obs/health_snapshot.h"
 
 namespace wdm::engine {
 
@@ -97,8 +101,33 @@ class ShardedEngine {
   GrowResult grow(SessionId session, const WavelengthEndpoint& destination);
   /// Live sessions across all shards (locks each shard briefly).
   [[nodiscard]] std::size_t active_sessions() const;
-  /// Deep-check every shard replica (throws std::logic_error on corruption).
+  /// Deep-check every shard replica (throws std::logic_error on corruption,
+  /// after dumping every shard's flight recorder to stderr).
   void self_check() const;
+
+  // -- lock-free observability (src/obs) ------------------------------------
+  /// The Theorem-1/2 bound for one shard replica's geometry (computed once
+  /// at construction; Theorem 1 for MSW-dominant, Theorem 2 for
+  /// MAW-dominant).
+  [[nodiscard]] const NonblockingBound& theorem_bound() const { return bound_; }
+
+  /// The shard's latest published health snapshot, read with ZERO mutex
+  /// acquisition (seqlock retry loop; see obs/health_snapshot.h). Safe from
+  /// any thread at any time -- including while every shard mutex is held by
+  /// someone else. Shards publish at every commit point (connect /
+  /// disconnect / grow / batch), plus once at construction, so the result is
+  /// always a complete, internally consistent snapshot.
+  [[nodiscard]] obs::EngineHealthSnapshot health_snapshot(std::size_t shard) const;
+  /// All shards' snapshots, ascending shard order. Lock-free like
+  /// health_snapshot(); the per-shard snapshots are individually (not
+  /// mutually) consistent.
+  [[nodiscard]] std::vector<obs::EngineHealthSnapshot> health_snapshots() const;
+
+  /// A coherent copy of one shard's flight-recorder ring (oldest first).
+  [[nodiscard]] obs::FlightRecorder::Dump flight_dump(std::size_t shard) const;
+  /// Render every shard's ring to `os` (the on-failure diagnostic; also
+  /// written to WDM_FLIGHT_DUMP by run_benches for CI artifacts).
+  void dump_flight_recorders(std::ostream& os) const;
 
   // -- shard plumbing for batching drivers ----------------------------------
   /// The mutex guarding shard `shard`'s switch. Hold it across any use of
@@ -125,14 +154,32 @@ class ShardedEngine {
 
  private:
   /// Mutex + replica, heap-pinned (mutexes are immovable) and padded so two
-  /// shards' hot state never shares a cache line.
+  /// shards' hot state never shares a cache line. The observability tail
+  /// (tallies, flight ring, seqlock slot, encode scratch) is written only
+  /// under `mutex`; the seqlock slot is additionally read lock-free.
   struct alignas(64) Shard {
-    explicit Shard(const EngineConfig& config);
+    Shard(std::uint32_t index, const EngineConfig& config);
     mutable std::mutex mutex;
     MultistageSwitch sw;
+    // Deterministic per-shard churn tallies (mirror the engine.* counters).
+    std::uint64_t connects = 0;
+    std::uint64_t disconnects = 0;
+    std::uint64_t grows = 0;
+    std::uint64_t grow_blocked = 0;
+    std::uint64_t stale_rejected = 0;
+    std::uint64_t publish_version = 0;
+    obs::FlightRecorder flight;
+    obs::SeqlockSnapshotSlot health;
+    /// Reusable encode buffer (sized once, so publishing allocates nothing).
+    std::vector<std::uint64_t> encode_scratch;
   };
 
+  /// Encode the shard's current state and publish it through the seqlock
+  /// slot. Requires the shard mutex (the single-writer contract).
+  void publish_health(Shard& shard);
+
   EngineConfig config_;
+  NonblockingBound bound_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::vector<std::size_t>> owned_ports_;  // [shard] -> ports
 };

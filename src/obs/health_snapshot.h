@@ -1,0 +1,150 @@
+// Lock-free engine health snapshots: seqlock-published per-shard state.
+//
+// The sharded engine serializes every mutation behind per-shard mutexes
+// (engine/sharded_engine.h). Monitoring must not join that queue: an
+// admission controller polling "how much Theorem-1 margin is left?" or a
+// dashboard reading occupancy skew would otherwise contend with the churn
+// hot path it is trying to observe. This header is the read-path split the
+// ROADMAP's engine-scaling item starts with -- shards *publish* a fixed-size
+// health snapshot at every commit point (connect / disconnect / grow /
+// batch), and any thread can read the latest one with zero mutex
+// acquisition.
+//
+// Publication protocol (DESIGN.md §3.11): a classic single-writer seqlock
+// over a flat array of relaxed-atomic uint64 words.
+//
+//   writer (holds the shard mutex, so writes never race each other):
+//     seq.store(s+1, relaxed);              // odd = write in progress
+//     atomic_thread_fence(release);
+//     words[i].store(..., relaxed);         // payload
+//     seq.store(s+2, release);              // even = quiescent
+//
+//   reader (any thread, no locks):
+//     s1 = seq.load(acquire); retry if odd;
+//     buf[i] = words[i].load(relaxed);
+//     atomic_thread_fence(acquire);
+//     retry unless seq.load(relaxed) == s1;
+//
+// Payload words are atomics (not plain memory), so the protocol is data-race
+// free under the C++ memory model and ThreadSanitizer-clean -- the retry
+// loop handles torn *logical* states, the atomics rule out torn *words*.
+// A reader that loses the race simply retries; with single-word stores the
+// write section is a few dozen relaxed stores, so retries are rare (the
+// obs.snapshot_retries counter tracks them).
+//
+// The snapshot itself carries what the wire-protocol front-end's admission
+// control will need: live session count, the raw per-middle-module lane
+// occupancy words (popcount-able into a heatmap), the Theorem-1/2 margin
+// under the shard's current fault state, and cumulative churn tallies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wdm::obs {
+
+/// One shard's published health state. Decoded from a seqlock slot; every
+/// field is a point-in-time-consistent view of the shard (all fields were
+/// published together under the shard mutex).
+struct EngineHealthSnapshot {
+  /// Publish count of the owning shard; strictly increasing per shard, so a
+  /// poller can tell "new data" from "same data" without reading the rest.
+  std::uint64_t version = 0;
+  std::uint32_t shard = 0;
+  std::uint32_t middle_count = 0;     // m middle modules per shard replica
+  std::uint32_t links_per_middle = 0; // r outgoing links per middle module
+
+  /// Live sessions on this shard.
+  std::uint64_t sessions = 0;
+  /// Writer-side popcount over middle_out_words (readers cross-check it:
+  /// see consistent()).
+  std::uint64_t busy_middle_lanes = 0;
+
+  // Cumulative per-shard churn tallies since engine construction. These are
+  // deterministic (they mirror the engine.* counters shard-locally), so the
+  // final snapshot of a churn run must reproduce its ChurnStats.
+  std::uint64_t connects = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t grows = 0;
+  std::uint64_t grow_blocked = 0;
+  std::uint64_t stale_rejected = 0;
+
+  // Theorem-1/2 margin under the shard's current fault state (see
+  // faults/resilience.h): effective_m = m - failed_middles, margin =
+  // effective_m - bound_m, nonblocking iff margin >= 0.
+  std::uint64_t bound_m = 0;
+  std::uint64_t failed_middles = 0;
+  std::int64_t margin = 0;
+  bool nonblocking = false;
+
+  /// Raw occupancy: for middle module j and outgoing link p (to output
+  /// module p), word [j * links_per_middle + p] has bit `lane` set iff that
+  /// lane is busy. Exactly the SwitchModule::out_word() view, republished.
+  std::vector<std::uint64_t> middle_out_words;
+
+  /// Busy lanes on middle module j's outgoing links (popcount of its row).
+  [[nodiscard]] std::uint64_t middle_busy_lanes(std::size_t j) const;
+  /// Popcount over all occupancy words; equals busy_middle_lanes for any
+  /// snapshot decoded from a consistent seqlock read.
+  [[nodiscard]] std::uint64_t occupancy_popcount() const;
+  /// Margin recomputed from (middle_count, failed_middles, bound_m); equals
+  /// `margin` for any consistent snapshot.
+  [[nodiscard]] std::int64_t recomputed_margin() const;
+  /// Internal consistency: occupancy popcount and margin both match their
+  /// published aggregates. The seqlock hammer asserts this under full-rate
+  /// churn.
+  [[nodiscard]] bool consistent() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  // -- flat wire encoding (what the seqlock slot stores) --------------------
+  static constexpr std::size_t kHeaderWords = 15;
+  /// Words needed for a geometry with m middle modules and r links each.
+  [[nodiscard]] static std::size_t encoded_words(std::size_t m, std::size_t r) {
+    return kHeaderWords + m * r;
+  }
+  /// Serialize into `words` (size must be >= encoded_words(...)).
+  void encode(std::uint64_t* words) const;
+  /// Decode `count` words produced by encode().
+  [[nodiscard]] static EngineHealthSnapshot decode(const std::uint64_t* words,
+                                                   std::size_t count);
+};
+
+/// Single-writer seqlock cell over a fixed number of uint64 payload words.
+/// The writer must be externally serialized (the engine publishes under the
+/// shard mutex); readers take no lock, ever.
+class SeqlockSnapshotSlot {
+ public:
+  explicit SeqlockSnapshotSlot(std::size_t words);
+
+  SeqlockSnapshotSlot(const SeqlockSnapshotSlot&) = delete;
+  SeqlockSnapshotSlot& operator=(const SeqlockSnapshotSlot&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Publish `count` words (count <= capacity). Single writer only.
+  void publish(const std::uint64_t* words, std::size_t count);
+
+  /// Read a consistent copy of the payload into `out`. Lock-free: spins on
+  /// retry-on-odd-sequence; never blocks the writer. Returns the (even)
+  /// sequence number of the copy; 0 means nothing was ever published (out is
+  /// zero-filled in that case -- slots start zeroed). If `retries` is
+  /// non-null it receives the number of restarted read attempts.
+  std::uint64_t read(std::uint64_t* out, std::size_t count,
+                     std::size_t* retries = nullptr) const;
+
+  /// Current raw sequence (odd while a write is in flight). For tests.
+  [[nodiscard]] std::uint64_t sequence() const {
+    return seq_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+  std::size_t capacity_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words_;
+};
+
+}  // namespace wdm::obs

@@ -165,6 +165,12 @@ std::string trace_to_chrome_json() {
       os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
          << ring->tid << ",\"args\":{\"name\":\"wdm-thread-" << ring->tid
          << "\"}}";
+      // Per-ring drop accounting as a metadata event, so a viewer (or a
+      // json_lite consumer) can see WHICH thread's window lost events, not
+      // just the otherData total.
+      os << ",{\"name\":\"trace_ring_drops\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+         << ring->tid << ",\"args\":{\"dropped\":" << ring->dropped
+         << ",\"buffered\":" << ring->events.size() << "}}";
     }
     const std::size_t size = ring->events.size();
     const bool wrapped = size == kTraceRingCapacity && ring->oldest != 0;

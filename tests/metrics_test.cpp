@@ -401,5 +401,34 @@ TEST(JsonLiteTest, TypedAccessorsThrowOnMismatch) {
   EXPECT_EQ(root.find("missing"), nullptr);
 }
 
+TEST(MetricsRegistryTest, SnapshotOrderIsInsertionOrderIndependent) {
+  // Two registries fed the same instruments in opposite registration orders
+  // must emit byte-identical snapshots: diffing BENCH_results.json across
+  // runs (and refactors that reorder instrument construction) depends on it.
+  const char* counters[] = {"zeta.events", "alpha.events", "middle.events"};
+  const char* timers[] = {"b.region", "a.region"};
+
+  MetricsRegistry forward;
+  for (const char* name : counters) forward.counter(name).add(7);
+  for (const char* name : timers) forward.timer(name).record_ns(1500);
+  forward.gauge("depth").set(3);
+  forward.histogram("fanout").record(4);
+
+  MetricsRegistry reverse;
+  reverse.histogram("fanout").record(4);
+  reverse.gauge("depth").set(3);
+  for (int i = 1; i >= 0; --i) reverse.timer(timers[i]).record_ns(1500);
+  for (int i = 2; i >= 0; --i) reverse.counter(counters[i]).add(7);
+
+  const std::string forward_json = forward.snapshot_json();
+  EXPECT_EQ(forward_json, reverse.snapshot_json());
+
+  // And the shared order is sorted-by-name, the one json_lite consumers and
+  // humans diff against.
+  EXPECT_LT(forward_json.find("alpha.events"), forward_json.find("middle.events"));
+  EXPECT_LT(forward_json.find("middle.events"), forward_json.find("zeta.events"));
+  EXPECT_LT(forward_json.find("a.region"), forward_json.find("b.region"));
+}
+
 }  // namespace
 }  // namespace wdm

@@ -210,5 +210,36 @@ TEST_F(TraceSpanTest, RingWrapKeepsNewestEventsAndCountsDrops) {
   EXPECT_EQ(trace_dropped_count(), 0u);
 }
 
+TEST_F(TraceSpanTest, RingDropCountsRoundTripAsMetadataEvents) {
+  // One clean span first: even a drop-free ring advertises its (zero) drop
+  // count, so consumers need no absence-handling.
+  { TraceSpan span("trace_span_test.clean"); }
+  {
+    const JsonValue root = parse_json(trace_to_chrome_json());
+    const JsonValue* drops =
+        find_event(root.at("traceEvents"), "trace_ring_drops", "M");
+    ASSERT_NE(drops, nullptr);
+    EXPECT_EQ(drops->at("args").at("dropped").as_number(), 0.0);
+    EXPECT_EQ(drops->at("args").at("buffered").as_number(), 1.0);
+  }
+
+  // Now wrap the ring and check the metadata event carries the real loss.
+  constexpr std::size_t kOverflow = 250;
+  for (std::size_t i = 0; i < kTraceRingCapacity + kOverflow - 1; ++i) {
+    TraceSpan span("trace_span_test.flood");
+  }
+  const JsonValue root = parse_json(trace_to_chrome_json());
+  const JsonValue* drops =
+      find_event(root.at("traceEvents"), "trace_ring_drops", "M");
+  ASSERT_NE(drops, nullptr);
+  EXPECT_EQ(drops->at("args").at("dropped").as_number(),
+            static_cast<double>(kOverflow));
+  EXPECT_EQ(drops->at("args").at("buffered").as_number(),
+            static_cast<double>(kTraceRingCapacity));
+  // The per-ring metadata and the otherData total agree (single ring here).
+  EXPECT_EQ(root.at("otherData").at("dropped_events").as_number(),
+            drops->at("args").at("dropped").as_number());
+}
+
 }  // namespace
 }  // namespace wdm

@@ -1,0 +1,204 @@
+// telemetry_summary: turn a wdm-telemetry/1 .jsonl timeline into a terminal
+// table.
+//
+// Every line of the input is validated the same way the bench-smoke ctest
+// needs it validated -- it must parse with util/json_lite, carry
+// schema == "wdm-telemetry/1", and its `sample` index must equal its line
+// number (so the timeline is gap-free and monotone). Validation always runs;
+// `--check` stops there (exit 0/1) for CI, while the default mode follows up
+// with the operator's view of the run:
+//
+//   * peak busy lanes per middle module (the occupancy heatmap, folded over
+//     every sample and shard, with where the peak happened),
+//   * the minimum Theorem-1/2 margin seen across the run,
+//   * the maximum flight-recorder drop count (how much op history the rings
+//     lost),
+//   * the closing totals (sessions, connects, ...), which for a quiesced
+//     churn run match ChurnStats.
+//
+// Usage: telemetry_summary --in=telemetry.jsonl [--check] [--csv]
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/json_lite.h"
+#include "util/table.h"
+
+namespace {
+
+using wdm::JsonValue;
+
+struct ModulePeak {
+  std::uint64_t busy = 0;      // max busy lanes any shard reported
+  std::uint64_t total = 0;     // max across-samples sum over shards
+  std::size_t at_sample = 0;   // where the per-shard peak happened
+  std::uint64_t at_shard = 0;
+};
+
+std::uint64_t as_u64(const JsonValue& value) {
+  return static_cast<std::uint64_t>(value.as_number());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wdm::CliParser cli(argc, argv);
+  cli.describe("in", "path to a wdm-telemetry/1 .jsonl timeline (required)");
+  cli.describe("check", "validate only: parse + schema + monotone samples");
+  cli.describe("csv", "emit the occupancy table as CSV instead of aligned text");
+  if (cli.wants_help()) {
+    std::cout << cli.help_text(
+        "Summarize a wdm-telemetry/1 timeline: peak occupancy per middle "
+        "module, min margin, max flight-recorder drops.");
+    return 0;
+  }
+  try {
+    cli.validate();
+  } catch (const std::exception& error) {
+    std::cerr << "telemetry_summary: " << error.what() << " (see --help)\n";
+    return 2;
+  }
+  const std::string path = cli.get_string("in").value_or("");
+  if (path.empty()) {
+    std::cerr << "telemetry_summary: --in=<timeline.jsonl> is required\n";
+    return 1;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "telemetry_summary: cannot open " << path << "\n";
+    return 1;
+  }
+
+  std::vector<ModulePeak> peaks;
+  std::int64_t min_margin = 0;
+  bool any_blocking = false;
+  std::uint64_t max_failed_middles = 0;
+  std::uint64_t max_flight_dropped = 0;
+  std::uint64_t geometry_m = 0, geometry_r = 0;
+  std::int64_t bound_m = 0;
+  std::size_t shard_count = 0;
+  std::string final_totals;
+
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;  // tolerate a trailing newline, nothing else
+    JsonValue root;
+    try {
+      root = wdm::parse_json(line);
+    } catch (const std::exception& error) {
+      std::cerr << "telemetry_summary: line " << samples
+                << " is not valid JSON: " << error.what() << "\n";
+      return 1;
+    }
+    try {
+      if (root.at("schema").as_string() != "wdm-telemetry/1") {
+        std::cerr << "telemetry_summary: line " << samples
+                  << " has unexpected schema \""
+                  << root.at("schema").as_string() << "\"\n";
+        return 1;
+      }
+      // The sample index doubles as the monotonicity check: it must equal
+      // the line number, so any gap, repeat, or reorder fails here.
+      if (as_u64(root.at("sample")) != samples) {
+        std::cerr << "telemetry_summary: line " << samples
+                  << " carries sample index " << as_u64(root.at("sample"))
+                  << " (timeline not monotone/gap-free)\n";
+        return 1;
+      }
+
+      const JsonValue& geometry = root.at("geometry");
+      geometry_m = as_u64(geometry.at("m"));
+      geometry_r = as_u64(geometry.at("r"));
+      bound_m = static_cast<std::int64_t>(geometry.at("bound_m").as_number());
+      if (peaks.size() < geometry_m) peaks.resize(geometry_m);
+
+      const std::int64_t margin =
+          static_cast<std::int64_t>(root.at("margin").as_number());
+      if (samples == 0 || margin < min_margin) min_margin = margin;
+      any_blocking = any_blocking || !root.at("nonblocking").as_bool();
+      max_failed_middles =
+          std::max(max_failed_middles, as_u64(root.at("failed_middles")));
+
+      const auto& shards = root.at("shards").as_array();
+      shard_count = std::max(shard_count, shards.size());
+      std::vector<std::uint64_t> module_total(geometry_m, 0);
+      for (const JsonValue& shard : shards) {
+        max_flight_dropped =
+            std::max(max_flight_dropped, as_u64(shard.at("flight_dropped")));
+        const auto& occupancy = shard.at("occupancy").as_array();
+        for (std::size_t j = 0; j < occupancy.size() && j < peaks.size(); ++j) {
+          const std::uint64_t busy = as_u64(occupancy[j]);
+          module_total[j] += busy;
+          if (busy > peaks[j].busy) {
+            peaks[j].busy = busy;
+            peaks[j].at_sample = samples;
+            peaks[j].at_shard = as_u64(shard.at("shard"));
+          }
+        }
+      }
+      for (std::size_t j = 0; j < geometry_m; ++j) {
+        peaks[j].total = std::max(peaks[j].total, module_total[j]);
+      }
+
+      // Every line's totals must at least be present and well-typed; the
+      // last one is the closing state of the run.
+      const JsonValue& totals = root.at("totals");
+      std::ostringstream closing;
+      closing << "sessions=" << as_u64(totals.at("sessions"))
+              << " busy_middle_lanes=" << as_u64(totals.at("busy_middle_lanes"))
+              << " connects=" << as_u64(totals.at("connects"))
+              << " disconnects=" << as_u64(totals.at("disconnects"))
+              << " grows=" << as_u64(totals.at("grows"))
+              << " grow_blocked=" << as_u64(totals.at("grow_blocked"))
+              << " stale_rejected=" << as_u64(totals.at("stale_rejected"));
+      final_totals = closing.str();
+    } catch (const std::exception& error) {
+      std::cerr << "telemetry_summary: line " << samples
+                << " is missing a required field: " << error.what() << "\n";
+      return 1;
+    }
+    ++samples;
+  }
+  if (samples == 0) {
+    std::cerr << "telemetry_summary: " << path << " holds no telemetry lines\n";
+    return 1;
+  }
+
+  if (cli.get_bool("check")) {
+    std::cout << "ok: " << samples << " wdm-telemetry/1 samples, monotone\n";
+    return 0;
+  }
+
+  std::cout << "telemetry summary: " << path << "\n"
+            << "  " << samples << " samples, " << shard_count
+            << " shards, geometry m=" << geometry_m << " r=" << geometry_r
+            << " (bound m*=" << bound_m << ")\n\n";
+
+  wdm::Table table({"middle module", "peak busy lanes (one shard)",
+                    "at sample", "at shard", "peak busy lanes (all shards)"});
+  for (std::size_t j = 0; j < peaks.size(); ++j) {
+    table.add(j, peaks[j].busy, peaks[j].at_sample, peaks[j].at_shard,
+              peaks[j].total);
+  }
+  if (cli.get_bool("csv")) {
+    std::cout << table.to_csv();
+  } else {
+    std::cout << table.to_text();
+  }
+
+  std::cout << "\n  min margin over run:      " << min_margin << " ("
+            << (any_blocking ? "dipped below the Theorem bound"
+                             : "nonblocking throughout")
+            << ")\n"
+            << "  max failed middles:       " << max_failed_middles << "\n"
+            << "  max flight-recorder drop: " << max_flight_dropped
+            << " records\n"
+            << "  closing totals:           " << final_totals << "\n";
+  return 0;
+}
