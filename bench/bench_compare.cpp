@@ -67,6 +67,11 @@ struct Thresholds {
       {"engine.stale_rejected", 1.01},
       {"engine.batches", 1.01},
       {"obs.snapshot_publishes", 1.01},
+      // Repack cost tallies (deterministic sims): more admits needing
+      // migration or more sessions moved per run = the planner got worse.
+      {"repack.admits", 1.01},
+      {"repack.sessions_moved", 1.01},
+      {"repack.failed", 1.01},
   };
   // Timers whose p99 is gated.
   std::vector<std::string> p99_timers = {
@@ -74,6 +79,7 @@ struct Thresholds {
       "sim.connect",            "sim.disconnect",
       "converter_pool.acquire", "thread_pool.task_run",
       "engine.drain_batch",     "obs.snapshot_read",
+      "repack.migrate_ns",
   };
 };
 

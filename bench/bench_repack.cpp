@@ -1,0 +1,129 @@
+// Repack-on-block below the Theorem 1 bound: blocking vs cost vs hardware.
+//
+// Theorem 1 sizes the middle stage so no request EVER blocks -- worst case
+// over all request sequences. A rearrangeable fabric (DESIGN.md §3.12) makes
+// the opposite trade: provision fewer middle modules and, when a request
+// blocks, migrate a bounded set of standing sessions out of its way. This
+// bench quantifies that trade on the paper's 4x4x2 MSW-dominant design
+// point, two ways:
+//
+//   * Random churn sweep: for every m from the floor (m = n) up to the
+//     Theorem 1 bound, the same seeded arrival/departure churn runs twice --
+//     classic routing and repack-on-block -- reporting blocking probability,
+//     sessions migrated per admitted request, and the longest migration
+//     chain. Hardware saved is bound_m - m middle modules.
+//
+//   * Structured adversary: saturation_attack builds the theorem's
+//     worst-case occupancy shape and issues a full-spread challenge. Where
+//     the classic router blocks the challenge, the bench re-issues it
+//     through connect_with_repack and reports how many adversarial blocks a
+//     bounded repack budget recovers.
+//
+// The companion run_benches case (routing_repack) pins one point of this
+// sweep in BENCH_results.json; this binary prints the whole curve.
+#include <cstddef>
+#include <iostream>
+
+#include "multistage/builder.h"
+#include "multistage/nonblocking.h"
+#include "repack/repack.h"
+#include "sim/blocking_sim.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace wdm;
+
+namespace {
+
+constexpr std::size_t kN = 4, kR = 4, kK = 2;
+constexpr std::size_t kSteps = 20000;
+constexpr std::size_t kAttackRounds = 20;
+
+SimConfig churn_config() {
+  SimConfig config;
+  config.steps = kSteps;
+  config.arrival_fraction = 0.8;
+  config.fanout = {1, 4};
+  config.self_check_every = 4096;
+  return config;
+}
+
+/// The saturation adversary's challenge: input wavelength (port 0, λ1) to
+/// the first port of every output module (same shape saturation_attack
+/// issues internally).
+MulticastRequest attack_challenge() {
+  MulticastRequest challenge;
+  challenge.input = {0, 0};
+  for (std::size_t p = 0; p < kR; ++p) {
+    challenge.outputs.push_back({p * kN, 0});
+  }
+  return challenge;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "Repack-on-block below the Theorem 1 bound (4x4x2, MSW)");
+
+  const NonblockingBound bound = theorem1_min_m(kN, kR);
+  std::cout << "\nTheorem 1 bound: m* = " << bound.m << " (x = " << bound.x
+            << "). Sweeping m = " << kN << ".." << bound.m << " under "
+            << kSteps << "-step seeded churn, classic vs repack.\n\n";
+
+  Table sweep({"m", "saved", "classic blocked", "P(block)", "repack blocked",
+               "repacked admits", "moves", "moves/100 admits", "max chain"});
+  for (std::size_t m = kN; m <= bound.m; ++m) {
+    const ClosParams params{kN, kR, m, kK};
+    MultistageSwitch classic(params, Construction::kMswDominant,
+                             MulticastModel::kMSW);
+    const SimStats before = run_dynamic_sim(classic, churn_config());
+
+    MultistageSwitch sw(params, Construction::kMswDominant,
+                        MulticastModel::kMSW);
+    SimConfig repack_config = churn_config();
+    repack_config.repack = true;
+    const SimStats after = run_dynamic_sim(sw, repack_config);
+
+    const std::size_t moves_per_100 =
+        after.admitted == 0 ? 0 : after.repack_moves * 100 / after.admitted;
+    sweep.add(m, bound.m - m, before.blocked, before.blocking_probability(),
+              after.blocked, after.repacked_admits, after.repack_moves,
+              moves_per_100, sw.repack_engine()->max_chain_length());
+  }
+  std::cout << sweep.to_text() << "\n";
+
+  std::cout << "Structured adversary: saturation_attack rounds per m; where "
+               "the classic\nrouter blocks the challenge, repack retries it "
+               "by migrating sessions.\n\n";
+  Table attack({"m", "rounds", "classic blocked", "repack recovered",
+                "still blocked", "moves"});
+  for (std::size_t m = kN + 2; m <= bound.m; ++m) {
+    const ClosParams params{kN, kR, m, kK};
+    std::size_t blocked = 0, recovered = 0, moves = 0;
+    for (std::size_t round = 0; round < kAttackRounds; ++round) {
+      MultistageSwitch sw(params, Construction::kMswDominant,
+                          MulticastModel::kMSW);
+      sw.enable_repack(repack::RepackPolicy{});
+      Rng rng(0xA77ACC + round);
+      const AttackResult result = saturation_attack(sw, rng);
+      if (!result.challenge_blocked) continue;
+      ++blocked;
+      // The blocked challenge installed nothing; re-issue it with a repack
+      // budget against the exact adversarial occupancy that defeated the
+      // classic router.
+      if (sw.connect_with_repack(attack_challenge())) {
+        ++recovered;
+        moves += sw.repack_engine()->last_moved().size();
+      }
+    }
+    attack.add(m, kAttackRounds, blocked, recovered, blocked - recovered,
+               moves);
+  }
+  std::cout << attack.to_text()
+            << "\nReading: every recovered row is a request the strictly-"
+               "nonblocking design\nwould need " << bound.m
+            << " middle modules to admit without touching standing "
+               "sessions.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Rearrangeable mode walkthrough (TUTORIAL.md §14, DESIGN.md §3.12).
+//
+//   $ ./repack_walkthrough
+//
+// The paper's Theorem 1 sizes the middle stage of a 4x4x2 MSW-dominant
+// switch at m*=13 so that NO request ever blocks. This walkthrough runs the
+// same fabric at every m below that bound and shows what repack-on-block
+// buys back: churn that blocks classically is admitted by migrating a
+// bounded chain of standing sessions (Slepian-Duguid rearrangement against
+// live traffic), at a cost of a few moves per hundred admits -- while the
+// bound-sized fabric needs no moves at all.
+#include <iomanip>
+#include <iostream>
+
+#include "multistage/builder.h"
+#include "multistage/nonblocking.h"
+#include "repack/repack.h"
+#include "sim/blocking_sim.h"
+
+using namespace wdm;
+
+int main() {
+  const std::size_t n = 4, r = 4, k = 2;
+  const NonblockingBound bound = theorem1_min_m(n, r);
+  std::cout << "Theorem 1 bound for " << n << "x" << r << "x" << k
+            << " MSW-dominant: m* = " << bound.m << " (spread x = " << bound.x
+            << ")\n\n"
+            << "   m  classic-blocked  repack-blocked  repacked-admits"
+            << "  moves/100adm  max-chain\n";
+
+  bool ok = true;
+  for (std::size_t m = n; m <= bound.m; ++m) {
+    SimConfig config;
+    config.steps = 8000;
+    config.arrival_fraction = 0.8;  // hot enough to block below the bound
+    config.fanout = {1, 4};
+    config.self_check_every = 1024;
+
+    MultistageSwitch classic({n, r, m, k}, Construction::kMswDominant,
+                             MulticastModel::kMSW);
+    const SimStats before = run_dynamic_sim(classic, config);
+
+    MultistageSwitch repacking({n, r, m, k}, Construction::kMswDominant,
+                               MulticastModel::kMSW);
+    config.repack = true;  // arrivals go through connect_with_repack
+    const SimStats after = run_dynamic_sim(repacking, config);
+
+    const repack::RepackEngine& engine = *repacking.repack_engine();
+    const double per100 =
+        after.admitted == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(after.repack_moves) /
+                  static_cast<double>(after.admitted);
+    std::cout << std::setw(4) << m << std::setw(13) << before.blocked << "/"
+              << before.attempts << std::setw(12) << after.blocked << "/"
+              << after.attempts << std::setw(17) << after.repacked_admits
+              << std::setw(14) << std::fixed << std::setprecision(1) << per100
+              << std::setw(11) << engine.max_chain_length() << "\n";
+
+    // Repack must never do worse than classic; at the bound neither blocks
+    // and the engine never engages (the strict-sense guarantee costs zero).
+    ok = ok && after.blocked <= before.blocked;
+    if (m == bound.m) {
+      ok = ok && before.blocked == 0 && after.blocked == 0 &&
+           engine.sessions_moved_total() == 0;
+    }
+  }
+
+  std::cout << "\nEvery migration is a break-before-make transaction: a "
+               "failed chain rolls\nback bit-exact, with every victim revived "
+               "under its original id\n(tests/repack_test.cpp hammers this "
+               "mid-chain). restore_connections runs on\nthe same executor -- "
+               "fault restoration is repacking under failure.\n";
+  return ok ? 0 : 1;
+}

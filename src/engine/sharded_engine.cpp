@@ -69,7 +69,9 @@ ShardedEngine::Shard::Shard(std::uint32_t index, const EngineConfig& config)
                                                       config.params.r)),
       encode_scratch(obs::EngineHealthSnapshot::encoded_words(config.params.m,
                                                               config.params.r),
-                     0) {}
+                     0) {
+  if (config.repack.enabled) sw.enable_repack(config.repack);
+}
 
 ShardedEngine::ShardedEngine(const EngineConfig& config)
     : config_(config),
@@ -120,6 +122,9 @@ void ShardedEngine::publish_health(Shard& shard) {
                               static_cast<std::int64_t>(bound_.m);
   words[13] = static_cast<std::uint64_t>(margin);
   words[14] = margin >= 0 ? 1 : 0;
+  const repack::RepackEngine* repacker = shard.sw.repack_engine();
+  words[15] = repacker == nullptr ? 0 : repacker->sessions_moved_total();
+  words[16] = repacker == nullptr ? 0 : repacker->max_chain_length();
 
   std::uint64_t busy = 0;
   std::size_t cursor = obs::EngineHealthSnapshot::kHeaderWords;
@@ -234,12 +239,19 @@ void ShardedEngine::self_check() const {
 std::optional<ConnectionId> ShardedEngine::connect_locked(
     std::size_t shard, const MulticastRequest& request) {
   Shard& owner = *shards_[shard];
-  const auto id = owner.sw.try_connect(request);
+  const auto id = owner.sw.connect_with_repack(request);
   if (id) {
     EngineMetrics::get().connects.add();
     ++owner.connects;
-    owner.flight.record(obs::EngineOp::kConnect,
-                        obs::EngineOpOutcome::kAdmitted, *id);
+    // A repack admission gets its own op kind with the chain length as the
+    // detail, so flight dumps show which admits rearranged standing sessions.
+    const repack::RepackEngine* repacker = owner.sw.repack_engine();
+    const std::size_t chain =
+        repacker == nullptr ? 0 : repacker->last_moved().size();
+    owner.flight.record(chain != 0 ? obs::EngineOp::kRepack
+                                   : obs::EngineOp::kConnect,
+                        obs::EngineOpOutcome::kAdmitted, *id,
+                        static_cast<std::uint32_t>(chain));
   } else {
     owner.flight.record(obs::EngineOp::kConnect,
                         obs::EngineOpOutcome::kBlocked, 0);

@@ -36,6 +36,7 @@
 #include "multistage/nonblocking.h"
 #include "obs/flight_recorder.h"
 #include "obs/health_snapshot.h"
+#include "repack/repack.h"
 
 namespace wdm::engine {
 
@@ -55,6 +56,10 @@ struct EngineConfig {
   /// Routing policy per shard; nullopt = Router::recommended_policy.
   std::optional<RoutingPolicy> policy;
   std::size_t shards = 4;
+  /// Per-shard repack engine (rearrangeable mode, DESIGN.md §3.12). Disabled
+  /// by default: the classic connect path -- decisions, counters, flight
+  /// records -- stays bit-identical unless a config opts in.
+  repack::RepackPolicy repack{.enabled = false};
 };
 
 /// Rendezvous hash: the shard that owns `port` among `shard_count` shards.

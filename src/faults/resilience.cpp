@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "repack/repack.h"
 #include "util/metrics.h"
 #include "util/trace_span.h"
 
@@ -66,25 +67,33 @@ RestorationReport restore_connections(MultistageSwitch& sw) {
   // Collect first: releasing while iterating would invalidate the map walk,
   // and tearing everything down before re-routing lets stranded connections
   // reuse each other's healthy capacity.
-  std::vector<std::pair<ConnectionId, MulticastRequest>> stranded;
+  std::vector<ConnectionId> stranded;
   for (const auto& [id, entry] : network.connections()) {
     const auto& [request, route] = entry;
     if (route_uses_faults(network, request, route, *faults)) {
-      stranded.emplace_back(id, request);
+      stranded.push_back(id);
     }
   }
   report.affected = stranded.size();
   counters.affected.add(stranded.size());
   counters.affected_per_pass.record(stranded.size());
 
-  for (const auto& [id, request] : stranded) sw.disconnect(id);
-  for (const auto& [id, request] : stranded) {
-    if (const auto new_id = sw.try_connect(request)) {
-      report.restored.emplace_back(id, *new_id);
-    } else {
-      report.dropped.emplace_back(id, request);
-    }
-  }
+  // Restoration is repacking under failure: the repack executor's
+  // break-before-make core (release all, then re-route in release order)
+  // reproduces the legacy pass op for op -- stranded was collected in
+  // insertion order, i.e. ascending id, so the re-route order and therefore
+  // the RestorationReport are identical (pinned by tests/repack_test.cpp).
+  // kAllowDrops because the failed hardware may leave no route: keep every
+  // success, return the rest for retry after a repair.
+  repack::RepackExecutor executor(sw.router());
+  executor.begin();
+  for (const ConnectionId id : stranded) executor.release(id);
+  const repack::MigrationOutcome& outcome =
+      executor.reroute_released(repack::DropPolicy::kAllowDrops);
+  report.restored = outcome.restored;
+  report.dropped = outcome.dropped;
+  executor.commit();
+
   counters.restored.add(report.restored.size());
   counters.dropped.add(report.dropped.size());
   span.arg("affected", static_cast<std::int64_t>(report.affected));

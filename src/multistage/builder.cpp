@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "repack/repack.h"
+
 namespace wdm {
 
 ClosParams nonblocking_params(std::size_t n, std::size_t r, std::size_t k,
@@ -29,6 +31,17 @@ MultistageSwitch MultistageSwitch::nonblocking(std::size_t n, std::size_t r,
                                                MulticastModel network_model) {
   return MultistageSwitch(nonblocking_params(n, r, k, construction), construction,
                           network_model);
+}
+
+MultistageSwitch::~MultistageSwitch() = default;
+
+void MultistageSwitch::enable_repack(const repack::RepackPolicy& policy) {
+  repack_ = std::make_unique<repack::RepackEngine>(router_, policy);
+}
+
+std::optional<ConnectionId> MultistageSwitch::connect_with_repack(
+    const MulticastRequest& request) {
+  return repack_ ? repack_->connect(request) : router_.try_connect(request);
 }
 
 ConnectionId MultistageSwitch::connect(const MulticastRequest& request) {

@@ -7,11 +7,17 @@
 // design point the paper proves nonblocking.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "multistage/routing.h"
 
 namespace wdm {
+
+namespace repack {
+class RepackEngine;
+struct RepackPolicy;
+}  // namespace repack
 
 /// ClosParams with m set to the smallest sufficient value from Theorem 1
 /// (MSW-dominant) or Theorem 2 (MAW-dominant).
@@ -31,6 +37,11 @@ class MultistageSwitch {
                                                     std::size_t k,
                                                     Construction construction,
                                                     MulticastModel network_model);
+
+  // Out of line: repack::RepackEngine is incomplete here (src/repack owns
+  // it); the switch is never moved or copied (nonblocking() returns an
+  // elided prvalue), so the declared destructor costs nothing.
+  ~MultistageSwitch();
 
   [[nodiscard]] ThreeStageNetwork& network() { return network_; }
   [[nodiscard]] const ThreeStageNetwork& network() const { return network_; }
@@ -76,9 +87,31 @@ class MultistageSwitch {
     return network_.active_connections();
   }
 
+  // -- rearrangeable mode (DESIGN.md §3.12) ----------------------------------
+
+  /// Attach a repack engine: connect_with_repack may then migrate existing
+  /// sessions to admit a request that blocks below the Theorem 1/2 bound.
+  /// Replaces any previous engine (stats reset). The classic
+  /// try_connect/connect/batch paths are untouched either way.
+  void enable_repack(const repack::RepackPolicy& policy);
+
+  /// try_connect, falling back to repack-on-block when a repack engine is
+  /// attached and enabled. Without one (the default) this IS try_connect --
+  /// same counters, same decisions.
+  [[nodiscard]] std::optional<ConnectionId> connect_with_repack(
+      const MulticastRequest& request);
+
+  /// The attached repack engine (move stats, last_moved, the test seam), or
+  /// nullptr when enable_repack was never called.
+  [[nodiscard]] repack::RepackEngine* repack_engine() { return repack_.get(); }
+  [[nodiscard]] const repack::RepackEngine* repack_engine() const {
+    return repack_.get();
+  }
+
  private:
   ThreeStageNetwork network_;
   Router router_;
+  std::unique_ptr<repack::RepackEngine> repack_;
 };
 
 }  // namespace wdm

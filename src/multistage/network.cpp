@@ -337,6 +337,117 @@ ConnectionId ThreeStageNetwork::install(const MulticastRequest& request,
   return commit_route(request, route);
 }
 
+ConnectionId ThreeStageNetwork::reinstall(ConnectionId id,
+                                          const MulticastRequest& request,
+                                          const Route& route,
+                                          std::optional<ConnectionId> after) {
+  // Resolve the splice target up front so a bad `after` rejects the whole
+  // call before any state moves (kNoSlot doubles as "leave at the tail").
+  std::uint32_t after_slot = kNoSlot;
+  bool splice = false;
+  if (after) {
+    splice = true;
+    if (*after != 0) {
+      after_slot = slot_of(*after);
+      if (after_slot == kNoSlot) {
+        throw std::logic_error(
+            "ThreeStageNetwork::reinstall: `after` does not name a live "
+            "connection");
+      }
+    }
+  }
+  const auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= connection_slots_.size() || connection_slots_[slot].active ||
+      generation == 0) {
+    throw std::logic_error(
+        "ThreeStageNetwork::reinstall: id does not name a free slot");
+  }
+  if (const auto error = check_admissible(request)) {
+    throw std::logic_error(std::string("ThreeStageNetwork::reinstall: ") +
+                           connect_error_name(*error) + " for " +
+                           request.to_string());
+  }
+  if (const auto reason = check_route(request, route)) {
+    throw std::logic_error("ThreeStageNetwork::reinstall: " + *reason);
+  }
+  // Claim the specific slot off the free list (cold path: rollback only).
+  bool found = false;
+  for (std::size_t i = 0; i < free_connection_slots_.size(); ++i) {
+    if (free_connection_slots_[i] == slot) {
+      free_connection_slots_[i] = free_connection_slots_.back();
+      free_connection_slots_.pop_back();
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    throw std::logic_error(
+        "ThreeStageNetwork::reinstall: slot missing from the free list");
+  }
+  ++mutation_epoch_;
+  ConnectionSlot& entry = connection_slots_[slot];
+  entry.entry.first = request;  // copy-assign: keeps vector capacity
+  copy_route_into(entry.entry.second, route);
+  // commit_slot bumps the generation, so re-arm it one below the target:
+  // the id it mints is bit-identical to the one the caller is reviving.
+  entry.generation = generation - 1;
+  const ConnectionId revived = commit_slot(slot);
+  // commit_slot appended at the tail; splice to the requested position.
+  if (splice) move_slot_after(slot, after_slot);
+  return revived;
+}
+
+ConnectionId ThreeStageNetwork::predecessor_of(ConnectionId id) const {
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot) {
+    throw std::out_of_range(
+        "ThreeStageNetwork::predecessor_of: unknown connection id");
+  }
+  const std::uint32_t prev = connection_slots_[slot].prev;
+  if (prev == kNoSlot) return 0;
+  return make_id(prev, connection_slots_[prev].generation);
+}
+
+void ThreeStageNetwork::move_slot_after(std::uint32_t slot,
+                                        std::uint32_t prev_slot) {
+  if (prev_slot == slot) return;  // already trivially in place
+  ConnectionSlot& entry = connection_slots_[slot];
+  if (entry.prev == prev_slot) return;  // nothing to do
+  // Unlink.
+  if (entry.prev != kNoSlot) {
+    connection_slots_[entry.prev].next = entry.next;
+  } else {
+    head_ = entry.next;
+  }
+  if (entry.next != kNoSlot) {
+    connection_slots_[entry.next].prev = entry.prev;
+  } else {
+    tail_ = entry.prev;
+  }
+  // Re-link after prev_slot (kNoSlot = head).
+  if (prev_slot == kNoSlot) {
+    entry.prev = kNoSlot;
+    entry.next = head_;
+    if (head_ != kNoSlot) {
+      connection_slots_[head_].prev = slot;
+    } else {
+      tail_ = slot;
+    }
+    head_ = slot;
+  } else {
+    ConnectionSlot& prev = connection_slots_[prev_slot];
+    entry.prev = prev_slot;
+    entry.next = prev.next;
+    if (prev.next != kNoSlot) {
+      connection_slots_[prev.next].prev = slot;
+    } else {
+      tail_ = slot;
+    }
+    prev.next = slot;
+  }
+}
+
 std::uint32_t ThreeStageNetwork::acquire_slot() {
   // Acquire a slot first so the transit lists can be built directly into its
   // reusable vectors (a reused slot performs no allocations here).

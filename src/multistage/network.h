@@ -202,6 +202,37 @@ class ThreeStageNetwork {
     return commit_route_swapping(request, route);
   }
 
+  /// Commit a route into the slot a released id names, reviving that EXACT
+  /// id: after reinstall(id, ...), find_connection(id) is live again with
+  /// the given request/route. This is the rollback primitive of the repack
+  /// executor (repack/repack.h) -- undoing a break-before-make transaction
+  /// must hand sessions back under the ids callers already hold. Requires
+  /// `id` to name a currently-free slot (released, not reused); throws
+  /// std::logic_error otherwise, and validates like install(). By default
+  /// the revived connection joins the insertion-order view at the tail
+  /// (same as any release + re-install); pass `after` to splice it back at
+  /// an exact position instead -- directly after the live connection
+  /// `*after` (or at the head when `*after == 0`). The repack executor
+  /// captures each victim's predecessor_of() before releasing it and undoes
+  /// in reverse, so a rolled-back transaction restores connections()
+  /// iteration order bit-exactly. Re-arming the generation means ids the
+  /// slot minted between the release and the reinstall may be minted again
+  /// by a future occupant -- callers must guarantee no such intermediate id
+  /// escaped (the repack executor does: its rollback tears every
+  /// transaction-internal admission down before any reinstall, and those
+  /// ids die with the transaction).
+  ConnectionId reinstall(ConnectionId id, const MulticastRequest& request,
+                         const Route& route,
+                         std::optional<ConnectionId> after = std::nullopt);
+
+  /// Id of the connection immediately before `id` in connections()
+  /// iteration (insertion) order, or 0 when `id` is the first. Throws
+  /// std::out_of_range for stale/unknown ids. This is the undo-log capture
+  /// for reinstall(..., after): record it before releasing a connection and
+  /// the pair (release, reinstall-after-predecessor) round-trips the view
+  /// order exactly.
+  [[nodiscard]] ConnectionId predecessor_of(ConnectionId id) const;
+
   /// Tear down a connection; throws std::out_of_range for unknown ids.
   void release(ConnectionId id);
 
@@ -302,6 +333,10 @@ class ThreeStageNetwork {
   /// Shared tail of the commit_route variants: install the transits of the
   /// route already stored in `slot` and mark the endpoints busy.
   ConnectionId commit_slot(std::uint32_t slot);
+  /// Unlink `slot` from the insertion-order list and re-link it directly
+  /// after `prev_slot` (kNoSlot = new head). Occupancy is untouched; this
+  /// is the reinstall(..., after) splice.
+  void move_slot_after(std::uint32_t slot, std::uint32_t prev_slot);
 
   /// Structural copy of `src` into a slot's stored route that conserves
   /// nested-vector capacity: shrinking hands surplus branches/legs to the

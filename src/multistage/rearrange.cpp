@@ -22,6 +22,7 @@ std::optional<std::size_t> PaullMatrix::insert(std::size_t row, std::size_t col)
   if (row >= r_ || col >= r_) {
     throw std::out_of_range("PaullMatrix::insert: module index out of range");
   }
+  last_insert_begin_ = moves_.size();  // last_chain() = everything appended below
   if (row_count_[row] >= n_ || col_count_[col] >= n_) {
     return std::nullopt;  // illegal load: more calls than module ports
   }
@@ -178,11 +179,9 @@ std::optional<PermutationRouting> route_permutation(
   for (std::size_t q = 0; q < N; ++q) {
     const std::size_t row = q / n;
     const std::size_t col = destination_of[q] / n;
-    const std::size_t before = matrix.move_log().size();
     const auto middle = matrix.insert(row, col);
     if (!middle) return std::nullopt;
-    for (std::size_t i = before; i < matrix.move_log().size(); ++i) {
-      const PaullMatrix::Move& move = matrix.move_log()[i];
+    for (const MiddleMove& move : matrix.last_chain()) {
       const auto node = cell_call.extract({move.row, move.col, move.from_middle});
       if (node.empty()) {
         throw std::logic_error("route_permutation: move references unknown call");

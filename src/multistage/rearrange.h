@@ -17,10 +17,23 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace wdm {
+
+/// One call moved between middle modules during a rearrangement: the call
+/// from input module `row` to output module `col` leaves `from_middle` for
+/// `to_middle`. The one chain element shared by the offline Paull analyzer
+/// (move_log / last_chain below) and the live repack subsystem (src/repack),
+/// so both report swap chains in the same reusable form.
+struct MiddleMove {
+  std::size_t row, col;
+  std::size_t from_middle, to_middle;
+
+  friend bool operator==(const MiddleMove&, const MiddleMove&) = default;
+};
 
 class PaullMatrix {
  public:
@@ -32,10 +45,7 @@ class PaullMatrix {
   [[nodiscard]] std::size_t symbols() const { return m_; }
 
   /// One moved call during an insertion.
-  struct Move {
-    std::size_t row, col;
-    std::size_t from_middle, to_middle;
-  };
+  using Move = MiddleMove;
 
   /// Place a call from input module `row` to output module `col`. Returns
   /// the middle module assigned (rearranging existing calls if necessary)
@@ -49,6 +59,16 @@ class PaullMatrix {
 
   [[nodiscard]] std::size_t call_count() const { return calls_; }
   [[nodiscard]] const std::vector<Move>& move_log() const { return moves_; }
+
+  /// The swap chain of the most recent insert(): the moves that call
+  /// appended to move_log(), as a view into the log -- no per-call
+  /// allocation, so planners can consume chains at churn rates. Empty when
+  /// the insert took the fast path (or failed). Invalidated by the next
+  /// insert (the log may reallocate).
+  [[nodiscard]] std::span<const MiddleMove> last_chain() const {
+    return {moves_.data() + last_insert_begin_,
+            moves_.size() - last_insert_begin_};
+  }
 
   /// Verify the Paull invariants (symbol once per row / column, counts
   /// within n); throws std::logic_error on violation.
@@ -66,6 +86,7 @@ class PaullMatrix {
   std::vector<std::size_t> col_count_;
   std::size_t calls_ = 0;
   std::vector<Move> moves_;
+  std::size_t last_insert_begin_ = 0;  // move_log() offset of the last insert
 };
 
 struct PermutationRouting {

@@ -655,6 +655,14 @@ void Router::disconnect(ConnectionId id) {
   if (entry != nullptr) repair_masks(entry->first, entry->second, /*installed=*/false);
 }
 
+ConnectionId Router::reinstall(ConnectionId id, const MulticastRequest& request,
+                               const Route& route,
+                               std::optional<ConnectionId> after) {
+  const ConnectionId revived = network_->reinstall(id, request, route, after);
+  repair_masks(request, route, /*installed=*/true);
+  return revived;
+}
+
 bool Router::try_disconnect(ConnectionId id) {
   const auto* entry = masks_live_ ? network_->find_connection(id) : nullptr;
   if (!network_->try_release(id)) return false;

@@ -102,6 +102,21 @@ class Router {
   /// Non-throwing disconnect; false (and no counter movement) for stale ids.
   bool try_disconnect(ConnectionId id);
 
+  /// Validated id-reviving install of a route produced earlier against a
+  /// state the network has since returned to -- the repack executor's
+  /// rollback path (src/repack): reinstating a migrated session's original
+  /// route, under its ORIGINAL id, after its lanes came free again (see
+  /// ThreeStageNetwork::reinstall). Moves no routing counters (the session
+  /// was counted when it first connected) but repairs any primed batch mask
+  /// rows like every other occupancy change the router performs. `after`
+  /// (a live id, or 0 for the head) splices the revived session back at an
+  /// exact ConnectionView position so a full rollback restores iteration
+  /// order bit-exactly; default is the tail. Throws like
+  /// ThreeStageNetwork::install when the route no longer fits.
+  ConnectionId reinstall(ConnectionId id, const MulticastRequest& request,
+                         const Route& route,
+                         std::optional<ConnectionId> after = std::nullopt);
+
   // -- batched request pipeline (DESIGN.md §3.10) ---------------------------
   // Operations execute strictly in submission order against live network
   // state, so every routing decision -- and with it every deterministic

@@ -11,6 +11,7 @@ const char* engine_op_name(EngineOp op) {
     case EngineOp::kBatchConnect: return "batch_connect";
     case EngineOp::kDisconnect: return "disconnect";
     case EngineOp::kGrow: return "grow";
+    case EngineOp::kRepack: return "repack";
   }
   return "?";
 }
@@ -98,6 +99,8 @@ void FlightRecorder::print(const Dump& dump, std::ostream& os) {
        << record.session << std::dec;
     if (record.op == EngineOp::kBatchConnect) {
       os << "  admitted=" << record.detail;
+    } else if (record.op == EngineOp::kRepack) {
+      os << "  chain=" << record.detail;
     }
     os << "\n";
   }

@@ -38,6 +38,7 @@ enum class EngineOp : std::uint8_t {
   kBatchConnect,  // one record per Router::connect_batch flush
   kDisconnect,
   kGrow,
+  kRepack,  // a connect admitted by migrating standing sessions (repack.h)
 };
 
 enum class EngineOpOutcome : std::uint8_t {
@@ -62,7 +63,8 @@ struct FlightRecord {
   EngineOp op = EngineOp::kConnect;
   EngineOpOutcome outcome = EngineOpOutcome::kAdmitted;
   /// Op-specific annotation: admitted count for kBatchConnect (with the
-  /// submitted count recoverable from the drop in tick space), else 0.
+  /// submitted count recoverable from the drop in tick space), chain length
+  /// (sessions migrated) for kRepack, else 0.
   std::uint32_t detail = 0;
 };
 

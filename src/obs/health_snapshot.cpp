@@ -58,6 +58,10 @@ std::string EngineHealthSnapshot::to_string() const {
      << (nonblocking ? " (nonblocking)" : " (BELOW BOUND)")
      << " connects=" << connects << " disconnects=" << disconnects
      << " grows=" << grows << " failed_middles=" << failed_middles;
+  if (repack_moves != 0) {
+    os << " repack_moves=" << repack_moves
+       << " repack_max_chain=" << repack_max_chain;
+  }
   return os.str();
 }
 
@@ -77,6 +81,8 @@ void EngineHealthSnapshot::encode(std::uint64_t* words) const {
   words[12] = failed_middles;
   words[13] = to_word(margin);
   words[14] = nonblocking ? 1 : 0;
+  words[15] = repack_moves;
+  words[16] = repack_max_chain;
   for (std::size_t i = 0; i < middle_out_words.size(); ++i) {
     words[kHeaderWords + i] = middle_out_words[i];
   }
@@ -104,6 +110,8 @@ EngineHealthSnapshot EngineHealthSnapshot::decode(const std::uint64_t* words,
   snapshot.failed_middles = words[12];
   snapshot.margin = from_word(words[13]);
   snapshot.nonblocking = words[14] != 0;
+  snapshot.repack_moves = words[15];
+  snapshot.repack_max_chain = words[16];
   const std::size_t payload =
       static_cast<std::size_t>(snapshot.middle_count) *
       snapshot.links_per_middle;

@@ -80,6 +80,12 @@ struct EngineHealthSnapshot {
   std::int64_t margin = 0;
   bool nonblocking = false;
 
+  // Repack (rearrangeable-mode) tallies: cumulative sessions migrated by
+  // repack-on-block admits and the longest single chain so far. Both zero
+  // when the shard has no repack engine (the default).
+  std::uint64_t repack_moves = 0;
+  std::uint64_t repack_max_chain = 0;
+
   /// Raw occupancy: for middle module j and outgoing link p (to output
   /// module p), word [j * links_per_middle + p] has bit `lane` set iff that
   /// lane is busy. Exactly the SwitchModule::out_word() view, republished.
@@ -101,7 +107,7 @@ struct EngineHealthSnapshot {
   [[nodiscard]] std::string to_string() const;
 
   // -- flat wire encoding (what the seqlock slot stores) --------------------
-  static constexpr std::size_t kHeaderWords = 15;
+  static constexpr std::size_t kHeaderWords = 17;
   /// Words needed for a geometry with m middle modules and r links each.
   [[nodiscard]] static std::size_t encoded_words(std::size_t m, std::size_t r) {
     return kHeaderWords + m * r;

@@ -40,6 +40,8 @@ void shard_object(std::ostringstream& os, const EngineHealthSnapshot& s,
   field(os, first, "grows", s.grows);
   field(os, first, "grow_blocked", s.grow_blocked);
   field(os, first, "stale_rejected", s.stale_rejected);
+  field(os, first, "repack_moves", s.repack_moves);
+  field(os, first, "repack_max_chain", s.repack_max_chain);
   field(os, first, "failed_middles", s.failed_middles);
   field(os, first, "margin", s.margin);
   bool_field(os, first, "nonblocking", s.nonblocking);
@@ -115,6 +117,7 @@ std::size_t TelemetrySampler::take_sample() {
 
   std::uint64_t sessions = 0, busy = 0, connects = 0, disconnects = 0;
   std::uint64_t grows = 0, grow_blocked = 0, stale_rejected = 0;
+  std::uint64_t repack_moves = 0, repack_max_chain = 0;
   std::uint64_t failed_middles = 0;
   std::int64_t min_margin = 0;
   bool nonblocking = true;
@@ -127,6 +130,8 @@ std::size_t TelemetrySampler::take_sample() {
     grows += shard.grows;
     grow_blocked += shard.grow_blocked;
     stale_rejected += shard.stale_rejected;
+    repack_moves += shard.repack_moves;
+    repack_max_chain = std::max(repack_max_chain, shard.repack_max_chain);
     failed_middles += shard.failed_middles;
     min_margin = s == 0 ? shard.margin : std::min(min_margin, shard.margin);
     nonblocking = nonblocking && shard.nonblocking;
@@ -158,6 +163,8 @@ std::size_t TelemetrySampler::take_sample() {
     field(tail, first, "grows", grows);
     field(tail, first, "grow_blocked", grow_blocked);
     field(tail, first, "stale_rejected", stale_rejected);
+    field(tail, first, "repack_moves", repack_moves);
+    field(tail, first, "repack_max_chain", repack_max_chain);
     tail << '}';
   }
   {

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
+#include "repack/repack.h"
 #include "util/metrics.h"
 #include "util/trace_span.h"
 
@@ -45,6 +47,8 @@ SimStats& SimStats::operator+=(const SimStats& rhs) {
   steps += rhs.steps;
   active_connection_steps += rhs.active_connection_steps;
   conversions += rhs.conversions;
+  repacked_admits += rhs.repacked_admits;
+  repack_moves += rhs.repack_moves;
   return *this;
 }
 
@@ -66,6 +70,9 @@ std::string SimStats::to_string() const {
   os << "attempts=" << attempts << " admitted=" << admitted
      << " blocked=" << blocked << " P(block)=" << blocking_probability()
      << " peak=" << max_concurrent;
+  if (repacked_admits != 0) {
+    os << " repacked=" << repacked_admits << " moves=" << repack_moves;
+  }
   return os.str();
 }
 
@@ -168,7 +175,15 @@ SimStats run_dynamic_sim_batched(MultistageSwitch& sw, const SimConfig& config) 
 }  // namespace
 
 SimStats run_dynamic_sim(MultistageSwitch& sw, const SimConfig& config) {
+  if (config.repack && config.connect_batch > 0) {
+    throw std::invalid_argument(
+        "run_dynamic_sim: repack mode requires classic arrivals "
+        "(connect_batch == 0)");
+  }
   if (config.connect_batch > 0) return run_dynamic_sim_batched(sw, config);
+  if (config.repack && sw.repack_engine() == nullptr) {
+    sw.enable_repack(repack::RepackPolicy{});
+  }
   SimMetrics& counters = SimMetrics::get();
   ScopedTimer sim_timer(counters.dynamic_sim);
   Rng rng(config.seed);
@@ -191,7 +206,8 @@ SimStats run_dynamic_sim(MultistageSwitch& sw, const SimConfig& config) {
         ScopedTimer connect_timer(counters.connect);
         TraceSpan span("sim.connect");
         span.arg("fanout", static_cast<std::int64_t>(request->outputs.size()));
-        id = sw.try_connect(*request);
+        id = config.repack ? sw.connect_with_repack(*request)
+                           : sw.try_connect(*request);
         span.arg("admitted", id ? 1 : 0);
       }
       if (id) {
@@ -199,6 +215,23 @@ SimStats run_dynamic_sim(MultistageSwitch& sw, const SimConfig& config) {
         counters.admitted.add();
         stats.conversions += conversions_in_route(
             *request, sw.network().connections().at(*id).second);
+        if (config.repack) {
+          // Migrated sessions carry fresh ids; patch the departure pool so
+          // later victims name live sessions.
+          const auto moved = sw.repack_engine()->last_moved();
+          if (!moved.empty()) {
+            ++stats.repacked_admits;
+            stats.repack_moves += moved.size();
+            for (const auto& [old_id, new_id] : moved) {
+              for (ConnectionId& live : active) {
+                if (live == old_id) {
+                  live = new_id;
+                  break;
+                }
+              }
+            }
+          }
+        }
         active.push_back(*id);
         stats.max_concurrent = std::max(stats.max_concurrent, active.size());
       } else {

@@ -41,6 +41,14 @@ struct SimConfig {
   /// DESIGN.md §3.10); "sim.connect" then records the amortized per-request
   /// connect cost, so its p50 stays comparable with the classic path.
   std::size_t connect_batch = 0;
+  /// Route arrivals through MultistageSwitch::connect_with_repack so blocked
+  /// requests may be admitted by migrating standing sessions (rearrangeable
+  /// mode, DESIGN.md §3.12). The sim attaches a default-policy repack engine
+  /// unless the caller already enabled one. Classic arrivals only:
+  /// combining with connect_batch throws std::invalid_argument. With
+  /// `repack` false the sim is untouched -- identical decisions, counters,
+  /// and SimStats.
+  bool repack = false;
 };
 
 struct SimStats {
@@ -54,6 +62,11 @@ struct SimStats {
   std::size_t active_connection_steps = 0;
   /// Sum of conversions_in_route over admitted connections.
   std::size_t conversions = 0;
+  /// Admissions that needed at least one migration (config.repack only;
+  /// always zero otherwise, preserving SimStats equality for classic runs).
+  std::size_t repacked_admits = 0;
+  /// Standing sessions migrated across all repacked admissions.
+  std::size_t repack_moves = 0;
 
   [[nodiscard]] double blocking_probability() const {
     return attempts == 0 ? 0.0 : static_cast<double>(blocked) /

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "multistage/builder.h"
+#include "repack/repack.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 
@@ -260,6 +261,44 @@ TEST(HotPathAllocations, BatchedChurnIsAllocationFree) {
       sw, script, live,
       [&replay](MultistageSwitch& s, const std::vector<Op>& ops,
                 std::vector<ConnectionId>& l) { replay.run_pass(s, ops, l); });
+}
+
+TEST(HotPathAllocations, RepackEnabledIdleEngineStaysAllocationFree) {
+  // Rearrangeable mode's zero-cost contract (DESIGN.md §3.12): with a repack
+  // engine attached and enabled but never engaging -- the switch is sized at
+  // the Theorem 1 bound, so nothing blocks -- connect_with_repack churn is
+  // the classic hot path plus one branch, and must stay allocation-free in
+  // steady state. (Engaged repacks DO allocate: planning is off-path.)
+  set_metrics_enabled(true);
+
+  auto sw = MultistageSwitch::nonblocking(4, 8, 4, Construction::kMswDominant,
+                                          MulticastModel::kMSW);
+  sw.enable_repack(repack::RepackPolicy{});
+  Rng rng(0xA110C);
+  const std::vector<Op> script =
+      make_script(sw.port_count(), sw.lane_count(), rng, 2000);
+
+  std::vector<ConnectionId> live;
+  live.reserve(script.size());
+  warm_up_then_expect_no_allocations(
+      sw, script, live,
+      [](MultistageSwitch& s, const std::vector<Op>& ops,
+         std::vector<ConnectionId>& l) {
+        for (const Op& op : ops) {
+          if (op.connect) {
+            if (const auto id = s.connect_with_repack(op.request)) {
+              l.push_back(*id);
+            }
+          } else if (!l.empty()) {
+            const std::size_t victim = op.victim_rank % l.size();
+            s.disconnect(l[victim]);
+            l[victim] = l.back();
+            l.pop_back();
+          }
+        }
+        for (const ConnectionId id : l) s.disconnect(id);
+        l.clear();
+      });
 }
 
 TEST(HotPathAllocations, MawDominantChurnIsAllocationFreeToo) {

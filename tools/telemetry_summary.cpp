@@ -3,8 +3,9 @@
 //
 // Every line of the input is validated the same way the bench-smoke ctest
 // needs it validated -- it must parse with util/json_lite, carry
-// schema == "wdm-telemetry/1", and its `sample` index must equal its line
-// number (so the timeline is gap-free and monotone). Validation always runs;
+// schema == "wdm-telemetry/1", its `sample` index must equal its line
+// number (so the timeline is gap-free and monotone), and the cumulative
+// totals.repack_moves tally must never decrease. Validation always runs;
 // `--check` stops there (exit 0/1) for CI, while the default mode follows up
 // with the operator's view of the run:
 //
@@ -49,7 +50,9 @@ std::uint64_t as_u64(const JsonValue& value) {
 int main(int argc, char** argv) {
   wdm::CliParser cli(argc, argv);
   cli.describe("in", "path to a wdm-telemetry/1 .jsonl timeline (required)");
-  cli.describe("check", "validate only: parse + schema + monotone samples");
+  cli.describe("check",
+               "validate only: parse + schema + monotone samples + monotone "
+               "repack tallies");
   cli.describe("csv", "emit the occupancy table as CSV instead of aligned text");
   if (cli.wants_help()) {
     std::cout << cli.help_text(
@@ -83,6 +86,8 @@ int main(int argc, char** argv) {
   std::int64_t bound_m = 0;
   std::size_t shard_count = 0;
   std::string final_totals;
+  std::uint64_t prev_repack_moves = 0;
+  std::uint64_t repack_moves = 0, repack_max_chain = 0;
 
   std::string line;
   std::size_t samples = 0;
@@ -149,6 +154,19 @@ int main(int argc, char** argv) {
       // Every line's totals must at least be present and well-typed; the
       // last one is the closing state of the run.
       const JsonValue& totals = root.at("totals");
+      // Repack tallies are cumulative per shard, so their engine-wide sum
+      // must never decrease across the timeline -- a drop means a sample was
+      // reordered or a shard restarted mid-run.
+      repack_moves = as_u64(totals.at("repack_moves"));
+      repack_max_chain = as_u64(totals.at("repack_max_chain"));
+      if (repack_moves < prev_repack_moves) {
+        std::cerr << "telemetry_summary: line " << samples
+                  << " has totals.repack_moves=" << repack_moves
+                  << " below the previous sample's " << prev_repack_moves
+                  << " (cumulative tally went backwards)\n";
+        return 1;
+      }
+      prev_repack_moves = repack_moves;
       std::ostringstream closing;
       closing << "sessions=" << as_u64(totals.at("sessions"))
               << " busy_middle_lanes=" << as_u64(totals.at("busy_middle_lanes"))
@@ -199,6 +217,8 @@ int main(int argc, char** argv) {
             << "  max failed middles:       " << max_failed_middles << "\n"
             << "  max flight-recorder drop: " << max_flight_dropped
             << " records\n"
+            << "  repack moves (cumulative): " << repack_moves
+            << " (max chain " << repack_max_chain << ")\n"
             << "  closing totals:           " << final_totals << "\n";
   return 0;
 }
