@@ -78,7 +78,8 @@ struct Thresholds {
       "routing.find_route",     "routing.batch_amortized_ns",
       "sim.connect",            "sim.disconnect",
       "converter_pool.acquire", "thread_pool.task_run",
-      "engine.drain_batch",     "obs.snapshot_read",
+      "engine.drain_batch",     "engine.op_wait_ns",
+      "engine.find_session_ns", "obs.snapshot_read",
       "repack.migrate_ns",
   };
 };

@@ -47,6 +47,7 @@
 #include "engine/sharded_engine.h"
 #include "faults/availability.h"
 #include "multistage/builder.h"
+#include "multistage/network.h"
 #include "obs/telemetry.h"
 #include "sim/blocking_sim.h"
 #include "sim/converter_pool.h"
@@ -564,6 +565,153 @@ BenchResult bench_obs_snapshot(bool tiny) {
   return result;
 }
 
+BenchResult bench_engine_queued(bool tiny) {
+  // The single-writer submission path (DESIGN.md §3.13): the same churn as
+  // engine_churn, but every op ships through a bounded per-shard MPSC queue
+  // and executes on the ShardExecutor's workers instead of under the shard
+  // mutex. The determinism contract is unchanged -- the queued run must
+  // reproduce the serial replay bit-identically -- and the run must light up
+  // the engine.queue_depth / engine.op_wait_ns instruments that the
+  // thresholds file gates.
+  engine::EngineConfig config;
+  config.params = {4, 4, 5, 2};
+  config.shards = tiny ? 3 : 8;
+  engine::ChurnConfig churn;
+  churn.ops_per_shard = tiny ? 400 : 8000;
+  churn.batch = 64;
+  churn.workers = 4;
+  churn.queued = true;
+  churn.queue_depth = tiny ? 64 : 512;
+  churn.self_check_every = tiny ? 200 : 4096;
+
+  engine::ShardedEngine engine(config);
+  engine::ChurnDriver driver(engine, churn);
+  ThreadPool pool(1);  // queued mode submits from the calling thread
+  const engine::ChurnStats queued = driver.run(pool);
+
+  engine::ShardedEngine replay_engine(config);
+  engine::ChurnDriver replay(replay_engine, churn);
+  const engine::ChurnStats serial = replay.run_serial();
+
+  maybe_dump_flight(engine, "engine_queued");
+
+  bool instruments_ok = true;
+  if (metrics_enabled()) {
+    instruments_ok =
+        metrics().histogram("engine.queue_depth").count() > 0 &&
+        metrics().timer("engine.op_wait_ns").count() > 0;
+  }
+
+  BenchResult result;
+  result.params_json = params_of({{"n", 4},
+                                  {"r", 4},
+                                  {"k", 2},
+                                  {"shards", config.shards},
+                                  {"ops_per_shard", churn.ops_per_shard},
+                                  {"workers", churn.workers},
+                                  {"queue_depth", churn.queue_depth}});
+  result.ok = queued == serial && queued.total.stale_accepted == 0 &&
+              queued.leftover_sessions == engine.active_sessions() &&
+              engine.active_sessions() == engine.active_sessions_locked() &&
+              queued.total.grows > 0 && instruments_ok;
+  return result;
+}
+
+BenchResult bench_engine_soak(bool tiny) {
+  // Miniature of bench/bench_soak.cpp, sized for the artifact: fill the
+  // engine with unicast sessions to a fixed occupancy target, keep
+  // lock-free find_session probes hot (timed as engine.find_session_ns)
+  // while queued churn saturates the shard queues, then drain the fill and
+  // check the session accounting end to end. The standalone bench_soak
+  // binary runs the same shape at 1M+ sessions with an RSS budget.
+  engine::EngineConfig config;
+  config.params = tiny ? ClosParams{4, 8, 6, 8} : ClosParams{16, 16, 24, 64};
+  config.shards = tiny ? 2 : 4;
+  const std::size_t ports = config.params.port_count();
+  const std::size_t lanes = config.params.k;
+  const std::size_t target =
+      (ports * lanes * 3) / 4;  // fill 75% of the endpoint space
+
+  engine::ShardedEngine engine(config);
+  std::vector<engine::SessionId> filled;
+  filled.reserve(target);
+  std::size_t blocked = 0;
+  for (std::size_t lane = 0; lane < lanes && filled.size() < target; ++lane) {
+    for (std::size_t port = 0; port < ports && filled.size() < target;
+         ++port) {
+      // Per-lane shifted permutation: every output endpoint is used at most
+      // once, so the fill is limited by routing, not by endpoint clashes.
+      const MulticastRequest request{
+          {port, static_cast<Wavelength>(lane)},
+          {{(port + 1 + lane) % ports, static_cast<Wavelength>(lane)}}};
+      if (const auto session = engine.connect(request)) {
+        filled.push_back(*session);
+      } else {
+        ++blocked;
+      }
+    }
+  }
+  const bool fill_ok = filled.size() >= target &&
+                       engine.active_sessions() == filled.size();
+
+  // Saturated churn with a concurrent lock-free reader: the probe thread
+  // hammers find_session over the filled ids while the queued driver keeps
+  // every shard queue busy. The p99 of engine.find_session_ns is the
+  // "reads do not degrade under write saturation" number.
+  engine::ChurnConfig churn;
+  churn.ops_per_shard = tiny ? 300 : 3000;
+  churn.batch = 32;
+  churn.workers = tiny ? 2 : 4;
+  churn.queued = true;
+  churn.queue_depth = 128;
+  engine::ChurnDriver driver(engine, churn);
+  TimerStat& probe_timer = metrics().timer("engine.find_session_ns");
+  std::atomic<bool> done{false};
+  std::uint64_t probes = 0;
+  std::uint64_t misdecoded = 0;
+  std::thread prober([&] {
+    std::size_t at = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const engine::SessionId id = filled[at % filled.size()];
+      at += 7919;  // co-prime stride: sweep the table, not one hot line
+      ScopedTimer timer(probe_timer);
+      const auto probe = engine.find_session(id);
+      ++probes;
+      if (probe && probe->slot != ThreeStageNetwork::slot_of_id(id.connection)) {
+        ++misdecoded;
+      }
+    }
+  });
+  ThreadPool pool(1);
+  const engine::ChurnStats stats = driver.run(pool);
+  done.store(true, std::memory_order_relaxed);
+  prober.join();
+
+  maybe_dump_flight(engine, "engine_soak");
+
+  // Drain the fill; the churn's own leftovers are the only survivors.
+  std::size_t drained = 0;
+  for (const engine::SessionId id : filled) drained += engine.disconnect(id) ? 1 : 0;
+  const bool drain_ok = drained == filled.size() &&
+                        engine.active_sessions() == stats.leftover_sessions &&
+                        engine.active_sessions() ==
+                            engine.active_sessions_locked();
+  engine.self_check();
+
+  BenchResult result;
+  result.params_json = params_of({{"n", config.params.n},
+                                  {"r", config.params.r},
+                                  {"k", config.params.k},
+                                  {"shards", config.shards},
+                                  {"fill_sessions", filled.size()},
+                                  {"fill_blocked", blocked},
+                                  {"ops_per_shard", churn.ops_per_shard},
+                                  {"probes", probes}});
+  result.ok = fill_ok && drain_ok && probes > 0 && misdecoded == 0 &&
+              stats.total.stale_accepted == 0;
+  return result;
+}
+
 const std::vector<BenchCase>& bench_cases() {
   static const std::vector<BenchCase> cases = {
       {"routing_msw_dominant",
@@ -600,6 +748,12 @@ const std::vector<BenchCase>& bench_cases() {
       {"obs_snapshot",
        "lock-free health snapshot reads hammered against full-rate churn",
        bench_obs_snapshot},
+      {"engine_queued",
+       "single-writer queued submission, bit-identical to the serial replay",
+       bench_engine_queued},
+      {"engine_soak",
+       "bulk session fill + saturated queued churn with lock-free probes",
+       bench_engine_soak},
   };
   return cases;
 }

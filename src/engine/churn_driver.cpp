@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "engine/shard_executor.h"
 #include "util/metrics.h"
 #include "util/trace_span.h"
 
@@ -341,7 +342,81 @@ ChurnStats ChurnDriver::merge(std::vector<std::unique_ptr<Lane>>& lanes) const {
   return out;
 }
 
+void ChurnDriver::queued_batch(void* ctx, std::uint64_t ops) {
+  auto* task = static_cast<QueuedLaneCtx*>(ctx);
+  Lane& lane = *task->lane;
+  // A prior batch on this shard failed: stop advancing the stream so the
+  // error surfaces with the lane state that produced it.
+  if (lane.task_error) return;
+  try {
+    ScopedTimer timer(DriverMetrics::get().drain_batch);
+    TraceSpan span("engine.drain_batch");
+    span.arg("shard", static_cast<std::int64_t>(lane.shard));
+    span.arg("ops", static_cast<std::int64_t>(ops));
+    for (std::uint64_t i = 0; i < ops; ++i) task->driver->tick(lane);
+  } catch (...) {
+    // Never let an exception escape into the executor's worker loop (that
+    // would terminate the process); run_queued rethrows after quiescing.
+    lane.task_error = std::current_exception();
+  }
+}
+
+ChurnStats ChurnDriver::run_queued() {
+  const std::size_t shard_count = engine_->shard_count();
+  std::vector<std::unique_ptr<Lane>> lanes;
+  lanes.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    lanes.push_back(std::make_unique<Lane>(s, config_));
+  }
+  if (config_.ops_per_shard != 0) {
+    const std::size_t batch = std::max<std::size_t>(1, config_.batch);
+    const std::size_t batches_per_shard =
+        (config_.ops_per_shard + batch - 1) / batch;
+
+    ExecutorConfig exec_config;
+    exec_config.workers = std::max<std::size_t>(1, config_.workers);
+    exec_config.queue_capacity = std::max<std::size_t>(2, config_.queue_depth);
+    ShardExecutor executor(*engine_, exec_config);
+
+    std::vector<QueuedLaneCtx> contexts(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      contexts[s] = {this, lanes[s].get()};
+    }
+    // Same batch schedule as the locked mode (round-robin over shards), but
+    // shipped: the single submitting thread pushes count-carrying tasks into
+    // the owning shard's queue and never touches lane state itself. FIFO
+    // drain per shard reproduces the serial stream exactly; a full queue
+    // blocks the submitter (backpressure), which delays but never reorders.
+    for (std::size_t claim = 0; claim < batches_per_shard * shard_count;
+         ++claim) {
+      const std::size_t shard = claim % shard_count;
+      const std::size_t begin = (claim / shard_count) * batch;
+      const std::size_t size =
+          std::min(batch, config_.ops_per_shard - begin);
+      DriverMetrics::get().batches.add();
+      executor.submit_task(shard, &ChurnDriver::queued_batch,
+                           &contexts[shard], size, nullptr);
+    }
+    executor.quiesce();
+    if (config_.connect_batch > 0) {
+      // Tail flush as owned tasks, for the same reason run() flushes under
+      // the shard mutex: pending buffers are lane state.
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        Lane& lane = *lanes[s];
+        if (lane.task_error) continue;
+        executor.run_task(s, [this, &lane] { flush_pending(lane); });
+      }
+    }
+    // Executor destructor: quiesce, detach from the engine, join workers.
+  }
+  for (const auto& lane : lanes) {
+    if (lane->task_error) std::rethrow_exception(lane->task_error);
+  }
+  return merge(lanes);
+}
+
 ChurnStats ChurnDriver::run(ThreadPool& pool) {
+  if (config_.queued) return run_queued();
   const std::size_t shard_count = engine_->shard_count();
   std::vector<std::unique_ptr<Lane>> lanes;
   lanes.reserve(shard_count);

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,18 @@ struct ChurnConfig {
   /// bit-identical across worker counts AND across connect_batch values
   /// (see DESIGN.md §3.10). Grow/stale fields stay zero in this mode.
   std::size_t connect_batch = 0;
+  /// Queued submission mode (DESIGN.md §3.13): run() creates a ShardExecutor
+  /// (`workers` draining workers, per-shard queues of `queue_depth`) and
+  /// ships each batch as a count-carrying task into the owning shard's
+  /// queue instead of locking the shard mutex. Op content still comes from
+  /// the shard-resident rng stream and each shard's tasks execute in FIFO
+  /// submission order under single-writer exclusivity, so ChurnStats stays
+  /// bit-identical to the locked mode, to run_serial(), and to itself at any
+  /// worker count or queue depth (enforced by tests/executor_test.cpp).
+  bool queued = false;
+  /// Per-shard submission queue capacity in queued mode (rounded up to a
+  /// power of two; small values just surface backpressure earlier).
+  std::size_t queue_depth = 1024;
 };
 
 /// One shard's outcome tally. Deterministic per (engine config, churn
@@ -139,6 +152,11 @@ class ChurnDriver {
     std::mutex queue_mutex;
     std::vector<std::size_t> queue;  // pending batch sizes (FIFO)
     std::size_t queue_head = 0;
+
+    /// Queued mode: first exception a batch task hit (written under shard
+    /// ownership, read by run() after quiescing). Later batches on the lane
+    /// see it and stop advancing the stream.
+    std::exception_ptr task_error;
   };
 
   static constexpr std::size_t kStaleRing = 32;
@@ -160,6 +178,18 @@ class ChurnDriver {
   /// Execute every queued batch of `lane` under the shard mutex.
   void drain(Lane& lane);
   ChurnStats merge(std::vector<std::unique_ptr<Lane>>& lanes) const;
+
+  /// Queued-mode run body (config_.queued): single-threaded submission of
+  /// batch tasks into a ShardExecutor, then quiesce and merge.
+  ChurnStats run_queued();
+  /// Context for one lane's queued batch tasks (submit_task trampoline).
+  struct QueuedLaneCtx {
+    ChurnDriver* driver = nullptr;
+    Lane* lane = nullptr;
+  };
+  /// Batch task body: `ops` ticks of the lane, executed on the worker that
+  /// owns the shard. Exceptions land in Lane::task_error, never escape.
+  static void queued_batch(void* ctx, std::uint64_t ops);
 
   ShardedEngine* engine_;
   ChurnConfig config_;

@@ -1,9 +1,12 @@
 #include "engine/sharded_engine.h"
 
+#include <algorithm>
 #include <bit>
+#include <exception>
 #include <iostream>
 #include <stdexcept>
 
+#include "engine/shard_executor.h"
 #include "faults/fault_model.h"
 #include "util/metrics.h"
 
@@ -194,14 +197,22 @@ MultistageSwitch& ShardedEngine::shard_switch(std::size_t shard) {
 
 std::optional<SessionId> ShardedEngine::connect(const MulticastRequest& request) {
   const std::size_t shard = shard_of(request.input.port);
-  std::lock_guard lock(shards_[shard]->mutex);
-  const auto id = connect_locked(shard, request);
+  std::optional<ConnectionId> id;
+  if (ShardExecutor* exec = executor()) {
+    id = exec->connect(shard, request);
+  } else {
+    std::lock_guard lock(shards_[shard]->mutex);
+    id = connect_locked(shard, request);
+  }
   if (!id) return std::nullopt;
   return SessionId{static_cast<std::uint32_t>(shard), *id};
 }
 
 bool ShardedEngine::disconnect(SessionId session) {
   if (session.shard >= shards_.size()) return false;
+  if (ShardExecutor* exec = executor()) {
+    return exec->disconnect(session.shard, session.connection);
+  }
   std::lock_guard lock(shards_[session.shard]->mutex);
   return disconnect_locked(session.shard, session.connection);
 }
@@ -209,11 +220,43 @@ bool ShardedEngine::disconnect(SessionId session) {
 GrowResult ShardedEngine::grow(SessionId session,
                                const WavelengthEndpoint& destination) {
   if (session.shard >= shards_.size()) return {};
+  if (ShardExecutor* exec = executor()) {
+    return exec->grow(session.shard, session.connection, destination);
+  }
   std::lock_guard lock(shards_[session.shard]->mutex);
   return grow_locked(session.shard, session.connection, destination);
 }
 
+void ShardedEngine::attach_executor(ShardExecutor* executor) {
+  executor_.store(executor, std::memory_order_release);
+}
+
+void ShardedEngine::with_shard_exclusive(
+    std::size_t shard, const std::function<void()>& fn) const {
+  if (ShardExecutor* exec = executor()) {
+    exec->run_task(shard, fn);
+    return;
+  }
+  std::lock_guard lock(shards_.at(shard)->mutex);
+  fn();
+}
+
 std::size_t ShardedEngine::active_sessions() const {
+  // Lock-free: the per-shard session counts ride the seqlock health spine,
+  // and a header-prefix read is a valid consistent read
+  // (obs/health_snapshot.h). Each term is exact as of that shard's latest
+  // publish; at quiescence the sum equals active_sessions_locked().
+  std::uint64_t header[obs::EngineHealthSnapshot::kHeaderWords];
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    shard->health.read(header, obs::EngineHealthSnapshot::kHeaderWords);
+    total += static_cast<std::size_t>(header[4]);  // sessions word
+  }
+  EngineMetrics::get().snapshot_reads.add(shards_.size());
+  return total;
+}
+
+std::size_t ShardedEngine::active_sessions_locked() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
@@ -222,18 +265,64 @@ std::size_t ShardedEngine::active_sessions() const {
   return total;
 }
 
+bool ShardedEngine::is_active(SessionId session) const {
+  if (session.shard >= shards_.size()) return false;
+  return shards_[session.shard]->session_table.is_active(
+      ThreeStageNetwork::slot_of_id(session.connection),
+      ThreeStageNetwork::generation_of_id(session.connection));
+}
+
+std::optional<SessionProbe> ShardedEngine::find_session(
+    SessionId session) const {
+  if (!is_active(session)) return std::nullopt;
+  return SessionProbe{session.shard,
+                      ThreeStageNetwork::slot_of_id(session.connection),
+                      ThreeStageNetwork::generation_of_id(session.connection)};
+}
+
+AdmissionPrecheck ShardedEngine::admission_precheck(std::size_t shard) const {
+  std::uint64_t header[obs::EngineHealthSnapshot::kHeaderWords];
+  shards_.at(shard)->health.read(header,
+                                 obs::EngineHealthSnapshot::kHeaderWords);
+  EngineMetrics::get().snapshot_reads.add();
+  AdmissionPrecheck out;
+  out.version = header[0];
+  out.sessions = header[4];
+  out.margin = static_cast<std::int64_t>(header[13]);
+  out.admit = header[14] != 0;
+  return out;
+}
+
 void ShardedEngine::self_check() const {
-  for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
-    try {
-      shard->sw.network().self_check();
-    } catch (const std::logic_error&) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    // Capture instead of throwing out of the closure: in executor mode the
+    // body runs on a worker thread, and an exception escaping a worker
+    // would terminate the process instead of failing the caller.
+    std::exception_ptr error;
+    with_shard_exclusive(s, [this, s, &error] {
+      try {
+        shards_[s]->sw.network().self_check();
+      } catch (...) {
+        error = std::current_exception();
+      }
+    });
+    if (error) {
       // The post-mortem window: what the shards did leading up to the
       // corruption, before the exception unwinds the run away.
       dump_flight_recorders(std::cerr);
-      throw;
+      std::rethrow_exception(error);
     }
   }
+}
+
+void ShardedEngine::note_session_active(Shard& shard, ConnectionId id) {
+  shard.session_table.mark_active(ThreeStageNetwork::slot_of_id(id),
+                                  ThreeStageNetwork::generation_of_id(id));
+}
+
+void ShardedEngine::note_session_released(Shard& shard, ConnectionId id) {
+  shard.session_table.mark_released(ThreeStageNetwork::slot_of_id(id),
+                                    ThreeStageNetwork::generation_of_id(id));
 }
 
 std::optional<ConnectionId> ShardedEngine::connect_locked(
@@ -241,6 +330,7 @@ std::optional<ConnectionId> ShardedEngine::connect_locked(
   Shard& owner = *shards_[shard];
   const auto id = owner.sw.connect_with_repack(request);
   if (id) {
+    note_session_active(owner, *id);
     EngineMetrics::get().connects.add();
     ++owner.connects;
     // A repack admission gets its own op kind with the chain length as the
@@ -268,6 +358,9 @@ std::size_t ShardedEngine::connect_batch_locked(std::size_t shard,
   const std::size_t admitted =
       owner.sw.connect_batch(requests, count, outcomes);
   if (admitted != 0) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (outcomes[i].ok) note_session_active(owner, outcomes[i].id);
+    }
     EngineMetrics::get().connects.add(admitted);
     owner.connects += admitted;
   }
@@ -290,6 +383,7 @@ bool ShardedEngine::disconnect_locked(std::size_t shard, ConnectionId id) {
     publish_health(owner);
     return false;
   }
+  note_session_released(owner, id);
   counters.disconnects.add();
   ++owner.disconnects;
   owner.flight.record(obs::EngineOp::kDisconnect,
@@ -325,6 +419,10 @@ GrowResult ShardedEngine::grow_locked(std::size_t shard, ConnectionId id,
   // try_connect is a grow, not an admission -- it bumps no connect tallies.
   network.release(id);
   if (const auto grown_id = sw.try_connect(grown)) {
+    // The session renewed its id either way; the old one is stale forever.
+    // Released-before-active keeps the table's per-slot word monotone.
+    note_session_released(owner, id);
+    note_session_active(owner, *grown_id);
     counters.grows.add();
     ++owner.grows;
     owner.flight.record(obs::EngineOp::kGrow, obs::EngineOpOutcome::kGrown,
@@ -337,12 +435,152 @@ GrowResult ShardedEngine::grow_locked(std::size_t shard, ConnectionId id,
   // the failed try_connect installed nothing, so reinstalling the original
   // route over the original request cannot fail.
   const ConnectionId restored = network.install(original_request, original_route);
+  note_session_released(owner, id);
+  note_session_active(owner, restored);
   counters.grow_blocked.add();
   ++owner.grow_blocked;
   owner.flight.record(obs::EngineOp::kGrow,
                       obs::EngineOpOutcome::kGrowBlocked, restored);
   publish_health(owner);
   return {GrowResult::Status::kBlocked, restored};
+}
+
+CrossGrowResult ShardedEngine::grow_to_shard(
+    SessionId session, const WavelengthEndpoint& destination,
+    std::size_t target) {
+  if (session.shard >= shards_.size() || target >= shards_.size()) return {};
+  if (target == session.shard) {
+    // Degenerate case: an ordinary local grow (break-before-make).
+    const GrowResult local = grow(session, destination);
+    return {local.status, SessionId{session.shard, local.connection}};
+  }
+  EngineMetrics& counters = EngineMetrics::get();
+  Shard& source = *shards_[session.shard];
+  Shard& dest = *shards_[target];
+
+  // Phase 1 (source exclusive): copy the live request. Unlike the local
+  // grow, nothing is released yet -- shard replicas have independent
+  // endpoints, so the grown copy can coexist with the original.
+  MulticastRequest grown;
+  bool found = false;
+  with_shard_exclusive(session.shard, [&] {
+    const auto* entry = source.sw.network().find_connection(session.connection);
+    if (entry != nullptr) {
+      grown = entry->first;
+      found = true;
+      return;
+    }
+    counters.stale_rejected.add();
+    ++source.stale_rejected;
+    source.flight.record(obs::EngineOp::kMigrateOut,
+                         obs::EngineOpOutcome::kStale, session.connection);
+    publish_health(source);
+  });
+  if (!found) return {};
+  grown.outputs.push_back(destination);
+
+  // Phase 2 (target exclusive): admit the grown copy. A migration, not a
+  // fresh admission -- it bumps no connect tallies; a refusal counts as a
+  // blocked grow on the shard that refused.
+  std::optional<ConnectionId> grown_id;
+  with_shard_exclusive(target, [&] {
+    grown_id = dest.sw.try_connect(grown);
+    if (grown_id) {
+      note_session_active(dest, *grown_id);
+      dest.flight.record(obs::EngineOp::kMigrateIn,
+                         obs::EngineOpOutcome::kAdmitted, *grown_id);
+    } else {
+      counters.grow_blocked.add();
+      ++dest.grow_blocked;
+      dest.flight.record(obs::EngineOp::kMigrateIn,
+                         obs::EngineOpOutcome::kBlocked, 0);
+    }
+    publish_health(dest);
+  });
+  if (!grown_id) return {GrowResult::Status::kBlocked, session};
+
+  if (cross_grow_between_phases_hook) {
+    cross_grow_between_phases_hook(session, SessionId{
+        static_cast<std::uint32_t>(target), *grown_id});
+  }
+
+  // Phase 3 (source exclusive): release the original, generation-validated.
+  // A concurrent disconnect may have beaten us here; then the migration
+  // loses and must roll the copy back.
+  bool released = false;
+  with_shard_exclusive(session.shard, [&] {
+    if (source.sw.try_disconnect(session.connection)) {
+      released = true;
+      note_session_released(source, session.connection);
+      counters.grows.add();
+      ++source.grows;
+      source.flight.record(obs::EngineOp::kMigrateOut,
+                           obs::EngineOpOutcome::kAdmitted, session.connection);
+    } else {
+      counters.stale_rejected.add();
+      ++source.stale_rejected;
+      source.flight.record(obs::EngineOp::kMigrateOut,
+                           obs::EngineOpOutcome::kStale, session.connection);
+    }
+    publish_health(source);
+  });
+  if (released) {
+    return {GrowResult::Status::kGrown,
+            SessionId{static_cast<std::uint32_t>(target), *grown_id}};
+  }
+
+  // Rollback (target exclusive): the session died mid-migration, so the
+  // grown copy must not survive it. The copy's id never escaped (it is
+  // returned only on success), so releasing it leaks nothing.
+  with_shard_exclusive(target, [&] {
+    // try_disconnect (not a raw network release) so the router's caches see
+    // the teardown through their usual repair hooks. It cannot fail: the
+    // copy's id never left this function, so nothing else could release it.
+    dest.sw.try_disconnect(*grown_id);
+    note_session_released(dest, *grown_id);
+    dest.flight.record(obs::EngineOp::kMigrateIn, obs::EngineOpOutcome::kStale,
+                       *grown_id);
+    publish_health(dest);
+  });
+  return {};
+}
+
+CrossGrowResult ShardedEngine::grow_anywhere(
+    SessionId session, const WavelengthEndpoint& destination) {
+  // Home shard first: the cheap path, and the only one that needs no
+  // migration. Remember that a BLOCKED local grow still renews the id.
+  const GrowResult local = grow(session, destination);
+  SessionId current{session.shard, local.connection};
+  if (local.status != GrowResult::Status::kBlocked) {
+    return {local.status, current};
+  }
+
+  // Candidates ordered by the lock-free pre-check: largest margin first,
+  // then fewest sessions, then shard index (a total order, so the retry
+  // sequence is deterministic for a given snapshot state).
+  struct Candidate {
+    std::size_t shard;
+    AdmissionPrecheck pre;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(shards_.size() - 1);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (s == session.shard) continue;
+    candidates.push_back({s, admission_precheck(s)});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.pre.margin != b.pre.margin) return a.pre.margin > b.pre.margin;
+              if (a.pre.sessions != b.pre.sessions) return a.pre.sessions < b.pre.sessions;
+              return a.shard < b.shard;
+            });
+  for (const Candidate& candidate : candidates) {
+    const CrossGrowResult result =
+        grow_to_shard(current, destination, candidate.shard);
+    if (result.status != GrowResult::Status::kBlocked) return result;
+    current = result.session;  // unchanged on kBlocked, but stay exact
+  }
+  return {GrowResult::Status::kBlocked, current};
 }
 
 }  // namespace wdm::engine

@@ -16,16 +16,37 @@
 //   * stable -- adding a shard moves only the ~N/(S+1) ports the new shard
 //     wins; no port ever moves between two surviving shards.
 //
-// Thread-safety contract: the public session API (connect / disconnect /
-// grow) locks exactly the owning shard, so sessions on distinct shards never
-// contend. The *_locked variants are for drivers that batch many operations
-// under one shard_mutex() hold (see churn_driver.h); they must be called
-// with that mutex held. Determinism across thread counts is a driver
-// property: the engine itself is deterministic per shard because a shard is
-// just a serial MultistageSwitch behind a mutex.
+// Thread-safety contract: a shard's state is guarded by *exclusive shard
+// access*, which comes in two interchangeable flavors:
+//
+//   * mutex mode (the default): the public session API (connect /
+//     disconnect / grow) locks exactly the owning shard, so sessions on
+//     distinct shards never contend. The *_locked variants are for drivers
+//     that batch many operations under one shard_mutex() hold (see
+//     churn_driver.h); they must be called with that mutex held.
+//
+//   * executor mode (DESIGN.md §3.13): while a ShardExecutor is attached
+//     (shard_executor.h), exclusivity comes from queue ownership instead --
+//     exactly one worker drains a shard's submission queue at a time, so
+//     the shard body runs with no mutex at all. The public session API
+//     transparently routes through the executor's queues in this mode; the
+//     *_locked variants are then for op bodies executing on the owning
+//     worker. Never take shard_mutex() while an executor is attached.
+//
+// Lock-free reads ride neither: is_active / find_session probe the
+// per-shard session-generation table (obs/session_table.h) and
+// admission_precheck / active_sessions read the seqlock health-snapshot
+// spine (obs/health_snapshot.h) -- zero mutex acquisitions, safe from any
+// thread in either mode, even while every shard is saturated.
+//
+// Determinism across thread counts is a driver property: the engine itself
+// is deterministic per shard because a shard is just a serial
+// MultistageSwitch behind an exclusivity discipline.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -36,9 +57,12 @@
 #include "multistage/nonblocking.h"
 #include "obs/flight_recorder.h"
 #include "obs/health_snapshot.h"
+#include "obs/session_table.h"
 #include "repack/repack.h"
 
 namespace wdm::engine {
+
+class ShardExecutor;
 
 /// A live session: the owning shard plus the shard-local connection id.
 struct SessionId {
@@ -79,6 +103,40 @@ struct GrowResult {
   ConnectionId connection = 0;  // the session's id after the call
 };
 
+/// The outcome of a cross-shard grow (grow_to_shard / grow_anywhere).
+/// kGrown: `session` names the migrated session on its new shard. kBlocked:
+/// the target shard could not admit the grown request; the original session
+/// is untouched and `session` still names it. kStaleSession: the id named no
+/// live session (either at the start, or -- for the rollback race -- the
+/// session was torn down concurrently after the grown copy was admitted; the
+/// copy is then released and nothing leaks).
+struct CrossGrowResult {
+  GrowResult::Status status = GrowResult::Status::kStaleSession;
+  SessionId session;
+};
+
+/// A successful lock-free session probe (find_session): where the session
+/// lives and the generation under which its slot is currently active.
+struct SessionProbe {
+  std::uint32_t shard = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t generation = 0;
+};
+
+/// A lock-free admission pre-check for one shard: the live Theorem-1/2
+/// margin read off the health-snapshot spine. `admit` is advisory -- the
+/// margin can change between the probe and a subsequent connect() -- but it
+/// is exact as of snapshot `version`, so admission control loops can shed
+/// load without ever touching a shard mutex.
+struct AdmissionPrecheck {
+  bool admit = false;
+  /// bound_m - peak middle-stage occupancy (negative = over the bound, which
+  /// rearrangeable/repack configs can legally reach).
+  std::int64_t margin = 0;
+  std::uint64_t sessions = 0;  // live sessions on the shard at `version`
+  std::uint64_t version = 0;   // the shard's publish version probed
+};
+
 class ShardedEngine {
  public:
   explicit ShardedEngine(const EngineConfig& config);
@@ -96,7 +154,7 @@ class ShardedEngine {
   /// The source ports shard `shard` owns, ascending.
   [[nodiscard]] const std::vector<std::size_t>& owned_ports(std::size_t shard) const;
 
-  // -- session API (thread-safe: locks the owning shard) --------------------
+  // -- session API (thread-safe: exclusive shard access, see header note) ---
   /// Route + install on the owning shard; nullopt when inadmissible or
   /// blocked there.
   [[nodiscard]] std::optional<SessionId> connect(const MulticastRequest& request);
@@ -104,11 +162,49 @@ class ShardedEngine {
   bool disconnect(SessionId session);
   /// Add one destination to a live session (multicast grow); see GrowResult.
   GrowResult grow(SessionId session, const WavelengthEndpoint& destination);
-  /// Live sessions across all shards (locks each shard briefly).
+  /// Move a live session to shard `target` while growing it by
+  /// `destination` -- the cross-shard escape hatch when the home shard's
+  /// margin is exhausted. Make-before-break two-phase (DESIGN.md §3.13):
+  /// shard replicas have independent endpoints, so the grown copy is
+  /// admitted on `target` BEFORE the original comes down; if the original
+  /// vanishes between the phases (concurrent disconnect), the copy is rolled
+  /// back and the call reports kStaleSession. Never holds two shards
+  /// exclusively at once.
+  CrossGrowResult grow_to_shard(SessionId session,
+                                const WavelengthEndpoint& destination,
+                                std::size_t target);
+  /// grow() on the home shard first; if blocked there, retry via
+  /// grow_to_shard on candidate shards ordered by the lock-free admission
+  /// pre-check (largest margin first). Note a blocked local grow still
+  /// renews the session id (break-before-make), so the returned session must
+  /// always replace the caller's handle.
+  CrossGrowResult grow_anywhere(SessionId session,
+                                const WavelengthEndpoint& destination);
+  /// Live sessions across all shards -- lock-free (sums the health-snapshot
+  /// spine; each shard's count is individually consistent as of its latest
+  /// publish). At quiescence this equals active_sessions_locked() exactly.
   [[nodiscard]] std::size_t active_sessions() const;
+  /// The locked reference count (locks each shard briefly); for tests that
+  /// verify the snapshot spine against ground truth at quiescence. Mutex
+  /// mode only -- never call while an executor is attached.
+  [[nodiscard]] std::size_t active_sessions_locked() const;
   /// Deep-check every shard replica (throws std::logic_error on corruption,
   /// after dumping every shard's flight recorder to stderr).
   void self_check() const;
+
+  // -- lock-free session reads (obs/session_table.h) ------------------------
+  /// True iff `session` currently names a live session: its slot's
+  /// generation table entry is active under exactly the id's generation.
+  /// ZERO mutex acquisitions; safe while every shard queue is saturated.
+  /// Never true for a stale id -- generations are monotone per slot, so a
+  /// released-and-reused slot carries a later generation than the stale id.
+  [[nodiscard]] bool is_active(SessionId session) const;
+  /// Lock-free probe: where `session` lives, or nullopt when stale. The
+  /// result is a consistent point-in-time fact (the session WAS live at the
+  /// probe), not a lease -- it can be torn down the next instant.
+  [[nodiscard]] std::optional<SessionProbe> find_session(SessionId session) const;
+  /// Lock-free Theorem-margin read for shard `shard` (see AdmissionPrecheck).
+  [[nodiscard]] AdmissionPrecheck admission_precheck(std::size_t shard) const;
 
   // -- lock-free observability (src/obs) ------------------------------------
   /// The Theorem-1/2 bound for one shard replica's geometry (computed once
@@ -157,7 +253,19 @@ class ShardedEngine {
   GrowResult grow_locked(std::size_t shard, ConnectionId id,
                          const WavelengthEndpoint& destination);
 
+  // -- executor seam (shard_executor.h, DESIGN.md §3.13) --------------------
+  /// Route the public session API through `executor`'s per-shard submission
+  /// queues (single-writer mode). Pass nullptr to detach (the executor does
+  /// this from its destructor after quiescing). Attach/detach only at
+  /// quiescence -- in-flight public calls on the old path would race the
+  /// mode switch.
+  void attach_executor(ShardExecutor* executor);
+  [[nodiscard]] ShardExecutor* executor() const {
+    return executor_.load(std::memory_order_acquire);
+  }
+
  private:
+  friend class ShardExecutor;
   /// Mutex + replica, heap-pinned (mutexes are immovable) and padded so two
   /// shards' hot state never shares a cache line. The observability tail
   /// (tallies, flight ring, seqlock slot, encode scratch) is written only
@@ -177,16 +285,43 @@ class ShardedEngine {
     obs::SeqlockSnapshotSlot health;
     /// Reusable encode buffer (sized once, so publishing allocates nothing).
     std::vector<std::uint64_t> encode_scratch;
+    /// Lock-free session-generation table: written at every commit point
+    /// under shard exclusivity, probed by is_active/find_session from any
+    /// thread with no lock (obs/session_table.h).
+    obs::SessionGenTable session_table;
   };
 
   /// Encode the shard's current state and publish it through the seqlock
-  /// slot. Requires the shard mutex (the single-writer contract).
+  /// slot. Requires exclusive shard access (the single-writer contract).
   void publish_health(Shard& shard);
+
+  /// Run `fn` with exclusive access to shard `shard`: a lock_guard in mutex
+  /// mode, a submitted task (awaited) in executor mode. The unit of the
+  /// two-phase cross-shard grow -- each phase claims exactly one shard, so
+  /// no lock ordering between shards ever exists. Const because exclusivity
+  /// is a read-side concern too (self_check); `fn` mutates shard state only
+  /// through the engine's own mutable paths.
+  void with_shard_exclusive(std::size_t shard,
+                            const std::function<void()>& fn) const;
+
+  /// Sync the session-generation table after an op that renewed or released
+  /// ids. Requires exclusive shard access.
+  void note_session_active(Shard& shard, ConnectionId id);
+  void note_session_released(Shard& shard, ConnectionId id);
 
   EngineConfig config_;
   NonblockingBound bound_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::vector<std::size_t>> owned_ports_;  // [shard] -> ports
+  std::atomic<ShardExecutor*> executor_{nullptr};
+
+ public:
+  /// Test seam: runs between phase 2 (grown copy admitted on the target) and
+  /// phase 3 (original released) of every grow_to_shard. Lets tests inject a
+  /// concurrent disconnect deterministically to exercise the rollback path.
+  /// Not for production use; default is empty.
+  std::function<void(SessionId original, SessionId grown)>
+      cross_grow_between_phases_hook;
 };
 
 }  // namespace wdm::engine

@@ -248,6 +248,18 @@ class ThreeStageNetwork {
   /// safe alongside other concurrent readers.
   [[nodiscard]] const ConnectionView::Entry* find_connection(ConnectionId id) const;
 
+  /// The id encoding, exposed for layers that mirror the slot table without
+  /// exclusive network access (the engine's lock-free session-generation
+  /// table, obs/session_table.h): id = generation << 32 | slot. The
+  /// generation is monotone per slot across reuse, which is what makes
+  /// stale-id rejection -- here and in the lock-free mirror -- sound.
+  [[nodiscard]] static std::uint32_t slot_of_id(ConnectionId id) {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  }
+  [[nodiscard]] static std::uint32_t generation_of_id(ConnectionId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
   /// Monotone counter bumped by every occupancy mutation (commit_route and
   /// release). Cache layers above the network -- the Router's batch mask
   /// rows -- compare it against the epoch they last synced at to detect

@@ -12,6 +12,8 @@ const char* engine_op_name(EngineOp op) {
     case EngineOp::kDisconnect: return "disconnect";
     case EngineOp::kGrow: return "grow";
     case EngineOp::kRepack: return "repack";
+    case EngineOp::kMigrateIn: return "migrate_in";
+    case EngineOp::kMigrateOut: return "migrate_out";
   }
   return "?";
 }

@@ -39,6 +39,12 @@ enum class EngineOp : std::uint8_t {
   kDisconnect,
   kGrow,
   kRepack,  // a connect admitted by migrating standing sessions (repack.h)
+  // Cross-shard grow (two-phase migration, DESIGN.md §3.13): the target
+  // shard records kMigrateIn (admitted / blocked / rolled back as kStale),
+  // the source shard records kMigrateOut (admitted = original released,
+  // kStale = the session died before the commit phase).
+  kMigrateIn,
+  kMigrateOut,
 };
 
 enum class EngineOpOutcome : std::uint8_t {

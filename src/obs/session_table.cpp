@@ -1,0 +1,68 @@
+#include "obs/session_table.h"
+
+#include <stdexcept>
+
+namespace wdm::obs {
+
+SessionGenTable::SessionGenTable()
+    : directory_(std::make_unique<std::atomic<Entry*>[]>(kDirectoryEntries)) {
+  for (std::size_t i = 0; i < kDirectoryEntries; ++i) {
+    directory_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+SessionGenTable::~SessionGenTable() {
+  for (std::size_t i = 0; i < kDirectoryEntries; ++i) {
+    delete[] directory_[i].load(std::memory_order_relaxed);
+  }
+}
+
+SessionGenTable::Entry* SessionGenTable::writer_chunk(std::uint32_t slot) {
+  if (slot >= kMaxSlots) {
+    throw std::invalid_argument("SessionGenTable: slot exceeds kMaxSlots");
+  }
+  const std::size_t index = slot >> kChunkBits;
+  Entry* chunk = directory_[index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    // Single writer per shard: no allocation race to arbitrate. The release
+    // store publishes the zero-initialized entries to lock-free readers.
+    chunk = new Entry[kChunkEntries]();
+    directory_[index].store(chunk, std::memory_order_release);
+    allocated_chunks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return chunk;
+}
+
+const SessionGenTable::Entry* SessionGenTable::reader_chunk(
+    std::uint32_t slot) const {
+  if (slot >= kMaxSlots) return nullptr;
+  return directory_[slot >> kChunkBits].load(std::memory_order_acquire);
+}
+
+void SessionGenTable::mark_active(std::uint32_t slot,
+                                  std::uint32_t generation) {
+  writer_chunk(slot)[slot & (kChunkEntries - 1)].store(
+      encode(generation, true), std::memory_order_release);
+}
+
+void SessionGenTable::mark_released(std::uint32_t slot,
+                                    std::uint32_t generation) {
+  writer_chunk(slot)[slot & (kChunkEntries - 1)].store(
+      encode(generation, false), std::memory_order_release);
+}
+
+bool SessionGenTable::is_active(std::uint32_t slot,
+                                std::uint32_t generation) const {
+  const Entry* chunk = reader_chunk(slot);
+  if (chunk == nullptr) return false;
+  return chunk[slot & (kChunkEntries - 1)].load(std::memory_order_acquire) ==
+         encode(generation, true);
+}
+
+std::uint64_t SessionGenTable::probe_word(std::uint32_t slot) const {
+  const Entry* chunk = reader_chunk(slot);
+  if (chunk == nullptr) return 0;
+  return chunk[slot & (kChunkEntries - 1)].load(std::memory_order_acquire);
+}
+
+}  // namespace wdm::obs

@@ -1,0 +1,97 @@
+// Lock-free per-shard session-generation table: the read path for session
+// ids, published alongside the seqlock health snapshot (DESIGN.md §3.13).
+//
+// The sharded engine mints generation-tagged connection ids
+// (id = generation << 32 | slot; see multistage/network.h). Inside a shard
+// the network's slot table validates ids in O(1) -- but only under exclusive
+// shard access. Front-ends need the opposite: "is this client-supplied
+// session id still live?" answered from ANY thread with zero mutex
+// acquisitions, while the shard's single writer churns at full rate. This
+// table is that read path: one atomic word per connection slot holding
+// (generation << 1) | active, updated by the shard's writer at every commit
+// point and probed lock-free by readers.
+//
+// Why a stale id can never validate: a slot's generation is monotone (the
+// network bumps it on every reuse), and the writer publishes the release of
+// generation g before any install of generation g' > g (both happen inside
+// the same single-writer critical path, in program order, with release
+// stores). A reader probing a disposed id therefore sees either
+// (g, active=0) -- released, probe fails -- or (g', *) with g' != g --
+// reused, probe fails on the generation mismatch. There is no interleaving
+// that shows (g, active=1) again, which is exactly the property the
+// stale-id hammer (tests/stale_read_hammer_test.cpp) races for.
+//
+// Storage grows with the shard's slot table but must not lock readers out
+// while growing, so the table is chunked: a fixed directory of atomic
+// chunk pointers, each chunk a fixed array of entry words. The writer
+// allocates a chunk the first time a slot in its range is touched and
+// publishes the pointer with a release store; readers acquire-load the
+// pointer and treat nullptr as "slot never existed" (probe fails). Chunks
+// are never freed or moved, so a reader's pointer stays valid forever.
+// At the soak design point (~65k slots/shard) a shard holds ~8 chunks of
+// 64 KiB -- one word per held session, the "compact" in compact table.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace wdm::obs {
+
+class SessionGenTable {
+ public:
+  /// 8192 entries x 8 bytes = 64 KiB per chunk.
+  static constexpr std::size_t kChunkBits = 13;
+  static constexpr std::size_t kChunkEntries = std::size_t{1} << kChunkBits;
+  /// 4096 chunks -> up to ~33.5M slots per shard.
+  static constexpr std::size_t kDirectoryEntries = 4096;
+  static constexpr std::size_t kMaxSlots = kDirectoryEntries * kChunkEntries;
+
+  SessionGenTable();
+  ~SessionGenTable();
+
+  SessionGenTable(const SessionGenTable&) = delete;
+  SessionGenTable& operator=(const SessionGenTable&) = delete;
+
+  // -- writer side (requires the shard's single-writer exclusivity) ---------
+  /// Record that `slot` is live under `generation`. Allocates the chunk on
+  /// first touch (the only allocation this table ever performs).
+  void mark_active(std::uint32_t slot, std::uint32_t generation);
+  /// Record that `slot` was released while holding `generation`. The
+  /// generation stays in the word so a later probe distinguishes "released"
+  /// from "never existed" -- both fail, but tests assert the stronger state.
+  void mark_released(std::uint32_t slot, std::uint32_t generation);
+
+  // -- reader side (lock-free, any thread, any time) ------------------------
+  /// True iff `slot` is currently published live under exactly
+  /// `generation`. A stale (released or reused) id never validates.
+  [[nodiscard]] bool is_active(std::uint32_t slot,
+                               std::uint32_t generation) const;
+  /// The raw published word for `slot`: (generation << 1) | active, or 0
+  /// when the slot was never touched. For tests and diagnostics.
+  [[nodiscard]] std::uint64_t probe_word(std::uint32_t slot) const;
+
+  /// Chunks allocated so far (monotone; memory = value * 64 KiB).
+  [[nodiscard]] std::size_t allocated_chunks() const {
+    return allocated_chunks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Entry = std::atomic<std::uint64_t>;
+
+  static std::uint64_t encode(std::uint32_t generation, bool active) {
+    return (static_cast<std::uint64_t>(generation) << 1) |
+           (active ? 1u : 0u);
+  }
+
+  /// Writer-side chunk lookup, allocating on demand.
+  Entry* writer_chunk(std::uint32_t slot);
+  /// Reader-side chunk lookup; nullptr when never allocated.
+  [[nodiscard]] const Entry* reader_chunk(std::uint32_t slot) const;
+
+  std::unique_ptr<std::atomic<Entry*>[]> directory_;
+  std::atomic<std::size_t> allocated_chunks_{0};
+};
+
+}  // namespace wdm::obs

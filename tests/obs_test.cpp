@@ -16,6 +16,7 @@
 #include "engine/churn_driver.h"
 #include "engine/sharded_engine.h"
 #include "obs/flight_recorder.h"
+#include "obs/session_table.h"
 #include "obs/telemetry.h"
 #include "util/json_lite.h"
 #include "util/thread_pool.h"
@@ -337,6 +338,49 @@ TEST(Telemetry, TimelineParsesWithMonotoneSamplesAndHonestTotals) {
             static_cast<double>(stats.leftover_sessions));
   EXPECT_EQ(last.at("margin").as_number(),
             static_cast<double>(engine.health_snapshot(0).margin));
+}
+
+TEST(SessionGenTable, ProbesFollowTheWriterExactly) {
+  obs::SessionGenTable table;
+  // Never-touched slot: fails, and the raw word distinguishes it.
+  EXPECT_FALSE(table.is_active(7, 1));
+  EXPECT_EQ(table.probe_word(7), 0u);
+  EXPECT_EQ(table.allocated_chunks(), 0u);
+
+  table.mark_active(7, 1);
+  EXPECT_TRUE(table.is_active(7, 1));
+  EXPECT_FALSE(table.is_active(7, 2));  // wrong generation never validates
+  EXPECT_FALSE(table.is_active(8, 1));  // neighboring slot untouched
+  EXPECT_EQ(table.allocated_chunks(), 1u);
+
+  table.mark_released(7, 1);
+  EXPECT_FALSE(table.is_active(7, 1));
+  EXPECT_EQ(table.probe_word(7), (std::uint64_t{1} << 1));  // released != never
+
+  // Slot reuse under a later generation: the old id keeps failing.
+  table.mark_active(7, 2);
+  EXPECT_FALSE(table.is_active(7, 1));
+  EXPECT_TRUE(table.is_active(7, 2));
+}
+
+TEST(SessionGenTable, ChunksAllocateOnDemandAndReadersSeeThem) {
+  obs::SessionGenTable table;
+  // Slots in distinct chunks: the directory publishes each chunk once.
+  const std::uint32_t far_slot =
+      static_cast<std::uint32_t>(obs::SessionGenTable::kChunkEntries * 3 + 11);
+  table.mark_active(0, 5);
+  table.mark_active(far_slot, 9);
+  EXPECT_EQ(table.allocated_chunks(), 2u);
+  EXPECT_TRUE(table.is_active(0, 5));
+  EXPECT_TRUE(table.is_active(far_slot, 9));
+  // A slot in an unallocated chunk fails without allocating anything.
+  EXPECT_FALSE(table.is_active(
+      static_cast<std::uint32_t>(obs::SessionGenTable::kChunkEntries), 1));
+  EXPECT_EQ(table.allocated_chunks(), 2u);
+  EXPECT_THROW(
+      table.mark_active(
+          static_cast<std::uint32_t>(obs::SessionGenTable::kMaxSlots), 1),
+      std::invalid_argument);
 }
 
 TEST(Telemetry, StopWithoutStartStillYieldsAClosingSample) {
